@@ -1,0 +1,34 @@
+# Integrated FPGA design framework (IPPS 2004 reproduction).
+
+GO ?= go
+
+.PHONY: all build test short bench race cover tools experiments clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -short -cover ./...
+
+tools:
+	$(GO) build -o bin/ ./cmd/...
+
+experiments: tools
+	./bin/experiments
+
+clean:
+	rm -rf bin

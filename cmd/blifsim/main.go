@@ -1,0 +1,88 @@
+// Command blifsim drives the functional simulator on a BLIF netlist: input
+// vectors are read from stdin (one per line, inputs in .inputs order as 0/1
+// characters), outputs are printed per cycle. Sequential designs clock once
+// per vector.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fpgaflow/internal/netlist"
+	"fpgaflow/internal/sim"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, `usage: blifsim design.blif < vectors.txt
+Each input line holds one 0/1 character per primary input (declaration
+order). Outputs are printed in .outputs order, one line per vector.
+`)
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	nl, err := netlist.ParseBLIF(string(data))
+	if err != nil {
+		fatal(err)
+	}
+	s, err := sim.New(nl)
+	if err != nil {
+		fatal(err)
+	}
+	inputs := sim.InputNames(nl)
+	fmt.Printf("# inputs: %s\n# outputs: %s\n", strings.Join(inputs, " "), strings.Join(nl.Outputs, " "))
+	sc := bufio.NewScanner(os.Stdin)
+	cycle := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(line) != len(inputs) {
+			fatal(fmt.Errorf("cycle %d: %d bits for %d inputs", cycle, len(line), len(inputs)))
+		}
+		vec := make(map[string]bool, len(inputs))
+		for i, name := range inputs {
+			switch line[i] {
+			case '0':
+				vec[name] = false
+			case '1':
+				vec[name] = true
+			default:
+				fatal(fmt.Errorf("cycle %d: bad bit %q", cycle, line[i]))
+			}
+		}
+		out, err := s.Step(vec)
+		if err != nil {
+			fatal(err)
+		}
+		var sb strings.Builder
+		for _, o := range nl.Outputs {
+			if out[o] {
+				sb.WriteByte('1')
+			} else {
+				sb.WriteByte('0')
+			}
+		}
+		fmt.Println(sb.String())
+		cycle++
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,52 @@
+// Command diviner is the paper's DIVINER synthesizer: VHDL in, EDIF netlist
+// out.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"fpgaflow/internal/edif"
+	"fpgaflow/internal/vhdl"
+)
+
+func main() {
+	top := flag.String("top", "", "top entity (default: auto)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: diviner [-top entity] [file.vhd]\nSynthesizes VHDL to an EDIF netlist on stdout.\n")
+	}
+	flag.Parse()
+	src, err := readInput(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	d, err := vhdl.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	nl, err := vhdl.Elaborate(d, *top)
+	if err != nil {
+		fatal(err)
+	}
+	text, err := edif.Write(nl)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(text)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func readInput(path string) (string, error) {
+	if path == "" || path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}

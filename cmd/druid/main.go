@@ -1,0 +1,42 @@
+// Command druid is the paper's DRUID tool: it verifies and normalizes an
+// EDIF netlist so the downstream tools can consume it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"fpgaflow/internal/edif"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: druid [file.edf]\nNormalizes EDIF on stdout.\n")
+	}
+	flag.Parse()
+	src, err := readInput(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	out, err := edif.Druid(src)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func readInput(path string) (string, error) {
+	if path == "" || path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}

@@ -1,0 +1,55 @@
+// Command dutys is the paper's DUTYS tool: it generates the architecture
+// description file for the target FPGA from command-line features.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fpgaflow/internal/arch"
+)
+
+func main() {
+	n := flag.Int("n", 5, "cluster size")
+	k := flag.Int("k", 4, "LUT inputs")
+	i := flag.Int("i", 12, "cluster inputs")
+	rows := flag.Int("rows", 8, "grid rows")
+	cols := flag.Int("cols", 8, "grid cols")
+	w := flag.Int("w", 16, "channel width")
+	seg := flag.Int("seg", 1, "segment length")
+	gated := flag.Bool("gated-clock", true, "gated clock at BLE and CLB level")
+	detff := flag.Bool("detff", true, "double edge-triggered flip-flops")
+	switchW := flag.Float64("switch-width", 10, "routing switch width (x minimum)")
+	check := flag.String("check", "", "parse and validate an existing architecture file instead")
+	flag.Parse()
+	if *check != "" {
+		b, err := os.ReadFile(*check)
+		if err != nil {
+			fatal(err)
+		}
+		a, err := arch.Parse(string(b))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("OK: %s, %dx%d grid, %d-wide channels, %d config-relevant pins/CLB\n",
+			a.Name, a.Cols, a.Rows, a.Routing.ChannelWidth, a.PinsPerCLB())
+		return
+	}
+	a := arch.Paper()
+	a.CLB.N, a.CLB.K, a.CLB.I = *n, *k, *i
+	a.CLB.GatedClock, a.CLB.DoubleEdgeFF = *gated, *detff
+	a.Rows, a.Cols = *rows, *cols
+	a.Routing.ChannelWidth = *w
+	a.Routing.SegmentLength = *seg
+	a.Routing.SwitchWidthMult = *switchW
+	if err := a.Validate(); err != nil {
+		fatal(err)
+	}
+	fmt.Print(arch.Format(a))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,48 @@
+// Command e2fmt is the paper's E2FMT translator: EDIF netlist in, BLIF out
+// (or BLIF in, EDIF out with -reverse).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"fpgaflow/internal/edif"
+)
+
+func main() {
+	reverse := flag.Bool("reverse", false, "translate BLIF to EDIF instead")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: e2fmt [-reverse] [file]\nTranslates EDIF to BLIF on stdout.\n")
+	}
+	flag.Parse()
+	src, err := readInput(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	var out string
+	if *reverse {
+		out, err = edif.BLIFToEDIF(src)
+	} else {
+		out, err = edif.E2FMT(src)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func readInput(path string) (string, error) {
+	if path == "" || path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}

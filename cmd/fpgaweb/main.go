@@ -1,0 +1,22 @@
+// Command fpgaweb serves the browser GUI of the design framework
+// (paper §4.2): six stages from file upload to FPGA programming.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fpgaflow/internal/gui"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "listen address")
+	flag.Parse()
+	s := gui.NewServer()
+	fmt.Printf("FPGA design framework GUI on http://%s\n", *addr)
+	if err := s.ListenAndServe(*addr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

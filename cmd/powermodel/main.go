@@ -1,0 +1,65 @@
+// Command powermodel estimates the power of a mapped BLIF design on the
+// paper architecture (the PowerModel tool).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"fpgaflow/internal/core"
+	"fpgaflow/internal/netlist"
+)
+
+func main() {
+	clock := flag.Float64("clock", 100, "clock frequency in MHz")
+	seed := flag.Int64("seed", 1, "placement/activity seed")
+	cycles := flag.Int("cycles", 500, "activity simulation cycles")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: powermodel [-clock MHz] [file.blif]\nEstimates dynamic, short-circuit and leakage power.\n")
+	}
+	flag.Parse()
+	src, err := readInput(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := netlist.ParseBLIF(src); err != nil {
+		fatal(err)
+	}
+	res, err := core.RunBLIF(src, core.Options{
+		Seed: *seed, ClockHz: *clock * 1e6, ActivityCycles: *cycles, SkipVerify: true,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	p := res.Power
+	fmt.Printf("power estimate at %.0f MHz:\n", *clock)
+	fmt.Printf("  dynamic routing : %9.4f mW\n", p.DynamicRouting*1e3)
+	fmt.Printf("  dynamic logic   : %9.4f mW\n", p.DynamicLogic*1e3)
+	fmt.Printf("  dynamic clock   : %9.4f mW\n", p.DynamicClock*1e3)
+	fmt.Printf("  short-circuit   : %9.4f mW\n", p.ShortCircuit*1e3)
+	fmt.Printf("  leakage         : %9.4f mW\n", p.Leakage*1e3)
+	fmt.Printf("  total           : %9.4f mW\n", p.Total*1e3)
+	if p.GatedClockSaving > 0 {
+		fmt.Printf("  (clock gating saves %.4f mW)\n", p.GatedClockSaving*1e3)
+	}
+	fmt.Printf("hottest nets:\n")
+	for _, n := range p.TopNets(5) {
+		fmt.Printf("  %-20s %9.4f mW\n", n, p.PerNet[n]*1e3)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func readInput(path string) (string, error) {
+	if path == "" || path == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}

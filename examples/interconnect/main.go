@@ -1,0 +1,34 @@
+// Interconnect sizing study: regenerates the paper's §3.3 exploration that
+// selected 10x-minimum pass transistors on length-1 wires at minimum metal
+// width and double spacing (Figures 8, 9, 10 plus the tri-state buffer
+// comparison).
+//
+// Run with: go run ./examples/interconnect
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"fpgaflow/internal/arch"
+	"fpgaflow/internal/circuit"
+	"fpgaflow/internal/experiments"
+)
+
+func main() {
+	experiments.Fig8(os.Stdout)
+	fmt.Println()
+	experiments.Fig9(os.Stdout)
+	fmt.Println()
+	experiments.Fig10(os.Stdout)
+	fmt.Println()
+	experiments.TriState(os.Stdout)
+
+	// Summarize the architecture decision the sweeps imply.
+	tech := arch.STM018()
+	cfg := circuit.MinWidthDblSpacing()
+	best := circuit.OptimalWidth(circuit.PassTransistorSweep(tech, cfg, 1))
+	fmt.Printf("\nconclusion: pass transistors at %gx minimum width on length-1 wires with\n", best)
+	fmt.Printf("min-width double-spacing metal give the best energy-delay-area product;\n")
+	fmt.Printf("this is the configuration arch.Paper() encodes.\n")
+}

@@ -1,0 +1,3 @@
+module fpgaflow
+
+go 1.22

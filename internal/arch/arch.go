@@ -1,0 +1,184 @@
+// Package arch models the paper's island-style FPGA platform and implements
+// the DUTYS tool: generation and parsing of the architecture description
+// consumed by placement, routing, timing, power estimation and bitstream
+// generation.
+//
+// The platform (paper §3): cluster-based CLBs of N=5 BLEs with 4-input LUTs,
+// 12 cluster inputs and 5 outputs, fully connected local interconnect
+// (17-to-1 muxes per LUT input), one clock and one asynchronous clear per
+// CLB, double-edge-triggered flip-flops with clock gating at BLE and CLB
+// level, and an SRAM-based island-style routing fabric with disjoint switch
+// boxes (Fs=3), connection-box flexibility Fc, and pass-transistor routing
+// switches sized 10x minimum driving length-1 segments in metal 3 with
+// minimum width and double spacing.
+package arch
+
+import (
+	"fmt"
+	"math"
+)
+
+// SwitchKind is the routing-switch circuit style.
+type SwitchKind int
+
+const (
+	// SwitchPassTransistor joins segments through a single NMOS pass gate
+	// (the paper's selected option).
+	SwitchPassTransistor SwitchKind = iota
+	// SwitchTriState joins segments through back-to-back tri-state buffers.
+	SwitchTriState
+)
+
+func (s SwitchKind) String() string {
+	if s == SwitchTriState {
+		return "tristate"
+	}
+	return "pass_transistor"
+}
+
+// CLB describes the configurable logic block.
+type CLB struct {
+	N int // BLEs per cluster
+	K int // LUT inputs
+	I int // distinct cluster input pins
+	// ClockPins is 1: one clock per CLB (paper feature i).
+	ClockPins int
+	// GatedClock enables the BLE- and CLB-level clock gating circuitry.
+	GatedClock bool
+	// DoubleEdgeFF selects double-edge-triggered flip-flops, halving the
+	// clock frequency needed for a given data rate.
+	DoubleEdgeFF bool
+}
+
+// Outputs returns the number of cluster outputs (all BLE outputs are visible).
+func (c CLB) Outputs() int { return c.N }
+
+// Routing describes the interconnect fabric.
+type Routing struct {
+	// ChannelWidth is the number of tracks per routing channel (W).
+	ChannelWidth int
+	// SegmentLength is the logical wire length in CLBs spanned (paper: 1).
+	SegmentLength int
+	// Fs is the switch-box flexibility; 3 = disjoint topology.
+	Fs int
+	// FcIn is the fraction of tracks each CLB input pin can connect to.
+	FcIn float64
+	// FcOut is the fraction of tracks each CLB output pin can connect to.
+	FcOut float64
+	// Switch selects the routing-switch circuit.
+	Switch SwitchKind
+	// SwitchWidthMult is the routing switch width in multiples of the
+	// minimum contactable transistor width (paper: 10).
+	SwitchWidthMult float64
+	// WireWidthMult and WireSpacingMult select the metal-3 geometry
+	// (paper: minimum width, double spacing).
+	WireWidthMult   float64
+	WireSpacingMult float64
+}
+
+// Arch is a complete architecture instance.
+type Arch struct {
+	Name    string
+	CLB     CLB
+	Routing Routing
+	// Rows, Cols are the logic-grid dimensions (CLBs); the I/O ring adds
+	// one tile on each side.
+	Rows, Cols int
+	// IORate is the number of pads per I/O tile.
+	IORate int
+	Tech   Tech
+}
+
+// Paper returns the architecture selected in the paper with a placeholder
+// 8x8 grid; use SizeGrid or Fit to match a design.
+func Paper() *Arch {
+	return &Arch{
+		Name: "amdrel-lp",
+		CLB: CLB{
+			N: 5, K: 4, I: 12,
+			ClockPins:    1,
+			GatedClock:   true,
+			DoubleEdgeFF: true,
+		},
+		Routing: Routing{
+			ChannelWidth:    16,
+			SegmentLength:   1,
+			Fs:              3,
+			FcIn:            1.0,
+			FcOut:           1.0,
+			Switch:          SwitchPassTransistor,
+			SwitchWidthMult: 10,
+			WireWidthMult:   1,
+			WireSpacingMult: 2,
+		},
+		Rows: 8, Cols: 8,
+		IORate: 2,
+		Tech:   STM018(),
+	}
+}
+
+// Validate checks parameter sanity.
+func (a *Arch) Validate() error {
+	c := a.CLB
+	if c.N < 1 || c.K < 2 || c.I < c.K || c.ClockPins < 0 {
+		return fmt.Errorf("arch: bad CLB %+v", c)
+	}
+	r := a.Routing
+	if r.ChannelWidth < 1 || r.SegmentLength < 1 || r.Fs < 1 {
+		return fmt.Errorf("arch: bad routing %+v", r)
+	}
+	if r.FcIn <= 0 || r.FcIn > 1 || r.FcOut <= 0 || r.FcOut > 1 {
+		return fmt.Errorf("arch: Fc out of (0,1]: in=%v out=%v", r.FcIn, r.FcOut)
+	}
+	if a.Rows < 1 || a.Cols < 1 || a.IORate < 1 {
+		return fmt.Errorf("arch: bad grid %dx%d io %d", a.Rows, a.Cols, a.IORate)
+	}
+	// Upper bounds keep hostile inputs (e.g. corrupted bitstream headers)
+	// from requesting absurd allocations.
+	if c.K > 16 || c.N > 1024 || c.I > 4096 || c.ClockPins > 64 {
+		return fmt.Errorf("arch: CLB parameters out of range %+v", c)
+	}
+	if r.ChannelWidth > 4096 || r.SegmentLength > 1024 || r.Fs > 64 {
+		return fmt.Errorf("arch: routing parameters out of range %+v", r)
+	}
+	if a.Rows > 2048 || a.Cols > 2048 || a.IORate > 256 {
+		return fmt.Errorf("arch: grid out of range %dx%d io %d", a.Rows, a.Cols, a.IORate)
+	}
+	if err := a.Tech.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// LogicCapacity is the number of CLB sites.
+func (a *Arch) LogicCapacity() int { return a.Rows * a.Cols }
+
+// IOCapacity is the number of pad sites on the perimeter ring.
+func (a *Arch) IOCapacity() int { return 2 * (a.Rows + a.Cols) * a.IORate }
+
+// SizeGrid chooses the smallest near-square grid fitting nCLB logic blocks
+// and nIO pads, mirroring VPR's auto-sizing.
+func (a *Arch) SizeGrid(nCLB, nIO int) {
+	side := int(math.Ceil(math.Sqrt(float64(nCLB))))
+	if side < 1 {
+		side = 1
+	}
+	a.Rows, a.Cols = side, side
+	for a.LogicCapacity() < nCLB || a.IOCapacity() < nIO {
+		if a.Cols <= a.Rows {
+			a.Cols++
+		} else {
+			a.Rows++
+		}
+	}
+}
+
+// Clone returns a copy of the architecture.
+func (a *Arch) Clone() *Arch {
+	b := *a
+	return &b
+}
+
+// PinsPerCLB returns the pin count of one CLB tile: I inputs, N outputs,
+// clock pins.
+func (a *Arch) PinsPerCLB() int { return a.CLB.I + a.CLB.Outputs() + a.CLB.ClockPins }

@@ -1,0 +1,189 @@
+package arch
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPaperArchValid(t *testing.T) {
+	a := Paper()
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Paper §3.1 selected CLB: N=5, K=4, I=12, 5 outputs, one clock.
+	if a.CLB.N != 5 || a.CLB.K != 4 || a.CLB.I != 12 || a.CLB.Outputs() != 5 || a.CLB.ClockPins != 1 {
+		t.Errorf("CLB = %+v", a.CLB)
+	}
+	if !a.CLB.GatedClock || !a.CLB.DoubleEdgeFF {
+		t.Error("gated clock / DETFF not enabled")
+	}
+	// §3.3: disjoint switch box Fs=3, Fc=1 worst case, pass transistors at
+	// 10x minimum, length-1 wires, min width double spacing.
+	r := a.Routing
+	if r.Fs != 3 || r.FcIn != 1 || r.FcOut != 1 || r.Switch != SwitchPassTransistor {
+		t.Errorf("routing = %+v", r)
+	}
+	if r.SwitchWidthMult != 10 || r.SegmentLength != 1 || r.WireWidthMult != 1 || r.WireSpacingMult != 2 {
+		t.Errorf("sizing = %+v", r)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	mut := []func(*Arch){
+		func(a *Arch) { a.CLB.N = 0 },
+		func(a *Arch) { a.CLB.K = 1 },
+		func(a *Arch) { a.CLB.I = 1 },
+		func(a *Arch) { a.Routing.ChannelWidth = 0 },
+		func(a *Arch) { a.Routing.FcIn = 0 },
+		func(a *Arch) { a.Routing.FcOut = 1.5 },
+		func(a *Arch) { a.Rows = 0 },
+		func(a *Arch) { a.IORate = 0 },
+		func(a *Arch) { a.Tech.Vdd = -1 },
+		func(a *Arch) { a.Tech.ShortCircuitFrac = 2 },
+	}
+	for i, m := range mut {
+		a := Paper()
+		m(a)
+		if err := a.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestSizeGrid(t *testing.T) {
+	a := Paper()
+	a.SizeGrid(10, 10)
+	if a.LogicCapacity() < 10 || a.IOCapacity() < 10 {
+		t.Fatalf("grid %dx%d too small", a.Rows, a.Cols)
+	}
+	if a.Rows > 5 || a.Cols > 5 {
+		t.Errorf("grid %dx%d oversized for 10 CLBs", a.Rows, a.Cols)
+	}
+	// IO-bound design: needs perimeter growth beyond sqrt(nCLB).
+	b := Paper()
+	b.IORate = 1
+	b.SizeGrid(1, 50)
+	if b.IOCapacity() < 50 {
+		t.Errorf("io capacity %d < 50", b.IOCapacity())
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	a := Paper()
+	a.Name = "roundtrip"
+	a.Rows, a.Cols = 12, 9
+	a.Routing.ChannelWidth = 24
+	a.Routing.Switch = SwitchTriState
+	a.CLB.GatedClock = false
+	text := Format(a)
+	b, err := Parse(text)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, text)
+	}
+	if *b != *a {
+		t.Fatalf("roundtrip mismatch:\n got %+v\nwant %+v", b, a)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"bogus x 1\n",
+		"clb N\n",
+		"clb N five\n",
+		"routing switch quantum\n",
+		"grid rows 0 cols 0\n",
+	}
+	for _, text := range cases {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("accepted %q", strings.TrimSpace(text))
+		}
+	}
+}
+
+func TestParseAppliesDefaults(t *testing.T) {
+	a, err := Parse("name tiny\ngrid rows 2 cols 2 io_rate 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != "tiny" || a.Rows != 2 {
+		t.Errorf("overrides lost: %+v", a)
+	}
+	if a.CLB.N != 5 || a.Routing.Fs != 3 {
+		t.Errorf("defaults lost: %+v", a)
+	}
+}
+
+func TestWireModels(t *testing.T) {
+	tech := STM018()
+	// Resistance scales with tiles and inversely with width.
+	r1 := tech.WireRes(1, 1)
+	r8 := tech.WireRes(8, 1)
+	if math.Abs(r8-8*r1) > 1e-9 {
+		t.Errorf("R(8) = %g, want %g", r8, 8*r1)
+	}
+	if rw := tech.WireRes(1, 2); math.Abs(rw-r1/2) > 1e-9 {
+		t.Errorf("double width R = %g, want %g", rw, r1/2)
+	}
+	// Double spacing must reduce capacitance (less coupling).
+	cMin := tech.WireCap(1, 1, 1)
+	cDS := tech.WireCap(1, 1, 2)
+	if cDS >= cMin {
+		t.Errorf("double spacing cap %g >= min spacing %g", cDS, cMin)
+	}
+	// Double width must increase capacitance at fixed spacing.
+	cDW := tech.WireCap(1, 2, 1)
+	if cDW <= cMin {
+		t.Errorf("double width cap %g <= min width %g", cDW, cMin)
+	}
+	// Switch scaling.
+	if tech.SwitchRon(10) >= tech.SwitchRon(1) {
+		t.Error("wider switch should have lower Ron")
+	}
+	if tech.SwitchCDiff(10) <= tech.SwitchCDiff(1) {
+		t.Error("wider switch should load the wire more")
+	}
+}
+
+func TestTransistorArea(t *testing.T) {
+	if TransistorArea(1) != 1 {
+		t.Errorf("area(1) = %g", TransistorArea(1))
+	}
+	if TransistorArea(10) != 5.5 {
+		t.Errorf("area(10) = %g", TransistorArea(10))
+	}
+}
+
+func TestSwitchEnergy(t *testing.T) {
+	tech := STM018()
+	e := tech.SwitchEnergy(1e-15)
+	want := 1e-15 * 1.8 * 1.8
+	if math.Abs(e-want) > 1e-20 {
+		t.Errorf("E = %g, want %g", e, want)
+	}
+}
+
+func TestPinsPerCLB(t *testing.T) {
+	a := Paper()
+	if got := a.PinsPerCLB(); got != 12+5+1 {
+		t.Errorf("pins = %d, want 18", got)
+	}
+}
+
+func TestValidateRejectsAbsurdSizes(t *testing.T) {
+	mut := []func(*Arch){
+		func(a *Arch) { a.Rows = 1 << 20 },
+		func(a *Arch) { a.Cols = 1 << 20 },
+		func(a *Arch) { a.CLB.K = 40 },
+		func(a *Arch) { a.CLB.N = 1 << 16 },
+		func(a *Arch) { a.Routing.ChannelWidth = 1 << 20 },
+		func(a *Arch) { a.IORate = 1 << 16 },
+	}
+	for i, m := range mut {
+		a := Paper()
+		m(a)
+		if err := a.Validate(); err == nil {
+			t.Errorf("absurd mutation %d accepted", i)
+		}
+	}
+}

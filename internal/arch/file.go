@@ -1,0 +1,257 @@
+package arch
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteFile emits the DUTYS architecture file format: a line-oriented
+// keyword format similar in spirit to VPR's architecture files.
+func WriteFile(w io.Writer, a *Arch) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# DUTYS architecture file\n")
+	fmt.Fprintf(bw, "name %s\n", a.Name)
+	fmt.Fprintf(bw, "clb N %d K %d I %d clocks %d gated_clock %t detff %t\n",
+		a.CLB.N, a.CLB.K, a.CLB.I, a.CLB.ClockPins, a.CLB.GatedClock, a.CLB.DoubleEdgeFF)
+	fmt.Fprintf(bw, "grid rows %d cols %d io_rate %d\n", a.Rows, a.Cols, a.IORate)
+	fmt.Fprintf(bw, "routing W %d seg %d Fs %d Fc_in %g Fc_out %g switch %s switch_width %g wire_width %g wire_spacing %g\n",
+		a.Routing.ChannelWidth, a.Routing.SegmentLength, a.Routing.Fs,
+		a.Routing.FcIn, a.Routing.FcOut, a.Routing.Switch,
+		a.Routing.SwitchWidthMult, a.Routing.WireWidthMult, a.Routing.WireSpacingMult)
+	t := a.Tech
+	fmt.Fprintf(bw, "tech name %s vdd %g wmin %g lmin %g ron %g cgate %g cdiff %g leak %g tile %g\n",
+		t.Name, t.Vdd, t.WMin, t.LMin, t.RonMin, t.CGateMin, t.CDiffMin, t.LeakMin, t.TileLen)
+	fmt.Fprintf(bw, "metal r %g c_area %g c_fringe %g c_coup %g\n",
+		t.MetalRPerM, t.MetalCAreaPerM, t.MetalCFringePerM, t.MetalCCoupPerM)
+	fmt.Fprintf(bw, "delay lut %g mux %g clk_q %g setup %g inpad %g outpad %g sc_frac %g\n",
+		t.LUTDelay, t.LocalMuxDelay, t.FFClkToQ, t.FFSetup, t.InPadDelay, t.OutPadDelay, t.ShortCircuitFrac)
+	return bw.Flush()
+}
+
+// Format renders the architecture file as a string.
+func Format(a *Arch) string {
+	var sb strings.Builder
+	_ = WriteFile(&sb, a)
+	return sb.String()
+}
+
+// ReadFile parses a DUTYS architecture file.
+func ReadFile(r io.Reader) (*Arch, error) {
+	a := Paper() // defaults, overridden by the file
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] == "name" {
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("arch: line %d: name wants one value", lineno)
+			}
+			a.Name = fields[1]
+			continue
+		}
+		kv, err := pairs(fields[1:])
+		if err != nil {
+			return nil, fmt.Errorf("arch: line %d: %w", lineno, err)
+		}
+		switch fields[0] {
+		case "clb":
+			if err := applyCLB(&a.CLB, kv); err != nil {
+				return nil, fmt.Errorf("arch: line %d: %w", lineno, err)
+			}
+		case "grid":
+			if err := applyGrid(a, kv); err != nil {
+				return nil, fmt.Errorf("arch: line %d: %w", lineno, err)
+			}
+		case "routing":
+			if err := applyRouting(&a.Routing, kv); err != nil {
+				return nil, fmt.Errorf("arch: line %d: %w", lineno, err)
+			}
+		case "tech":
+			if err := applyTech(&a.Tech, kv); err != nil {
+				return nil, fmt.Errorf("arch: line %d: %w", lineno, err)
+			}
+		case "metal":
+			if err := applyMetal(&a.Tech, kv); err != nil {
+				return nil, fmt.Errorf("arch: line %d: %w", lineno, err)
+			}
+		case "delay":
+			if err := applyDelay(&a.Tech, kv); err != nil {
+				return nil, fmt.Errorf("arch: line %d: %w", lineno, err)
+			}
+		default:
+			return nil, fmt.Errorf("arch: line %d: unknown section %q", lineno, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Parse parses architecture text.
+func Parse(text string) (*Arch, error) { return ReadFile(strings.NewReader(text)) }
+
+func pairs(fields []string) (map[string]string, error) {
+	if len(fields)%2 != 0 {
+		return nil, fmt.Errorf("odd key/value list %v", fields)
+	}
+	kv := make(map[string]string, len(fields)/2)
+	for i := 0; i < len(fields); i += 2 {
+		kv[fields[i]] = fields[i+1]
+	}
+	return kv, nil
+}
+
+func getInt(kv map[string]string, key string, dst *int) error {
+	s, ok := kv[key]
+	if !ok {
+		return nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return fmt.Errorf("key %s: %w", key, err)
+	}
+	*dst = v
+	return nil
+}
+
+func getFloat(kv map[string]string, key string, dst *float64) error {
+	s, ok := kv[key]
+	if !ok {
+		return nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return fmt.Errorf("key %s: %w", key, err)
+	}
+	*dst = v
+	return nil
+}
+
+func getBool(kv map[string]string, key string, dst *bool) error {
+	s, ok := kv[key]
+	if !ok {
+		return nil
+	}
+	v, err := strconv.ParseBool(s)
+	if err != nil {
+		return fmt.Errorf("key %s: %w", key, err)
+	}
+	*dst = v
+	return nil
+}
+
+func applyCLB(c *CLB, kv map[string]string) error {
+	if err := getInt(kv, "N", &c.N); err != nil {
+		return err
+	}
+	if err := getInt(kv, "K", &c.K); err != nil {
+		return err
+	}
+	if err := getInt(kv, "I", &c.I); err != nil {
+		return err
+	}
+	if err := getInt(kv, "clocks", &c.ClockPins); err != nil {
+		return err
+	}
+	if err := getBool(kv, "gated_clock", &c.GatedClock); err != nil {
+		return err
+	}
+	return getBool(kv, "detff", &c.DoubleEdgeFF)
+}
+
+func applyGrid(a *Arch, kv map[string]string) error {
+	if err := getInt(kv, "rows", &a.Rows); err != nil {
+		return err
+	}
+	if err := getInt(kv, "cols", &a.Cols); err != nil {
+		return err
+	}
+	return getInt(kv, "io_rate", &a.IORate)
+}
+
+func applyRouting(r *Routing, kv map[string]string) error {
+	if err := getInt(kv, "W", &r.ChannelWidth); err != nil {
+		return err
+	}
+	if err := getInt(kv, "seg", &r.SegmentLength); err != nil {
+		return err
+	}
+	if err := getInt(kv, "Fs", &r.Fs); err != nil {
+		return err
+	}
+	if err := getFloat(kv, "Fc_in", &r.FcIn); err != nil {
+		return err
+	}
+	if err := getFloat(kv, "Fc_out", &r.FcOut); err != nil {
+		return err
+	}
+	if s, ok := kv["switch"]; ok {
+		switch s {
+		case "pass_transistor":
+			r.Switch = SwitchPassTransistor
+		case "tristate":
+			r.Switch = SwitchTriState
+		default:
+			return fmt.Errorf("unknown switch kind %q", s)
+		}
+	}
+	if err := getFloat(kv, "switch_width", &r.SwitchWidthMult); err != nil {
+		return err
+	}
+	if err := getFloat(kv, "wire_width", &r.WireWidthMult); err != nil {
+		return err
+	}
+	return getFloat(kv, "wire_spacing", &r.WireSpacingMult)
+}
+
+func applyTech(t *Tech, kv map[string]string) error {
+	if s, ok := kv["name"]; ok {
+		t.Name = s
+	}
+	for key, dst := range map[string]*float64{
+		"vdd": &t.Vdd, "wmin": &t.WMin, "lmin": &t.LMin, "ron": &t.RonMin,
+		"cgate": &t.CGateMin, "cdiff": &t.CDiffMin, "leak": &t.LeakMin, "tile": &t.TileLen,
+	} {
+		if err := getFloat(kv, key, dst); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func applyMetal(t *Tech, kv map[string]string) error {
+	for key, dst := range map[string]*float64{
+		"r": &t.MetalRPerM, "c_area": &t.MetalCAreaPerM,
+		"c_fringe": &t.MetalCFringePerM, "c_coup": &t.MetalCCoupPerM,
+	} {
+		if err := getFloat(kv, key, dst); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func applyDelay(t *Tech, kv map[string]string) error {
+	for key, dst := range map[string]*float64{
+		"lut": &t.LUTDelay, "mux": &t.LocalMuxDelay, "clk_q": &t.FFClkToQ,
+		"setup": &t.FFSetup, "inpad": &t.InPadDelay, "outpad": &t.OutPadDelay,
+		"sc_frac": &t.ShortCircuitFrac,
+	} {
+		if err := getFloat(kv, key, dst); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package arch
+
+import "fmt"
+
+// Tech holds the process constants of the target technology. The defaults
+// model the paper's STM 0.18 um 6-metal CMOS process at first order: the
+// absolute values are calibrated, not extracted, but every relative effect
+// the paper's experiments turn on (gate/diffusion capacitance scaling with
+// transistor width, metal-3 wire RC scaling with length, width and spacing,
+// clock-network loading) is represented. Units are SI: volts, ohms, farads,
+// seconds, meters.
+type Tech struct {
+	Name string
+	// Vdd is the supply voltage.
+	Vdd float64
+	// WMin is the minimum contactable transistor width (paper: 0.28 um).
+	WMin float64
+	// LMin is the drawn channel length (0.18 um).
+	LMin float64
+	// RonMin is the on-resistance of a minimum-width NMOS pass transistor;
+	// Ron(w) = RonMin / widthMult.
+	RonMin float64
+	// CGateMin is the gate capacitance of a minimum-width transistor;
+	// scales linearly with width.
+	CGateMin float64
+	// CDiffMin is the source/drain junction capacitance of a minimum-width
+	// transistor; scales linearly with width.
+	CDiffMin float64
+	// LeakMin is the subthreshold leakage current of a minimum-width
+	// transistor at Vdd.
+	LeakMin float64
+	// TileLen is the physical CLB pitch (routing wire length per logical
+	// length unit).
+	TileLen float64
+	// MetalRPerM is metal-3 sheet-derived resistance per meter at minimum
+	// width; R scales 1/widthMult.
+	MetalRPerM float64
+	// MetalCAreaPerM is the area (parallel-plate) capacitance per meter at
+	// minimum width; scales with widthMult.
+	MetalCAreaPerM float64
+	// MetalCFringePerM is the fringe capacitance per meter (width
+	// independent).
+	MetalCFringePerM float64
+	// MetalCCoupPerM is the coupling capacitance per meter to neighbours at
+	// minimum spacing; scales 1/spacingMult.
+	MetalCCoupPerM float64
+	// ShortCircuitFrac is the short-circuit energy as a fraction of
+	// switched-capacitance energy.
+	ShortCircuitFrac float64
+
+	// Timing abstractions for the placed-and-routed delay model.
+	// LUTDelay is input-to-output delay of the K-input LUT.
+	LUTDelay float64
+	// LocalMuxDelay is the CLB-internal (I+N)-to-1 input mux delay.
+	LocalMuxDelay float64
+	// FFClkToQ and FFSetup are the flip-flop timing parameters.
+	FFClkToQ float64
+	FFSetup  float64
+	// InPadDelay/OutPadDelay model the I/O pads.
+	InPadDelay  float64
+	OutPadDelay float64
+}
+
+// STM018 returns the 0.18 um constants used throughout the paper's
+// experiments.
+func STM018() Tech {
+	return Tech{
+		Name:             "stm018",
+		Vdd:              1.8,
+		WMin:             0.28e-6,
+		LMin:             0.18e-6,
+		RonMin:           10e3,
+		CGateMin:         0.7e-15,
+		CDiffMin:         0.8e-15,
+		LeakMin:          30e-12,
+		TileLen:          116e-6,
+		MetalRPerM:       75e3,    // 0.075 ohm/um
+		MetalCAreaPerM:   60e-12,  // 0.060 fF/um
+		MetalCFringePerM: 40e-12,  // 0.040 fF/um
+		MetalCCoupPerM:   100e-12, // 0.100 fF/um at min spacing
+		ShortCircuitFrac: 0.10,
+		LUTDelay:         450e-12,
+		LocalMuxDelay:    250e-12,
+		FFClkToQ:         200e-12,
+		FFSetup:          150e-12,
+		InPadDelay:       300e-12,
+		OutPadDelay:      300e-12,
+	}
+}
+
+// Validate rejects non-physical constants.
+func (t Tech) Validate() error {
+	pos := []struct {
+		name string
+		v    float64
+	}{
+		{"Vdd", t.Vdd}, {"WMin", t.WMin}, {"RonMin", t.RonMin},
+		{"CGateMin", t.CGateMin}, {"CDiffMin", t.CDiffMin},
+		{"TileLen", t.TileLen}, {"MetalRPerM", t.MetalRPerM},
+		{"LUTDelay", t.LUTDelay}, {"FFClkToQ", t.FFClkToQ},
+	}
+	for _, p := range pos {
+		if p.v <= 0 {
+			return fmt.Errorf("arch: tech %s: %s must be positive, got %v", t.Name, p.name, p.v)
+		}
+	}
+	if t.ShortCircuitFrac < 0 || t.ShortCircuitFrac > 1 {
+		return fmt.Errorf("arch: tech %s: short-circuit fraction %v out of [0,1]", t.Name, t.ShortCircuitFrac)
+	}
+	return nil
+}
+
+// SwitchRon returns the on-resistance of a routing switch of the given
+// width multiple.
+func (t Tech) SwitchRon(widthMult float64) float64 { return t.RonMin / widthMult }
+
+// SwitchCDiff returns the diffusion capacitance loading a wire per attached
+// switch of the given width multiple.
+func (t Tech) SwitchCDiff(widthMult float64) float64 { return t.CDiffMin * widthMult }
+
+// SwitchCGate returns the gate capacitance of a switch of the given width.
+func (t Tech) SwitchCGate(widthMult float64) float64 { return t.CGateMin * widthMult }
+
+// WireRes returns the resistance of a wire spanning the given number of
+// logic tiles at the given width multiple.
+func (t Tech) WireRes(tiles float64, widthMult float64) float64 {
+	return t.MetalRPerM * t.TileLen * tiles / widthMult
+}
+
+// WireCap returns the capacitance of a wire spanning the given number of
+// logic tiles with the given width and spacing multiples: area capacitance
+// grows with width, coupling capacitance shrinks with spacing.
+func (t Tech) WireCap(tiles, widthMult, spacingMult float64) float64 {
+	perM := t.MetalCAreaPerM*widthMult + t.MetalCFringePerM + t.MetalCCoupPerM/spacingMult
+	return perM * t.TileLen * tiles
+}
+
+// SwitchEnergy returns the energy for one full-swing transition of the given
+// capacitance: E = C * Vdd^2 (both edges of a cycle together switch C once
+// up and once down; callers account per-transition).
+func (t Tech) SwitchEnergy(c float64) float64 { return c * t.Vdd * t.Vdd }
+
+// TransistorArea returns the layout area of a transistor of the given width
+// multiple in units of minimum-width transistor areas, following the VPR
+// model: area = 0.5 + 0.5*widthMult.
+func TransistorArea(widthMult float64) float64 { return 0.5 + 0.5*widthMult }

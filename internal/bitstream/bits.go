@@ -1,0 +1,68 @@
+package bitstream
+
+import "fmt"
+
+// bitWriter packs bits MSB-first into a byte slice.
+type bitWriter struct {
+	buf  []byte
+	nbit int
+}
+
+func (w *bitWriter) WriteBit(b bool) {
+	if w.nbit%8 == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if b {
+		w.buf[len(w.buf)-1] |= 1 << uint(7-w.nbit%8)
+	}
+	w.nbit++
+}
+
+// WriteUint writes the low n bits of v, most significant first.
+func (w *bitWriter) WriteUint(v uint64, n int) {
+	for i := n - 1; i >= 0; i-- {
+		w.WriteBit(v&(1<<uint(i)) != 0)
+	}
+}
+
+func (w *bitWriter) Bytes() []byte { return w.buf }
+func (w *bitWriter) Len() int      { return w.nbit }
+
+// bitReader consumes bits MSB-first.
+type bitReader struct {
+	buf  []byte
+	nbit int
+}
+
+func (r *bitReader) ReadBit() (bool, error) {
+	if r.nbit >= 8*len(r.buf) {
+		return false, fmt.Errorf("bitstream: truncated at bit %d", r.nbit)
+	}
+	b := r.buf[r.nbit/8]&(1<<uint(7-r.nbit%8)) != 0
+	r.nbit++
+	return b, nil
+}
+
+func (r *bitReader) ReadUint(n int) (uint64, error) {
+	var v uint64
+	for i := 0; i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v <<= 1
+		if b {
+			v |= 1
+		}
+	}
+	return v, nil
+}
+
+// bitsFor returns the bits needed to encode values in [0, n).
+func bitsFor(n int) int {
+	b := 0
+	for 1<<uint(b) < n {
+		b++
+	}
+	return b
+}

@@ -1,0 +1,386 @@
+package bitstream
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"fpgaflow/internal/arch"
+	"fpgaflow/internal/rrgraph"
+)
+
+// Binary format:
+//
+//	magic "DAGR", version u8
+//	model name (u16 len + bytes)
+//	arch parameters needed to rebuild the routing graph
+//	pad table (u32 count, entries: x,y,sub u16; flags u8; pin u16; name)
+//	CLB frames in (x, y) order, bit-packed
+//	routing frame: one bit per configurable connection in canonical
+//	graph order (wire-wire switches counted once with from < to)
+//	trailing u32 bit count (integrity check)
+const (
+	magic   = "DAGR"
+	version = 1
+)
+
+// Encode serializes the bitstream.
+func Encode(bs *Bitstream) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	buf.WriteByte(version)
+	writeString(&buf, bs.ModelName)
+
+	a := bs.Arch
+	hdr := []uint32{
+		uint32(a.Rows), uint32(a.Cols), uint32(a.IORate),
+		uint32(a.CLB.N), uint32(a.CLB.K), uint32(a.CLB.I), uint32(a.CLB.ClockPins),
+		boolBit(a.CLB.GatedClock), boolBit(a.CLB.DoubleEdgeFF),
+		uint32(a.Routing.ChannelWidth), uint32(a.Routing.SegmentLength), uint32(a.Routing.Fs),
+		uint32(a.Routing.Switch),
+	}
+	for _, v := range hdr {
+		binary.Write(&buf, binary.BigEndian, v)
+	}
+	for _, f := range []float64{a.Routing.FcIn, a.Routing.FcOut,
+		a.Routing.SwitchWidthMult, a.Routing.WireWidthMult, a.Routing.WireSpacingMult} {
+		binary.Write(&buf, binary.BigEndian, math.Float64bits(f))
+	}
+
+	// Pad table.
+	binary.Write(&buf, binary.BigEndian, uint32(len(bs.Pads)))
+	for _, key := range sortedPadKeys(bs) {
+		pad := bs.Pads[key]
+		binary.Write(&buf, binary.BigEndian, uint16(key[0]))
+		binary.Write(&buf, binary.BigEndian, uint16(key[1]))
+		binary.Write(&buf, binary.BigEndian, uint16(key[2]))
+		flags := byte(0)
+		if pad.Used {
+			flags |= 1
+		}
+		if pad.Input {
+			flags |= 2
+		}
+		buf.WriteByte(flags)
+		binary.Write(&buf, binary.BigEndian, uint16(pad.PinIdx))
+		writeString(&buf, pad.Name)
+	}
+
+	// Configuration bits.
+	g, err := rrgraph.Build(a)
+	if err != nil {
+		return nil, err
+	}
+	w := &bitWriter{}
+	encodeCLBs(w, bs)
+	encodeRouting(w, bs, g)
+	binary.Write(&buf, binary.BigEndian, uint32(w.Len()))
+	buf.Write(w.Bytes())
+	return buf.Bytes(), nil
+}
+
+// Decode parses a bitstream produced by Encode. The technology section of
+// the architecture is restored from the defaults (the configuration itself
+// is technology independent, paper §4.1 feature i).
+func Decode(data []byte) (*Bitstream, error) {
+	buf := bytes.NewReader(data)
+	head := make([]byte, 5)
+	if _, err := buf.Read(head); err != nil || string(head[:4]) != magic {
+		return nil, fmt.Errorf("bitstream: bad magic")
+	}
+	if head[4] != version {
+		return nil, fmt.Errorf("bitstream: unsupported version %d", head[4])
+	}
+	model, err := readString(buf)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [13]uint32
+	for i := range hdr {
+		if err := binary.Read(buf, binary.BigEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("bitstream: header: %w", err)
+		}
+	}
+	var floats [5]float64
+	for i := range floats {
+		var b uint64
+		if err := binary.Read(buf, binary.BigEndian, &b); err != nil {
+			return nil, fmt.Errorf("bitstream: header floats: %w", err)
+		}
+		floats[i] = math.Float64frombits(b)
+	}
+	a := arch.Paper()
+	a.Rows, a.Cols, a.IORate = int(hdr[0]), int(hdr[1]), int(hdr[2])
+	a.CLB.N, a.CLB.K, a.CLB.I, a.CLB.ClockPins = int(hdr[3]), int(hdr[4]), int(hdr[5]), int(hdr[6])
+	a.CLB.GatedClock, a.CLB.DoubleEdgeFF = hdr[7] != 0, hdr[8] != 0
+	a.Routing.ChannelWidth, a.Routing.SegmentLength, a.Routing.Fs = int(hdr[9]), int(hdr[10]), int(hdr[11])
+	a.Routing.Switch = arch.SwitchKind(hdr[12])
+	a.Routing.FcIn, a.Routing.FcOut = floats[0], floats[1]
+	a.Routing.SwitchWidthMult, a.Routing.WireWidthMult, a.Routing.WireSpacingMult = floats[2], floats[3], floats[4]
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("bitstream: %w", err)
+	}
+	bs := newBitstream(a, model)
+
+	var nPads uint32
+	if err := binary.Read(buf, binary.BigEndian, &nPads); err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nPads; i++ {
+		var x, y, sub, pin uint16
+		var flags byte
+		if err := binary.Read(buf, binary.BigEndian, &x); err != nil {
+			return nil, err
+		}
+		binary.Read(buf, binary.BigEndian, &y)
+		binary.Read(buf, binary.BigEndian, &sub)
+		flags, err = buf.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if err := binary.Read(buf, binary.BigEndian, &pin); err != nil {
+			return nil, err
+		}
+		name, err := readString(buf)
+		if err != nil {
+			return nil, err
+		}
+		onX := int(x) == 0 || int(x) == a.Cols+1
+		onY := int(y) == 0 || int(y) == a.Rows+1
+		if int(x) > a.Cols+1 || int(y) > a.Rows+1 || onX == onY {
+			return nil, fmt.Errorf("bitstream: pad %q at (%d,%d) is not an I/O site", name, x, y)
+		}
+		if int(sub) >= a.IORate || int(pin) >= a.IORate {
+			return nil, fmt.Errorf("bitstream: pad %q sub/pin %d/%d exceeds IO rate %d", name, sub, pin, a.IORate)
+		}
+		bs.Pads[[3]int{int(x), int(y), int(sub)}] = &PadConfig{
+			Used: flags&1 != 0, Input: flags&2 != 0, Name: name, PinIdx: int(pin),
+		}
+	}
+
+	var nbits uint32
+	if err := binary.Read(buf, binary.BigEndian, &nbits); err != nil {
+		return nil, err
+	}
+	rest := make([]byte, buf.Len())
+	buf.Read(rest)
+	if len(rest)*8 < int(nbits) {
+		return nil, fmt.Errorf("bitstream: %d config bits declared, %d available", nbits, len(rest)*8)
+	}
+	r := &bitReader{buf: rest}
+	g, err := rrgraph.Build(a)
+	if err != nil {
+		return nil, err
+	}
+	if err := decodeCLBs(r, bs); err != nil {
+		return nil, err
+	}
+	if err := decodeRouting(r, bs, g); err != nil {
+		return nil, err
+	}
+	if r.nbit != int(nbits) {
+		return nil, fmt.Errorf("bitstream: consumed %d bits, declared %d", r.nbit, nbits)
+	}
+	return bs, nil
+}
+
+func encodeCLBs(w *bitWriter, bs *Bitstream) {
+	a := bs.Arch
+	selBits := bitsFor(a.CLB.I + a.CLB.N)
+	outBits := bitsFor(a.CLB.N)
+	for x := 0; x < a.Cols; x++ {
+		for y := 0; y < a.Rows; y++ {
+			cfg := bs.CLBs[x][y]
+			for i := range cfg.BLEs {
+				b := &cfg.BLEs[i]
+				for _, bit := range b.LUT {
+					w.WriteBit(bit)
+				}
+				w.WriteBit(b.Registered)
+				w.WriteBit(b.Init)
+				w.WriteBit(b.ClockEnabled)
+				for _, sel := range b.InputSel {
+					w.WriteUint(uint64(sel), selBits)
+				}
+			}
+			for _, sel := range cfg.OutputSel {
+				w.WriteUint(uint64(sel), outBits)
+			}
+			w.WriteBit(cfg.ClockEnabled)
+		}
+	}
+}
+
+func decodeCLBs(r *bitReader, bs *Bitstream) error {
+	a := bs.Arch
+	selBits := bitsFor(a.CLB.I + a.CLB.N)
+	outBits := bitsFor(a.CLB.N)
+	for x := 0; x < a.Cols; x++ {
+		for y := 0; y < a.Rows; y++ {
+			cfg := bs.CLBs[x][y]
+			for i := range cfg.BLEs {
+				b := &cfg.BLEs[i]
+				for j := range b.LUT {
+					bit, err := r.ReadBit()
+					if err != nil {
+						return err
+					}
+					b.LUT[j] = bit
+				}
+				var err error
+				if b.Registered, err = r.ReadBit(); err != nil {
+					return err
+				}
+				if b.Init, err = r.ReadBit(); err != nil {
+					return err
+				}
+				if b.ClockEnabled, err = r.ReadBit(); err != nil {
+					return err
+				}
+				for j := range b.InputSel {
+					v, err := r.ReadUint(selBits)
+					if err != nil {
+						return err
+					}
+					b.InputSel[j] = int(v)
+				}
+			}
+			for j := range cfg.OutputSel {
+				v, err := r.ReadUint(outBits)
+				if err != nil {
+					return err
+				}
+				cfg.OutputSel[j] = int(v)
+			}
+			var err error
+			if cfg.ClockEnabled, err = r.ReadBit(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// configurableEdges enumerates every programmable connection in canonical
+// order: wire-wire switches once (from < to), then OPin->wire, then
+// wire->IPin, all in node/edge order.
+func configurableEdges(g *rrgraph.Graph) [][3]int {
+	var out [][3]int // kind(0=sw,1=opin,2=ipin), from, to
+	for _, n := range g.Nodes {
+		for _, e := range n.Edges {
+			to := g.Nodes[e]
+			fw := n.Type == rrgraph.ChanX || n.Type == rrgraph.ChanY
+			tw := to.Type == rrgraph.ChanX || to.Type == rrgraph.ChanY
+			switch {
+			case fw && tw:
+				if n.ID < e {
+					out = append(out, [3]int{0, n.ID, e})
+				}
+			case n.Type == rrgraph.OPin && tw:
+				out = append(out, [3]int{1, n.ID, e})
+			case fw && to.Type == rrgraph.IPin:
+				out = append(out, [3]int{2, n.ID, e})
+			}
+		}
+	}
+	return out
+}
+
+func encodeRouting(w *bitWriter, bs *Bitstream, g *rrgraph.Graph) {
+	for _, ce := range configurableEdges(g) {
+		key := [2]int{ce[1], ce[2]}
+		var on bool
+		switch ce[0] {
+		case 0:
+			on = bs.SwitchOn[key]
+		case 1:
+			on = bs.OPinOn[key]
+		default:
+			on = bs.IPinOn[key]
+		}
+		w.WriteBit(on)
+	}
+}
+
+func decodeRouting(r *bitReader, bs *Bitstream, g *rrgraph.Graph) error {
+	for _, ce := range configurableEdges(g) {
+		on, err := r.ReadBit()
+		if err != nil {
+			return err
+		}
+		if !on {
+			continue
+		}
+		key := [2]int{ce[1], ce[2]}
+		switch ce[0] {
+		case 0:
+			bs.SwitchOn[key] = true
+		case 1:
+			bs.OPinOn[key] = true
+		default:
+			bs.IPinOn[key] = true
+		}
+	}
+	return nil
+}
+
+// NumConfigBits reports the size of the configuration for an architecture.
+func NumConfigBits(a *arch.Arch) (int, error) {
+	g, err := rrgraph.Build(a)
+	if err != nil {
+		return 0, err
+	}
+	bs := newBitstream(a, "")
+	w := &bitWriter{}
+	encodeCLBs(w, bs)
+	encodeRouting(w, bs, g)
+	return w.Len(), nil
+}
+
+func writeString(buf *bytes.Buffer, s string) {
+	binary.Write(buf, binary.BigEndian, uint16(len(s)))
+	buf.WriteString(s)
+}
+
+func readString(buf *bytes.Reader) (string, error) {
+	var n uint16
+	if err := binary.Read(buf, binary.BigEndian, &n); err != nil {
+		return "", err
+	}
+	b := make([]byte, n)
+	if _, err := buf.Read(b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func boolBit(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func sortedPadKeys(bs *Bitstream) [][3]int {
+	keys := make([][3]int, 0, len(bs.Pads))
+	for k := range bs.Pads {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && lessPad(keys[j], keys[j-1]); j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+func lessPad(a, b [3]int) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	if a[1] != b[1] {
+		return a[1] < b[1]
+	}
+	return a[2] < b[2]
+}

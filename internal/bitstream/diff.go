@@ -1,0 +1,179 @@
+package bitstream
+
+import (
+	"fmt"
+	"reflect"
+)
+
+// Partial reconfiguration support: Diff computes the configuration delta
+// between two bitstreams for the same architecture, and Apply patches a
+// device configuration in place. Reconfiguring only the changed tiles and
+// switches is how a deployed design is updated without a full reload.
+
+// Delta is the difference between two configurations.
+type Delta struct {
+	ModelName string
+	// CLBs holds replacement configs for changed logic tiles, keyed (x, y).
+	CLBs map[[2]int]*CLBConfig
+	// Pads holds replacement pad entries (nil value = remove).
+	Pads map[[3]int]*PadConfig
+	// SwitchSet / OPinSet / IPinSet give the new on/off state of changed
+	// routing connections.
+	SwitchSet map[[2]int]bool
+	OPinSet   map[[2]int]bool
+	IPinSet   map[[2]int]bool
+}
+
+// Empty reports whether the delta changes nothing.
+func (d *Delta) Empty() bool {
+	return len(d.CLBs) == 0 && len(d.Pads) == 0 &&
+		len(d.SwitchSet) == 0 && len(d.OPinSet) == 0 && len(d.IPinSet) == 0
+}
+
+// Size counts changed items (tiles + pads + connections).
+func (d *Delta) Size() int {
+	return len(d.CLBs) + len(d.Pads) + len(d.SwitchSet) + len(d.OPinSet) + len(d.IPinSet)
+}
+
+// archCompatible checks the fields the configuration layout depends on.
+func archCompatible(a, b *Bitstream) error {
+	x, y := a.Arch, b.Arch
+	if x.Rows != y.Rows || x.Cols != y.Cols || x.IORate != y.IORate {
+		return fmt.Errorf("bitstream: grids differ: %dx%d vs %dx%d", x.Cols, x.Rows, y.Cols, y.Rows)
+	}
+	if x.CLB != y.CLB {
+		return fmt.Errorf("bitstream: CLB parameters differ")
+	}
+	if x.Routing != y.Routing {
+		return fmt.Errorf("bitstream: routing parameters differ")
+	}
+	return nil
+}
+
+// Diff returns the delta that turns configuration a into configuration b.
+// Both must target the same architecture.
+func Diff(a, b *Bitstream) (*Delta, error) {
+	if err := archCompatible(a, b); err != nil {
+		return nil, err
+	}
+	d := &Delta{
+		ModelName: b.ModelName,
+		CLBs:      make(map[[2]int]*CLBConfig),
+		Pads:      make(map[[3]int]*PadConfig),
+		SwitchSet: make(map[[2]int]bool),
+		OPinSet:   make(map[[2]int]bool),
+		IPinSet:   make(map[[2]int]bool),
+	}
+	for x := 1; x <= a.Arch.Cols; x++ {
+		for y := 1; y <= a.Arch.Rows; y++ {
+			ca, _ := a.CLBAt(x, y)
+			cb, _ := b.CLBAt(x, y)
+			if !reflect.DeepEqual(ca, cb) {
+				d.CLBs[[2]int{x, y}] = cloneCLB(cb)
+			}
+		}
+	}
+	for key, pb := range b.Pads {
+		if pa, ok := a.Pads[key]; !ok || *pa != *pb {
+			cp := *pb
+			d.Pads[key] = &cp
+		}
+	}
+	for key := range a.Pads {
+		if _, ok := b.Pads[key]; !ok {
+			d.Pads[key] = nil
+		}
+	}
+	diffSet := func(sa, sb map[[2]int]bool, out map[[2]int]bool) {
+		for k := range sb {
+			if !sa[k] {
+				out[k] = true
+			}
+		}
+		for k := range sa {
+			if !sb[k] {
+				out[k] = false
+			}
+		}
+	}
+	diffSet(a.SwitchOn, b.SwitchOn, d.SwitchSet)
+	diffSet(a.OPinOn, b.OPinOn, d.OPinSet)
+	diffSet(a.IPinOn, b.IPinOn, d.IPinSet)
+	return d, nil
+}
+
+// Apply patches the configuration in place with the delta.
+func Apply(bs *Bitstream, d *Delta) error {
+	for key, cfg := range d.CLBs {
+		if key[0] < 1 || key[0] > bs.Arch.Cols || key[1] < 1 || key[1] > bs.Arch.Rows {
+			return fmt.Errorf("bitstream: delta tile (%d,%d) outside grid", key[0], key[1])
+		}
+		bs.CLBs[key[0]-1][key[1]-1] = cloneCLB(cfg)
+	}
+	for key, pad := range d.Pads {
+		if pad == nil {
+			delete(bs.Pads, key)
+		} else {
+			cp := *pad
+			bs.Pads[key] = &cp
+		}
+	}
+	applySet := func(dst map[[2]int]bool, changes map[[2]int]bool) {
+		for k, on := range changes {
+			if on {
+				dst[k] = true
+			} else {
+				delete(dst, k)
+			}
+		}
+	}
+	applySet(bs.SwitchOn, d.SwitchSet)
+	applySet(bs.OPinOn, d.OPinSet)
+	applySet(bs.IPinOn, d.IPinSet)
+	if d.ModelName != "" {
+		bs.ModelName = d.ModelName
+	}
+	return nil
+}
+
+// Clone deep-copies a bitstream.
+func (bs *Bitstream) Clone() *Bitstream {
+	out := newBitstream(bs.Arch, bs.ModelName)
+	for x := range bs.CLBs {
+		for y := range bs.CLBs[x] {
+			out.CLBs[x][y] = cloneCLB(bs.CLBs[x][y])
+		}
+	}
+	for k, p := range bs.Pads {
+		cp := *p
+		out.Pads[k] = &cp
+	}
+	for k := range bs.SwitchOn {
+		out.SwitchOn[k] = true
+	}
+	for k := range bs.OPinOn {
+		out.OPinOn[k] = true
+	}
+	for k := range bs.IPinOn {
+		out.IPinOn[k] = true
+	}
+	return out
+}
+
+func cloneCLB(c *CLBConfig) *CLBConfig {
+	out := &CLBConfig{
+		BLEs:         make([]BLEConfig, len(c.BLEs)),
+		OutputSel:    append([]int(nil), c.OutputSel...),
+		ClockEnabled: c.ClockEnabled,
+	}
+	for i, b := range c.BLEs {
+		out.BLEs[i] = BLEConfig{
+			LUT:          append([]bool(nil), b.LUT...),
+			Registered:   b.Registered,
+			Init:         b.Init,
+			ClockEnabled: b.ClockEnabled,
+			InputSel:     append([]int(nil), b.InputSel...),
+		}
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package bitstream
+
+import (
+	"bytes"
+	"testing"
+
+	"fpgaflow/internal/arch"
+	"fpgaflow/internal/netlist"
+	"fpgaflow/internal/pack"
+	"fpgaflow/internal/place"
+	"fpgaflow/internal/route"
+	"fpgaflow/internal/rrgraph"
+	"fpgaflow/internal/sim"
+)
+
+// generateOn builds a bitstream for the design on a FIXED grid so two
+// designs share an architecture (partial reconfiguration requires that).
+func generateOn(t *testing.T, blif string, a *arch.Arch) (*netlist.Netlist, *Bitstream) {
+	t.Helper()
+	nl, err := netlist.ParseBLIF(blif)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk, err := pack.Pack(nl, pack.Params{N: a.CLB.N, K: a.CLB.K, I: a.CLB.I})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := place.NewProblem(a, pk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := place.Place(p, place.Options{Seed: 3, InnerNum: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := rrgraph.Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := route.Route(p, pl, g, route.Options{})
+	if err != nil || !r.Success {
+		t.Fatalf("route: %v", err)
+	}
+	bs, err := Generate(pk, p, pl, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl, bs
+}
+
+func fixedArch() *arch.Arch {
+	a := arch.Paper()
+	a.CLB.N, a.CLB.I = 2, 8
+	a.Rows, a.Cols = 4, 4
+	a.Routing.ChannelWidth = 10
+	return a
+}
+
+const designA = `
+.model alpha
+.inputs a b c
+.outputs y
+.names a b t
+11 1
+.names t c y
+1- 1
+-1 1
+.end
+`
+
+const designB = `
+.model beta
+.inputs a b c
+.outputs y
+.names a b t
+10 1
+01 1
+.names t c y
+11 1
+.end
+`
+
+func TestDiffApplyRoundTrip(t *testing.T) {
+	_, bsA := generateOn(t, designA, fixedArch())
+	nlB, bsB := generateOn(t, designB, fixedArch())
+	d, err := Diff(bsA, bsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Empty() {
+		t.Fatal("different designs produced an empty delta")
+	}
+	patched := bsA.Clone()
+	if err := Apply(patched, d); err != nil {
+		t.Fatal(err)
+	}
+	// Byte-identical configurations after patching.
+	ea, err := Encode(patched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := Encode(bsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ea, eb) {
+		t.Fatal("patched bitstream differs from target")
+	}
+	// And functionally equivalent to design B.
+	ex, err := Extract(patched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.CheckEquivalent(nlB, ex, 10, 0, 4); err != nil {
+		t.Fatalf("patched device wrong: %v", err)
+	}
+}
+
+func TestDiffSelfIsEmpty(t *testing.T) {
+	_, bs := generateOn(t, designA, fixedArch())
+	d, err := Diff(bs, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Empty() || d.Size() != 0 {
+		t.Fatalf("self-diff not empty: %d changes", d.Size())
+	}
+}
+
+func TestDiffIsSmallerThanFullConfig(t *testing.T) {
+	// A one-LUT tweak must touch far fewer items than the whole fabric.
+	_, bsA := generateOn(t, designA, fixedArch())
+	bsB := bsA.Clone()
+	cfg, _ := bsB.CLBAt(1, 1)
+	cfg.BLEs[0].LUT[0] = !cfg.BLEs[0].LUT[0]
+	d, err := Diff(bsA, bsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 1 {
+		t.Fatalf("one-bit change produced %d delta items", d.Size())
+	}
+}
+
+func TestDiffRejectsDifferentArch(t *testing.T) {
+	_, bsA := generateOn(t, designA, fixedArch())
+	other := fixedArch()
+	other.Rows = 5
+	_, bsB := generateOn(t, designB, other)
+	if _, err := Diff(bsA, bsB); err == nil {
+		t.Fatal("mismatched architectures accepted")
+	}
+}
+
+func TestApplyRejectsOutOfGrid(t *testing.T) {
+	_, bs := generateOn(t, designA, fixedArch())
+	d := &Delta{CLBs: map[[2]int]*CLBConfig{{99, 99}: emptyCLB(bs.Arch)}}
+	if err := Apply(bs.Clone(), d); err == nil {
+		t.Fatal("out-of-grid tile accepted")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	_, bs := generateOn(t, designA, fixedArch())
+	cp := bs.Clone()
+	cfg, _ := cp.CLBAt(1, 1)
+	cfg.BLEs[0].LUT[0] = !cfg.BLEs[0].LUT[0]
+	orig, _ := bs.CLBAt(1, 1)
+	if orig.BLEs[0].LUT[0] == cfg.BLEs[0].LUT[0] {
+		t.Fatal("clone shares LUT storage")
+	}
+}

@@ -1,0 +1,94 @@
+package bitstream
+
+import (
+	"math/rand"
+	"testing"
+
+	"fpgaflow/internal/pack"
+)
+
+// TestDecodeNeverPanics feeds the decoder random garbage and corrupted
+// valid bitstreams; it must always return an error or a decodable result,
+// never panic or index out of range.
+func TestDecodeNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	decode := func(data []byte) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %d-byte input: %v", len(data), r)
+			}
+		}()
+		bs, err := Decode(data)
+		if err == nil && bs != nil {
+			// A successfully decoded stream must also extract cleanly or
+			// fail with an error, not a panic.
+			_, _ = Extract(bs)
+		}
+	}
+	// Pure garbage.
+	for i := 0; i < 60; i++ {
+		n := rng.Intn(400)
+		data := make([]byte, n)
+		rng.Read(data)
+		decode(data)
+	}
+	// Garbage with a valid magic.
+	for i := 0; i < 60; i++ {
+		n := 5 + rng.Intn(400)
+		data := make([]byte, n)
+		rng.Read(data)
+		copy(data, "DAGR\x01")
+		decode(data)
+	}
+	// Corrupted valid stream: every prefix and random single-byte flips.
+	_, bs := generate(t, combBLIF, pack.Params{N: 2, K: 4, I: 8})
+	valid, err := Encode(bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(valid); cut += 7 {
+		decode(valid[:cut])
+	}
+	for i := 0; i < 200; i++ {
+		mut := append([]byte(nil), valid...)
+		mut[rng.Intn(len(mut))] ^= byte(1 << rng.Intn(8))
+		decode(mut)
+	}
+}
+
+// TestExtractNeverPanicsOnRandomConfig builds syntactically valid but
+// semantically random configurations: extraction must reject or succeed
+// gracefully.
+func TestExtractNeverPanicsOnRandomConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	_, bs := generate(t, combBLIF, pack.Params{N: 2, K: 4, I: 8})
+	for trial := 0; trial < 30; trial++ {
+		// Randomize CLB configs in place.
+		for x := 1; x <= bs.Arch.Cols; x++ {
+			for y := 1; y <= bs.Arch.Rows; y++ {
+				cfg, _ := bs.CLBAt(x, y)
+				for i := range cfg.BLEs {
+					b := &cfg.BLEs[i]
+					for j := range b.LUT {
+						b.LUT[j] = rng.Intn(2) == 1
+					}
+					b.Registered = rng.Intn(2) == 1
+					for j := range b.InputSel {
+						b.InputSel[j] = rng.Intn(bs.Arch.CLB.I + bs.Arch.CLB.N)
+					}
+				}
+				for j := range cfg.OutputSel {
+					cfg.OutputSel[j] = rng.Intn(bs.Arch.CLB.N)
+				}
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on random config: %v", r)
+				}
+			}()
+			_, _ = Extract(bs)
+		}()
+	}
+}

@@ -1,0 +1,237 @@
+package circuit
+
+import (
+	"fmt"
+
+	"fpgaflow/internal/arch"
+)
+
+// This file reproduces the clock-gating experiments of the paper:
+// Table 2 (single vs. gated clock at BLE level, Fig. 5) and Table 3
+// (single vs. gated clock at CLB level, Fig. 6). The flip-flop is the
+// Llopis-1 DETFF selected in Section 3.
+
+// bleClockHarness builds one BLE's clock path: an inverter chain modelling
+// the clock driver (the paper's shaded inverters measure the gate's input
+// capacitance effect), optionally a NAND clock gate, and the flip-flop.
+func bleClockHarness(tech arch.Tech, gated bool) (*Circuit, error) {
+	c := New(tech)
+	clkIn := c.AddNode("clk_in", 0)
+	n1 := c.AddNode("n1", 0)
+	n2 := c.AddNode("n2", 0)
+	c.Inverter(2, clkIn, n1)
+	c.Inverter(2, n1, n2)
+	d := c.AddNode("d", 0)
+	q := c.AddNode("q", tech.CGateMin*4)
+	var ffClk *Node
+	if gated {
+		en := c.AddNode("enable", 0)
+		ng := c.AddNode("nand_out", 0)
+		nb := c.AddNode("ff_clk", 0)
+		c.NAND(2, n2, en, ng)
+		c.Inverter(2, ng, nb) // restore clock polarity
+		ffClk = nb
+	} else {
+		ffClk = c.AddNode("ff_clk", 0)
+		c.Inverter(2, n2, ffClk)
+	}
+	if err := BuildDETFF(c, Llopis1, "ff.", d, ffClk, q); err != nil {
+		return nil, err
+	}
+	return c, nil // caller sets enable, then Init
+}
+
+// Table2Row is one condition of the BLE-level experiment.
+type Table2Row struct {
+	Config string
+	// Enable is meaningful for the gated rows.
+	Enable bool
+	// Energy is the average energy for one positive plus one negative
+	// output transition worth of clocking, joules.
+	Energy float64
+}
+
+// Table2 reproduces the paper's Table 2: energy of the single-clock BLE
+// versus the gated-clock BLE with enable high and low.
+func Table2(tech arch.Tech) ([]*Table2Row, error) {
+	single, err := measureBLEClock(tech, false, true)
+	if err != nil {
+		return nil, err
+	}
+	gatedOn, err := measureBLEClock(tech, true, true)
+	if err != nil {
+		return nil, err
+	}
+	gatedOff, err := measureBLEClock(tech, true, false)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table2Row{
+		{Config: "single clock", Enable: true, Energy: single},
+		{Config: "gated clock", Enable: true, Energy: gatedOn},
+		{Config: "gated clock", Enable: false, Energy: gatedOff},
+	}, nil
+}
+
+// measureBLEClock runs two full clock cycles with the data toggling so the
+// output makes one positive and one negative transition (when enabled), and
+// returns the average energy per output-transition pair.
+func measureBLEClock(tech arch.Tech, gated, enable bool) (float64, error) {
+	c, err := bleClockHarness(tech, gated)
+	if err != nil {
+		return 0, err
+	}
+	if gated {
+		c.Set("enable", enable)
+	}
+	if err := c.Init(); err != nil {
+		return 0, err
+	}
+	const half = 2e-9
+	// Two cycles: d goes 1 (q rises on an edge), then 0 (q falls). An idle
+	// BLE's data input is static: its own LUT output is not switching.
+	pattern := []bool{true, true, false, false}
+	clk := false
+	for _, dv := range pattern {
+		if !gated || enable {
+			c.Set("d", dv)
+		}
+		if err := c.Run(c.Now + half/2); err != nil {
+			return 0, err
+		}
+		c.Now += half / 2
+		clk = !clk
+		c.Set("clk_in", clk)
+		if err := c.Run(c.Now + half/2); err != nil {
+			return 0, err
+		}
+		c.Now += half / 2
+	}
+	// Average over the two cycles -> energy per (positive+negative) pair.
+	return c.Energy / 2, nil
+}
+
+// Table3Row is one condition of the CLB-level experiment.
+type Table3Row struct {
+	Condition string
+	// ActiveFFs is how many of the N flip-flops have their BLE enable high.
+	ActiveFFs int
+	// SingleClock and GatedClock are the per-cycle energies of the two
+	// clock network styles, joules.
+	SingleClock float64
+	GatedClock  float64
+}
+
+// Table3 reproduces the paper's Table 3: the CLB-level clock gate versus a
+// plain buffer for a cluster of n BLEs with all flip-flops idle, one
+// active, and all active.
+func Table3(tech arch.Tech, n int) ([]*Table3Row, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("circuit: cluster of %d FFs", n)
+	}
+	conditions := []struct {
+		name   string
+		active int
+	}{
+		{`all F/Fs "OFF"`, 0},
+		{`one F/F "ON"`, 1},
+		{`all F/Fs "ON"`, n},
+	}
+	var rows []*Table3Row
+	for _, cond := range conditions {
+		single, err := measureCLBClock(tech, n, cond.active, false)
+		if err != nil {
+			return nil, err
+		}
+		gated, err := measureCLBClock(tech, n, cond.active, true)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, &Table3Row{
+			Condition: cond.name, ActiveFFs: cond.active,
+			SingleClock: single, GatedClock: gated,
+		})
+	}
+	return rows, nil
+}
+
+// GatingBreakEven returns the idle probability above which the CLB-level
+// clock gate saves energy, from the Table 3 rows: gating pays off when
+// P(all off) * saving_idle > (1 - P) * overhead_active (the paper finds
+// roughly 1/3).
+func GatingBreakEven(rows []*Table3Row) (float64, error) {
+	var idle, allOn *Table3Row
+	for _, r := range rows {
+		if r.ActiveFFs == 0 {
+			idle = r
+		}
+		if allOn == nil || r.ActiveFFs > allOn.ActiveFFs {
+			allOn = r
+		}
+	}
+	if idle == nil || allOn == nil || idle == allOn {
+		return 0, fmt.Errorf("circuit: need idle and active rows")
+	}
+	saving := idle.SingleClock - idle.GatedClock
+	overhead := allOn.GatedClock - allOn.SingleClock
+	if saving <= 0 {
+		return 0, fmt.Errorf("circuit: gating does not save when idle (%g)", saving)
+	}
+	if overhead <= 0 {
+		return 0, nil // gating always wins
+	}
+	return overhead / (saving + overhead), nil
+}
+
+// measureCLBClock builds the Fig. 6 circuit. Single clock (a): a two-stage
+// buffer drives the CLB's local clock wire with all n flip-flops hanging on
+// it. Gated clock (b): a wide CLB NAND replaces the buffer's first stage,
+// silencing the whole local network when every flip-flop is idle. "ON"
+// flip-flops have toggling data. Returns the energy of one full clock cycle.
+func measureCLBClock(tech arch.Tech, n, active int, clbGated bool) (float64, error) {
+	c := New(tech)
+	clkIn := c.AddNode("clk_in", 0)
+	// Local clock network wire inside the CLB.
+	wire := c.AddNode("clk_wire", tech.WireCap(0.5, 1, 1))
+	mid := c.AddNode("clk_mid", 0)
+	if clbGated {
+		enCLB := c.AddNode("en_clb", 0)
+		c.Set("en_clb", active > 0)
+		// The CLB NAND is sized up to drive the buffer through its stacked
+		// pull-down, costing extra input capacitance on the clock.
+		c.NAND(8, clkIn, enCLB, mid)
+		c.Inverter(4, mid, wire)
+	} else {
+		c.Inverter(4, clkIn, mid)
+		c.Inverter(4, mid, wire)
+	}
+	for i := 0; i < n; i++ {
+		p := fmt.Sprintf("ble%d.", i)
+		d := c.AddNode(p+"d", 0)
+		q := c.AddNode(p+"q", tech.CGateMin*4)
+		if err := BuildDETFF(c, Llopis1, p+"ff.", d, wire, q); err != nil {
+			return 0, err
+		}
+	}
+	if err := c.Init(); err != nil {
+		return 0, err
+	}
+	const half = 2e-9
+	// One full clock cycle with active FFs toggling data.
+	for cyc, clk := 0, false; cyc < 2; cyc++ {
+		for i := 0; i < active; i++ {
+			c.Set(fmt.Sprintf("ble%d.d", i), cyc%2 == 0)
+		}
+		if err := c.Run(c.Now + half/2); err != nil {
+			return 0, err
+		}
+		c.Now += half / 2
+		clk = !clk
+		c.Set("clk_in", clk)
+		if err := c.Run(c.Now + half/2); err != nil {
+			return 0, err
+		}
+		c.Now += half / 2
+	}
+	return c.Energy, nil
+}

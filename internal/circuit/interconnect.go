@@ -1,0 +1,230 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+
+	"fpgaflow/internal/arch"
+)
+
+// This file reproduces the interconnect sizing study of paper §3.3 (Figs
+// 8-10 and the tri-state buffer exploration): the Fig. 7 circuit drives a
+// signal from a CLB output through a chain of routing wire segments joined
+// by routing switches, and measures the energy-delay-area product as a
+// function of switch width for different wire lengths and metal geometries.
+
+// WireConfig selects the metal-3 geometry of a sweep.
+type WireConfig struct {
+	Name        string
+	WidthMult   float64
+	SpacingMult float64
+}
+
+// Paper's three configurations (Figs 8, 9, 10).
+func MinWidthMinSpacing() WireConfig { return WireConfig{"min width, min spacing", 1, 1} }
+func MinWidthDblSpacing() WireConfig { return WireConfig{"min width, double spacing", 1, 2} }
+func DblWidthDblSpacing() WireConfig { return WireConfig{"double width, double spacing", 2, 2} }
+
+// SweepWidths is the switch-width axis of Figs 8-10 (multiples of the
+// minimum contactable width).
+func SweepWidths() []float64 {
+	return []float64{1, 2, 4, 6, 8, 10, 12, 16, 24, 32, 48, 64}
+}
+
+// WireLengths is the logical-length axis (CLBs spanned per segment).
+func WireLengths() []int { return []int{1, 2, 4, 8} }
+
+// SizingPoint is one point of a sweep.
+type SizingPoint struct {
+	SwitchWidth float64
+	// Energy per transition of the whole Fig. 7 path, joules.
+	Energy float64
+	// Delay is the Elmore delay from driver to far end, seconds.
+	Delay float64
+	// Area is the switch area in minimum-width transistor areas.
+	Area float64
+	// EDA = Energy * Delay * Area, the paper's figure of merit.
+	EDA float64
+}
+
+const (
+	// fig7Segments is the number of wire segments in the Fig. 7 circuit
+	// (a connection spanning four CLBs).
+	fig7Segments = 4
+	// parasiticSwitchesPerSegment counts the off-path routing switches and
+	// output-pin pass transistors loading each wire (disjoint switch box
+	// plus CLB pin connections, paper §3.3.1).
+	parasiticSwitchesPerSegment = 1.0
+	// diffusionShare is the effective number of width-scaled diffusion
+	// capacitances each wire sees (series switch plus the reverse-biased
+	// parasitics; sharing halves the raw count).
+	diffusionShare = 0.8
+	// driverWidthMult sizes the CLB output buffer feeding the path.
+	driverWidthMult = 10.0
+	// tileAreaBase approximates the fixed per-segment share of tile area
+	// (CLB plus config SRAM) against which switch growth is weighed, in
+	// minimum-width transistor areas.
+	tileAreaBase = 25.0
+)
+
+// PassTransistorPoint evaluates one (config, wireLen, switchWidth) point of
+// the pass-transistor sweep analytically: the Fig. 7 RC ladder with
+// width-dependent switch resistance and diffusion loading.
+func PassTransistorPoint(tech arch.Tech, cfg WireConfig, wireLen int, w float64) SizingPoint {
+	rDrv := tech.RonMin / driverWidthMult
+	rSw := tech.SwitchRon(w)
+	// Each segment: wire capacitance for wireLen tiles plus the diffusion
+	// of the series switch (both ends) and the parasitic attached switches.
+	cSeg := tech.WireCap(float64(wireLen), cfg.WidthMult, cfg.SpacingMult) +
+		diffusionShare*tech.SwitchCDiff(w)
+	rWire := tech.WireRes(float64(wireLen), cfg.WidthMult)
+	// Far-end load: the input buffer of the destination CLB.
+	cLoad := 4 * tech.CGateMin
+
+	// Elmore delay over the ladder.
+	delay := 0.0
+	rUp := rDrv
+	for i := 0; i < fig7Segments; i++ {
+		rUp += rSw + rWire/2
+		delay += rUp * cSeg
+		rUp += rWire / 2
+	}
+	delay += rUp * cLoad
+
+	energy := tech.SwitchEnergy(float64(fig7Segments)*cSeg + cLoad)
+	// Switch area: series switch + parasitic switches per segment; wire
+	// metal does not add transistor area but the fixed tile area is
+	// amortized per segment.
+	area := float64(fig7Segments) * ((1 + parasiticSwitchesPerSegment) * arch.TransistorArea(w))
+	area += tileAreaBase * float64(fig7Segments)
+	return SizingPoint{
+		SwitchWidth: w,
+		Energy:      energy,
+		Delay:       delay,
+		Area:        area,
+		EDA:         energy * delay * area,
+	}
+}
+
+// PassTransistorSweep runs the sweep of Figs 8-10 for one wire geometry and
+// logical length.
+func PassTransistorSweep(tech arch.Tech, cfg WireConfig, wireLen int) []SizingPoint {
+	pts := make([]SizingPoint, 0, len(SweepWidths()))
+	for _, w := range SweepWidths() {
+		pts = append(pts, PassTransistorPoint(tech, cfg, wireLen, w))
+	}
+	return pts
+}
+
+// OptimalWidth returns the switch width minimizing EDA in the sweep.
+func OptimalWidth(pts []SizingPoint) float64 {
+	best := pts[0]
+	for _, p := range pts[1:] {
+		if p.EDA < best.EDA {
+			best = p
+		}
+	}
+	return best.SwitchWidth
+}
+
+// NormalizeEDA scales a sweep so its minimum EDA is 1 (the paper's plots are
+// relative).
+func NormalizeEDA(pts []SizingPoint) []SizingPoint {
+	min := math.Inf(1)
+	for _, p := range pts {
+		if p.EDA < min {
+			min = p.EDA
+		}
+	}
+	out := make([]SizingPoint, len(pts))
+	for i, p := range pts {
+		p.EDA /= min
+		out[i] = p
+	}
+	return out
+}
+
+// TriStatePoint evaluates the tri-state buffer alternative (§3.3.2): each
+// segment is driven by a two-stage buffer (minimum-width first stage for
+// logic threshold adjustment, w-width second stage), so segments regenerate
+// instead of accumulating resistance.
+func TriStatePoint(tech arch.Tech, cfg WireConfig, wireLen int, w float64) SizingPoint {
+	rBuf := tech.RonMin / w
+	rDrv := tech.RonMin / driverWidthMult
+	// Segment load: wire + next buffer's first-stage input + parasitic
+	// off-state tri-state diffusion (two buffers per switch, one per
+	// direction, paper §3.3).
+	cSeg := tech.WireCap(float64(wireLen), cfg.WidthMult, cfg.SpacingMult) +
+		tech.CGateMin + 1.5*tech.SwitchCDiff(w)
+	// Internal node of each two-stage buffer.
+	cInt := tech.CGateMin*w + tech.CDiffMin
+	delay := rDrv * cSeg
+	for i := 1; i < fig7Segments; i++ {
+		delay += tech.RonMin*cInt + rBuf*cSeg // first stage (min) + second stage
+	}
+	delay += rBuf * 4 * tech.CGateMin
+	energy := tech.SwitchEnergy(float64(fig7Segments)*cSeg + float64(fig7Segments-1)*cInt + 4*tech.CGateMin)
+	// Two tri-state buffers (one per direction) replace each switch; each
+	// has a min first stage and a w second stage, twice the transistors of
+	// a pass switch.
+	area := float64(fig7Segments) * 2 * (arch.TransistorArea(1) + 2*arch.TransistorArea(w))
+	area += tileAreaBase * float64(fig7Segments)
+	return SizingPoint{SwitchWidth: w, Energy: energy, Delay: delay, Area: area, EDA: energy * delay * area}
+}
+
+// TriStateSweep runs the buffer sweep; widths beyond 16x are excluded as in
+// the paper ("energy dissipation becomes prohibitive beyond this size").
+func TriStateSweep(tech arch.Tech, cfg WireConfig, wireLen int) []SizingPoint {
+	var pts []SizingPoint
+	for _, w := range SweepWidths() {
+		if w > 16 {
+			break
+		}
+		pts = append(pts, TriStatePoint(tech, cfg, wireLen, w))
+	}
+	return pts
+}
+
+// Fig8 returns the four-curve family of Fig. 8 (min width, min spacing).
+func Fig8(tech arch.Tech) map[int][]SizingPoint { return sweepAll(tech, MinWidthMinSpacing()) }
+
+// Fig9 returns Fig. 9 (min width, double spacing).
+func Fig9(tech arch.Tech) map[int][]SizingPoint { return sweepAll(tech, MinWidthDblSpacing()) }
+
+// Fig10 returns Fig. 10 (double width, double spacing).
+func Fig10(tech arch.Tech) map[int][]SizingPoint { return sweepAll(tech, DblWidthDblSpacing()) }
+
+func sweepAll(tech arch.Tech, cfg WireConfig) map[int][]SizingPoint {
+	out := make(map[int][]SizingPoint, len(WireLengths()))
+	for _, l := range WireLengths() {
+		out[l] = PassTransistorSweep(tech, cfg, l)
+	}
+	return out
+}
+
+// ValidateSweep sanity-checks a sweep's physics: positive values, energy
+// and area monotonically increasing with width, and delay improving when
+// moving off the minimum width (at very large widths the switch's own
+// diffusion loading may turn delay back up, which is physical).
+func ValidateSweep(pts []SizingPoint) error {
+	if len(pts) < 3 {
+		return fmt.Errorf("circuit: sweep too short")
+	}
+	for i, p := range pts {
+		if p.Energy <= 0 || p.Delay <= 0 || p.Area <= 0 {
+			return fmt.Errorf("circuit: non-positive metrics at width %g", p.SwitchWidth)
+		}
+		if i > 0 {
+			if p.Energy <= pts[i-1].Energy {
+				return fmt.Errorf("circuit: energy not increasing at width %g", p.SwitchWidth)
+			}
+			if p.Area <= pts[i-1].Area {
+				return fmt.Errorf("circuit: area not increasing at width %g", p.SwitchWidth)
+			}
+		}
+	}
+	if pts[1].Delay >= pts[0].Delay {
+		return fmt.Errorf("circuit: widening the switch off minimum did not reduce delay")
+	}
+	return nil
+}

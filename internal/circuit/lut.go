@@ -1,0 +1,118 @@
+package circuit
+
+import (
+	"fmt"
+
+	"fpgaflow/internal/arch"
+)
+
+// This file realizes the paper's Fig. 2: the K-input LUT built as an
+// SRAM-driven pass-transistor multiplexer tree with minimum-sized devices.
+// Measuring its delay and energy grounds the architecture-level timing
+// constants (arch.Tech.LUTDelay) in the same circuit substrate that the
+// DETFF and interconnect experiments use.
+
+// BuildLUT builds a K-input LUT: 2^K configuration nodes (SRAM cell
+// outputs, modelled as driven constants) selected by a binary tree of
+// transmission gates controlled by the inputs, with an output buffer.
+// bits[m] is the configured value for input assignment m (input 0 = LSB).
+func BuildLUT(c *Circuit, prefix string, k int, bits []bool, in []*Node, out *Node) error {
+	if k < 1 || k > 6 {
+		return fmt.Errorf("circuit: LUT size %d out of range", k)
+	}
+	if len(bits) != 1<<uint(k) || len(in) != k {
+		return fmt.Errorf("circuit: LUT wants %d bits and %d inputs", 1<<uint(k), k)
+	}
+	// Complemented selects for the N-side gates.
+	nin := make([]*Node, k)
+	for i, input := range in {
+		nin[i] = c.AddNode(fmt.Sprintf("%sinb%d", prefix, i), 0)
+		c.Inverter(1, input, nin[i])
+	}
+	// Leaf nodes: the SRAM cell contents.
+	level := make([]*Node, len(bits))
+	for m := range bits {
+		n := c.AddNode(fmt.Sprintf("%ss%d", prefix, m), 0)
+		n.V = bits[m]
+		level[m] = n
+	}
+	// Mux tree: stage i selects on input i; pairs (m, m+2^i) merge.
+	for i := 0; i < k; i++ {
+		next := make([]*Node, len(level)/2)
+		for j := range next {
+			m := c.AddNode(fmt.Sprintf("%sm%d_%d", prefix, i, j), 0)
+			// in[i]=0 passes the even branch, =1 the odd branch.
+			c.AddGate(TGateN, 1, []*Node{level[2*j]}, in[i], m)
+			c.AddGate(TGate, 1, []*Node{level[2*j+1]}, in[i], m)
+			next[j] = m
+		}
+		level = next
+	}
+	// Output buffer restores the degraded pass-transistor level.
+	mid := c.AddNode(prefix+"qb", 0)
+	c.Inverter(1, level[0], mid)
+	c.AddGate(Inv, 2, []*Node{mid}, nil, out)
+	return nil
+}
+
+// LUTResult reports the measured LUT characteristics.
+type LUTResult struct {
+	K int
+	// WorstDelay is the slowest input-to-output transition observed.
+	WorstDelay float64
+	// AvgEnergy is the mean energy per input transition.
+	AvgEnergy float64
+	// Transistors counts the cell's devices.
+	Transistors int
+}
+
+// MeasureLUT characterizes a K-input LUT configured as a parity function
+// (every input change flips the output: the worst case for both delay and
+// energy).
+func MeasureLUT(tech arch.Tech, k int) (*LUTResult, error) {
+	c := New(tech)
+	in := make([]*Node, k)
+	for i := range in {
+		in[i] = c.AddNode(fmt.Sprintf("i%d", i), 0)
+	}
+	out := c.AddNode("out", tech.CGateMin*4)
+	bits := make([]bool, 1<<uint(k))
+	for m := range bits {
+		ones := 0
+		for b := 0; b < k; b++ {
+			ones += m >> b & 1
+		}
+		bits[m] = ones%2 == 1
+	}
+	if err := BuildLUT(c, "lut.", k, bits, in, out); err != nil {
+		return nil, err
+	}
+	if err := c.Init(); err != nil {
+		return nil, err
+	}
+	res := &LUTResult{K: k, Transistors: c.TransistorCount()}
+	transitions := 0
+	for i := 0; i < k; i++ {
+		for _, v := range []bool{true, false} {
+			start := c.Now + 1e-9
+			c.Now = start
+			before := c.Energy
+			c.Set(fmt.Sprintf("i%d", i), v)
+			if err := c.Settle(); err != nil {
+				return nil, err
+			}
+			if lc, ok := c.LastChange["out"]; ok && lc > start {
+				if d := lc - start; d > res.WorstDelay {
+					res.WorstDelay = d
+				}
+			}
+			res.AvgEnergy += c.Energy - before
+			transitions++
+		}
+	}
+	res.AvgEnergy /= float64(transitions)
+	if res.WorstDelay == 0 {
+		return nil, fmt.Errorf("circuit: LUT output never switched")
+	}
+	return res, nil
+}

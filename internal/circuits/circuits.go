@@ -1,0 +1,516 @@
+// Package circuits generates the benchmark designs used by the experiments,
+// standing in for the MCNC LGSynth93 suite the paper references: arithmetic
+// (ripple and carry-select adders, an array multiplier, an ALU), sequential
+// blocks (counters, LFSRs, shift registers, a CRC unit), trees (parity,
+// majority) and Rent-rule random logic. Every benchmark is emitted as VHDL
+// source so the full front end is exercised.
+package circuits
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Benchmark is one generated design.
+type Benchmark struct {
+	Name string
+	VHDL string
+	// Sequential is true when the design contains registers.
+	Sequential bool
+}
+
+// Suite returns the default benchmark set used by the flow experiments.
+func Suite() []Benchmark {
+	return []Benchmark{
+		RippleAdder(8),
+		CarrySelectAdder(8),
+		ArrayMultiplier(4),
+		ALU(4),
+		Counter(8),
+		LFSR(8),
+		ShiftRegister(8),
+		CRC8(),
+		ParityTree(16),
+		MajorityTree(9),
+		GrayCounter(6),
+		Accumulator(6),
+		RandomLogic(12, 40, 7),
+	}
+}
+
+// SmallSuite returns a faster subset for parameter sweeps.
+func SmallSuite() []Benchmark {
+	return []Benchmark{
+		RippleAdder(4),
+		ALU(2),
+		Counter(4),
+		ParityTree(8),
+		RandomLogic(8, 20, 3),
+	}
+}
+
+// RippleAdder generates a w-bit ripple-carry adder with carry out.
+func RippleAdder(w int) Benchmark {
+	var sb strings.Builder
+	name := fmt.Sprintf("radd%d", w)
+	fmt.Fprintf(&sb, `library ieee;
+use ieee.std_logic_1164.all;
+entity %s is
+  port (
+    a, b : in std_logic_vector(%d downto 0);
+    cin  : in std_logic;
+    s    : out std_logic_vector(%d downto 0);
+    cout : out std_logic
+  );
+end %s;
+architecture rtl of %s is
+  signal c : std_logic_vector(%d downto 0);
+begin
+`, name, w-1, w-1, name, name, w)
+	sb.WriteString("  c(0) <= cin;\n")
+	for i := 0; i < w; i++ {
+		fmt.Fprintf(&sb, "  s(%d) <= a(%d) xor b(%d) xor c(%d);\n", i, i, i, i)
+		fmt.Fprintf(&sb, "  c(%d) <= (a(%d) and b(%d)) or (a(%d) and c(%d)) or (b(%d) and c(%d));\n",
+			i+1, i, i, i, i, i, i)
+	}
+	fmt.Fprintf(&sb, "  cout <= c(%d);\nend rtl;\n", w)
+	return Benchmark{Name: name, VHDL: sb.String()}
+}
+
+// CarrySelectAdder generates a w-bit adder split in two carry-select halves.
+func CarrySelectAdder(w int) Benchmark {
+	half := w / 2
+	var sb strings.Builder
+	name := fmt.Sprintf("csadd%d", w)
+	fmt.Fprintf(&sb, `library ieee;
+use ieee.std_logic_1164.all;
+entity %s is
+  port (
+    a, b : in std_logic_vector(%d downto 0);
+    s    : out std_logic_vector(%d downto 0);
+    cout : out std_logic
+  );
+end %s;
+architecture rtl of %s is
+  signal cl : std_logic_vector(%d downto 0);
+  signal s0, s1 : std_logic_vector(%d downto %d);
+  signal c0, c1 : std_logic_vector(%d downto %d);
+  signal csel : std_logic;
+begin
+`, name, w-1, w-1, name, name, half, w-1, half, w, half)
+	sb.WriteString("  cl(0) <= '0';\n")
+	for i := 0; i < half; i++ {
+		fmt.Fprintf(&sb, "  s(%d) <= a(%d) xor b(%d) xor cl(%d);\n", i, i, i, i)
+		fmt.Fprintf(&sb, "  cl(%d) <= (a(%d) and b(%d)) or (a(%d) and cl(%d)) or (b(%d) and cl(%d));\n",
+			i+1, i, i, i, i, i, i)
+	}
+	fmt.Fprintf(&sb, "  csel <= cl(%d);\n", half)
+	// Upper half computed for carry-in 0 and 1, selected by csel.
+	fmt.Fprintf(&sb, "  c0(%d) <= '0';\n  c1(%d) <= '1';\n", half, half)
+	for i := half; i < w; i++ {
+		fmt.Fprintf(&sb, "  s0(%d) <= a(%d) xor b(%d) xor c0(%d);\n", i, i, i, i)
+		fmt.Fprintf(&sb, "  c0(%d) <= (a(%d) and b(%d)) or (a(%d) and c0(%d)) or (b(%d) and c0(%d));\n",
+			i+1, i, i, i, i, i, i)
+		fmt.Fprintf(&sb, "  s1(%d) <= a(%d) xor b(%d) xor c1(%d);\n", i, i, i, i)
+		fmt.Fprintf(&sb, "  c1(%d) <= (a(%d) and b(%d)) or (a(%d) and c1(%d)) or (b(%d) and c1(%d));\n",
+			i+1, i, i, i, i, i, i)
+		fmt.Fprintf(&sb, "  s(%d) <= s1(%d) when csel = '1' else s0(%d);\n", i, i, i)
+	}
+	fmt.Fprintf(&sb, "  cout <= c1(%d) when csel = '1' else c0(%d);\nend rtl;\n", w, w)
+	return Benchmark{Name: name, VHDL: sb.String()}
+}
+
+// ArrayMultiplier generates a w x w combinational array multiplier.
+func ArrayMultiplier(w int) Benchmark {
+	var sb strings.Builder
+	name := fmt.Sprintf("mult%d", w)
+	fmt.Fprintf(&sb, `library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+entity %s is
+  port (
+    a, b : in std_logic_vector(%d downto 0);
+    p    : out std_logic_vector(%d downto 0)
+  );
+end %s;
+architecture rtl of %s is
+`, name, w-1, 2*w-1, name, name)
+	// Partial products and row sums.
+	for i := 0; i < w; i++ {
+		fmt.Fprintf(&sb, "  signal pp%d : std_logic_vector(%d downto 0);\n", i, 2*w-1)
+	}
+	for i := 1; i < w; i++ {
+		fmt.Fprintf(&sb, "  signal acc%d : std_logic_vector(%d downto 0);\n", i, 2*w-1)
+	}
+	sb.WriteString("begin\n")
+	for i := 0; i < w; i++ {
+		for j := 0; j < 2*w; j++ {
+			if j >= i && j < i+w {
+				fmt.Fprintf(&sb, "  pp%d(%d) <= a(%d) and b(%d);\n", i, j, j-i, i)
+			} else {
+				fmt.Fprintf(&sb, "  pp%d(%d) <= '0';\n", i, j)
+			}
+		}
+	}
+	prev := "pp0"
+	for i := 1; i < w; i++ {
+		fmt.Fprintf(&sb, "  acc%d <= std_logic_vector(unsigned(%s) + unsigned(pp%d));\n", i, prev, i)
+		prev = fmt.Sprintf("acc%d", i)
+	}
+	fmt.Fprintf(&sb, "  p <= %s;\nend rtl;\n", prev)
+	return Benchmark{Name: name, VHDL: sb.String()}
+}
+
+// ALU generates a w-bit ALU with 8 operations selected by a 3-bit opcode.
+func ALU(w int) Benchmark {
+	name := fmt.Sprintf("alu%d", w)
+	vhdl := fmt.Sprintf(`library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+entity %s is
+  port (
+    op   : in std_logic_vector(2 downto 0);
+    a, b : in std_logic_vector(%d downto 0);
+    y    : out std_logic_vector(%d downto 0);
+    zero : out std_logic
+  );
+end %s;
+architecture rtl of %s is
+  signal r : std_logic_vector(%d downto 0);
+  signal zs : std_logic_vector(%d downto 0);
+begin
+  process (op, a, b)
+  begin
+    case op is
+      when "000" => r <= std_logic_vector(unsigned(a) + unsigned(b));
+      when "001" => r <= std_logic_vector(unsigned(a) - unsigned(b));
+      when "010" => r <= a and b;
+      when "011" => r <= a or b;
+      when "100" => r <= a xor b;
+      when "101" => r <= not a;
+      when "110" => r <= (others => '0');
+      when others => r <= b;
+    end case;
+  end process;
+  zs <= (others => '0');
+  zero <= '1' when r = zs else '0';
+  y <= r;
+end rtl;
+`, name, w-1, w-1, name, name, w-1, w-1)
+	return Benchmark{Name: name, VHDL: vhdl}
+}
+
+// Counter generates a w-bit up counter with enable and synchronous reset.
+func Counter(w int) Benchmark {
+	name := fmt.Sprintf("count%d", w)
+	vhdl := fmt.Sprintf(`library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+entity %s is
+  port (
+    clk, rst, en : in std_logic;
+    q : out std_logic_vector(%d downto 0)
+  );
+end %s;
+architecture rtl of %s is
+  signal cnt : std_logic_vector(%d downto 0);
+begin
+  process (clk)
+  begin
+    if rst = '1' then
+      cnt <= (others => '0');
+    elsif rising_edge(clk) then
+      if en = '1' then
+        cnt <= std_logic_vector(unsigned(cnt) + 1);
+      end if;
+    end if;
+  end process;
+  q <= cnt;
+end rtl;
+`, name, w-1, name, name, w-1)
+	return Benchmark{Name: name, VHDL: vhdl, Sequential: true}
+}
+
+// LFSR generates a Fibonacci LFSR with taps at the two top bits.
+func LFSR(w int) Benchmark {
+	name := fmt.Sprintf("lfsr%d", w)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `library ieee;
+use ieee.std_logic_1164.all;
+entity %s is
+  port (
+    clk, rst : in std_logic;
+    q : out std_logic_vector(%d downto 0)
+  );
+end %s;
+architecture rtl of %s is
+  signal r : std_logic_vector(%d downto 0);
+  signal fb : std_logic;
+begin
+  fb <= r(%d) xnor r(%d);
+  process (clk)
+  begin
+    if rst = '1' then
+      r <= (others => '0');
+    elsif rising_edge(clk) then
+      r <= r(%d downto 0) & fb;
+    end if;
+  end process;
+  q <= r;
+end rtl;
+`, name, w-1, name, name, w-1, w-1, w-2, w-2)
+	return Benchmark{Name: name, VHDL: sb.String(), Sequential: true}
+}
+
+// ShiftRegister generates a serial-in parallel-out shift register.
+func ShiftRegister(w int) Benchmark {
+	name := fmt.Sprintf("shift%d", w)
+	vhdl := fmt.Sprintf(`library ieee;
+use ieee.std_logic_1164.all;
+entity %s is
+  port (
+    clk, din : in std_logic;
+    q : out std_logic_vector(%d downto 0)
+  );
+end %s;
+architecture rtl of %s is
+  signal r : std_logic_vector(%d downto 0);
+begin
+  process (clk)
+  begin
+    if rising_edge(clk) then
+      r <= r(%d downto 0) & din;
+    end if;
+  end process;
+  q <= r;
+end rtl;
+`, name, w-1, name, name, w-1, w-2)
+	return Benchmark{Name: name, VHDL: vhdl, Sequential: true}
+}
+
+// CRC8 generates a serial CRC-8 (polynomial x^8+x^2+x+1) unit.
+func CRC8() Benchmark {
+	vhdl := `library ieee;
+use ieee.std_logic_1164.all;
+entity crc8 is
+  port (
+    clk, rst, din : in std_logic;
+    crc : out std_logic_vector(7 downto 0)
+  );
+end crc8;
+architecture rtl of crc8 is
+  signal r : std_logic_vector(7 downto 0);
+  signal fb : std_logic;
+begin
+  fb <= r(7) xor din;
+  process (clk)
+  begin
+    if rst = '1' then
+      r <= (others => '0');
+    elsif rising_edge(clk) then
+      r(0) <= fb;
+      r(1) <= r(0) xor fb;
+      r(2) <= r(1) xor fb;
+      r(3) <= r(2);
+      r(4) <= r(3);
+      r(5) <= r(4);
+      r(6) <= r(5);
+      r(7) <= r(6);
+    end if;
+  end process;
+  crc <= r;
+end rtl;
+`
+	return Benchmark{Name: "crc8", VHDL: vhdl, Sequential: true}
+}
+
+// ParityTree generates a w-input parity function.
+func ParityTree(w int) Benchmark {
+	name := fmt.Sprintf("parity%d", w)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `library ieee;
+use ieee.std_logic_1164.all;
+entity %s is
+  port (
+    d : in std_logic_vector(%d downto 0);
+    p : out std_logic
+  );
+end %s;
+architecture rtl of %s is
+begin
+  p <= `, name, w-1, name, name)
+	for i := 0; i < w; i++ {
+		if i > 0 {
+			sb.WriteString(" xor ")
+		}
+		fmt.Fprintf(&sb, "d(%d)", i)
+	}
+	sb.WriteString(";\nend rtl;\n")
+	return Benchmark{Name: name, VHDL: sb.String()}
+}
+
+// MajorityTree generates a w-input majority function via popcount compare.
+func MajorityTree(w int) Benchmark {
+	name := fmt.Sprintf("maj%d", w)
+	var sb strings.Builder
+	bits := 1
+	for 1<<bits <= w {
+		bits++
+	}
+	fmt.Fprintf(&sb, `library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+entity %s is
+  port (
+    d : in std_logic_vector(%d downto 0);
+    m : out std_logic
+  );
+end %s;
+architecture rtl of %s is
+`, name, w-1, name, name)
+	for i := 0; i < w; i++ {
+		fmt.Fprintf(&sb, "  signal e%d : std_logic_vector(%d downto 0);\n", i, bits-1)
+	}
+	for i := 1; i < w; i++ {
+		fmt.Fprintf(&sb, "  signal sum%d : std_logic_vector(%d downto 0);\n", i, bits-1)
+	}
+	sb.WriteString("begin\n")
+	for i := 0; i < w; i++ {
+		fmt.Fprintf(&sb, "  e%d(0) <= d(%d);\n", i, i)
+		for j := 1; j < bits; j++ {
+			fmt.Fprintf(&sb, "  e%d(%d) <= '0';\n", i, j)
+		}
+	}
+	prev := "e0"
+	for i := 1; i < w; i++ {
+		fmt.Fprintf(&sb, "  sum%d <= std_logic_vector(unsigned(%s) + unsigned(e%d));\n", i, prev, i)
+		prev = fmt.Sprintf("sum%d", i)
+	}
+	fmt.Fprintf(&sb, "  m <= '1' when unsigned(%s) > to_unsigned(%d, %d) else '0';\nend rtl;\n",
+		prev, w/2, bits)
+	return Benchmark{Name: name, VHDL: sb.String()}
+}
+
+// GrayCounter generates a w-bit Gray-code counter.
+func GrayCounter(w int) Benchmark {
+	name := fmt.Sprintf("gray%d", w)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+entity %s is
+  port (
+    clk, rst : in std_logic;
+    g : out std_logic_vector(%d downto 0)
+  );
+end %s;
+architecture rtl of %s is
+  signal bin : std_logic_vector(%d downto 0);
+begin
+  process (clk)
+  begin
+    if rst = '1' then
+      bin <= (others => '0');
+    elsif rising_edge(clk) then
+      bin <= std_logic_vector(unsigned(bin) + 1);
+    end if;
+  end process;
+  g(%d) <= bin(%d);
+`, name, w-1, name, name, w-1, w-1, w-1)
+	for i := 0; i < w-1; i++ {
+		fmt.Fprintf(&sb, "  g(%d) <= bin(%d) xor bin(%d);\n", i, i+1, i)
+	}
+	sb.WriteString("end rtl;\n")
+	return Benchmark{Name: name, VHDL: sb.String(), Sequential: true}
+}
+
+// RandomLogic generates a reproducible random combinational network with a
+// Rent-like structure: later gates prefer recent signals as inputs.
+func RandomLogic(nIn, nGates int, seed int64) Benchmark {
+	rng := rand.New(rand.NewSource(seed))
+	name := fmt.Sprintf("rand%d_%d", nIn, nGates)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `library ieee;
+use ieee.std_logic_1164.all;
+entity %s is
+  port (
+    x : in std_logic_vector(%d downto 0);
+    y : out std_logic_vector(3 downto 0)
+  );
+end %s;
+architecture rtl of %s is
+`, name, nIn-1, name, name)
+	for i := 0; i < nGates; i++ {
+		fmt.Fprintf(&sb, "  signal g%d : std_logic;\n", i)
+	}
+	sb.WriteString("begin\n")
+	ops := []string{"and", "or", "xor", "nand", "nor", "xnor"}
+	pick := func(i int) string {
+		// Rent-like locality: prefer recent gates over primary inputs.
+		pool := nIn + i
+		r := pool - 1 - rng.Intn(min(pool, nIn/2+8))
+		if r < nIn {
+			return fmt.Sprintf("x(%d)", r)
+		}
+		return fmt.Sprintf("g%d", r-nIn)
+	}
+	for i := 0; i < nGates; i++ {
+		op := ops[rng.Intn(len(ops))]
+		a, b := pick(i), pick(i)
+		for b == a {
+			b = pick(i)
+		}
+		if rng.Intn(5) == 0 {
+			fmt.Fprintf(&sb, "  g%d <= not (%s %s %s);\n", i, a, op, b)
+		} else {
+			fmt.Fprintf(&sb, "  g%d <= %s %s %s;\n", i, a, op, b)
+		}
+	}
+	for j := 0; j < 4; j++ {
+		fmt.Fprintf(&sb, "  y(%d) <= g%d;\n", j, nGates-1-j)
+	}
+	sb.WriteString("end rtl;\n")
+	return Benchmark{Name: name, VHDL: sb.String()}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Accumulator generates a generic-width accumulating register (exercises
+// VHDL generics through the whole flow).
+func Accumulator(w int) Benchmark {
+	name := fmt.Sprintf("accum%d", w)
+	vhdl := fmt.Sprintf(`library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+entity %s is
+  generic (width : integer := %d);
+  port (
+    clk, rst, en : in std_logic;
+    d   : in std_logic_vector(width - 1 downto 0);
+    sum : out std_logic_vector(width - 1 downto 0)
+  );
+end %s;
+architecture rtl of %s is
+  signal acc : std_logic_vector(width - 1 downto 0);
+begin
+  process (clk)
+  begin
+    if rst = '1' then
+      acc <= (others => '0');
+    elsif rising_edge(clk) then
+      if en = '1' then
+        acc <= std_logic_vector(unsigned(acc) + unsigned(d));
+      end if;
+    end if;
+  end process;
+  sum <= acc;
+end rtl;
+`, name, w, name, name)
+	return Benchmark{Name: name, VHDL: vhdl, Sequential: true}
+}

@@ -1,0 +1,304 @@
+package circuits
+
+import (
+	"testing"
+
+	"fpgaflow/internal/netlist"
+	"fpgaflow/internal/sim"
+	"fpgaflow/internal/vhdl"
+)
+
+func elaborate(t *testing.T, b Benchmark) *netlist.Netlist {
+	t.Helper()
+	d, err := vhdl.Parse(b.VHDL)
+	if err != nil {
+		t.Fatalf("%s: parse: %v\n%s", b.Name, err, b.VHDL)
+	}
+	nl, err := vhdl.Elaborate(d, "")
+	if err != nil {
+		t.Fatalf("%s: elaborate: %v", b.Name, err)
+	}
+	return nl
+}
+
+func TestAllBenchmarksElaborate(t *testing.T) {
+	for _, b := range append(Suite(), SmallSuite()...) {
+		nl := elaborate(t, b)
+		st := nl.Stats()
+		if st.Logic == 0 {
+			t.Errorf("%s: no logic", b.Name)
+		}
+		if b.Sequential != (st.Latches > 0) {
+			t.Errorf("%s: sequential=%v but latches=%d", b.Name, b.Sequential, st.Latches)
+		}
+	}
+}
+
+func vecIn(prefix string, v, w int) map[string]bool {
+	m := map[string]bool{}
+	for j := 0; j < w; j++ {
+		m[prefix+"["+itoa(j)+"]"] = v&(1<<j) != 0
+	}
+	return m
+}
+
+func itoa(v int) string {
+	if v < 10 {
+		return string(rune('0' + v))
+	}
+	return string(rune('0'+v/10)) + string(rune('0'+v%10))
+}
+
+func vecOut(out map[string]bool, prefix string, w int) int {
+	v := 0
+	for j := 0; j < w; j++ {
+		if out[prefix+"["+itoa(j)+"]"] {
+			v |= 1 << j
+		}
+	}
+	return v
+}
+
+func merge(ms ...map[string]bool) map[string]bool {
+	out := map[string]bool{}
+	for _, m := range ms {
+		for k, v := range m {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func TestRippleAdderFunction(t *testing.T) {
+	nl := elaborate(t, RippleAdder(4))
+	for a := 0; a < 16; a += 3 {
+		for b := 0; b < 16; b += 5 {
+			for c := 0; c < 2; c++ {
+				in := merge(vecIn("a", a, 4), vecIn("b", b, 4))
+				in["cin"] = c == 1
+				out, err := sim.Eval(nl, in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := vecOut(out, "s", 4)
+				if out["cout"] {
+					got |= 16
+				}
+				if got != a+b+c {
+					t.Errorf("%d+%d+%d = %d", a, b, c, got)
+				}
+			}
+		}
+	}
+}
+
+func TestCarrySelectAdderFunction(t *testing.T) {
+	nl := elaborate(t, CarrySelectAdder(8))
+	for _, tc := range [][2]int{{0, 0}, {1, 1}, {100, 55}, {200, 100}, {255, 255}, {15, 16}, {127, 129}} {
+		in := merge(vecIn("a", tc[0], 8), vecIn("b", tc[1], 8))
+		out, err := sim.Eval(nl, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := vecOut(out, "s", 8)
+		if out["cout"] {
+			got |= 256
+		}
+		if got != tc[0]+tc[1] {
+			t.Errorf("%d+%d = %d", tc[0], tc[1], got)
+		}
+	}
+}
+
+func TestArrayMultiplierFunction(t *testing.T) {
+	nl := elaborate(t, ArrayMultiplier(4))
+	for a := 0; a < 16; a += 3 {
+		for b := 0; b < 16; b += 7 {
+			in := merge(vecIn("a", a, 4), vecIn("b", b, 4))
+			out, err := sim.Eval(nl, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := vecOut(out, "p", 8); got != a*b {
+				t.Errorf("%d*%d = %d", a, b, got)
+			}
+		}
+	}
+}
+
+func TestALUFunction(t *testing.T) {
+	nl := elaborate(t, ALU(4))
+	a, b := 12, 5
+	cases := map[int]int{
+		0: (a + b) & 15, 1: (a - b) & 15, 2: a & b, 3: a | b,
+		4: a ^ b, 5: ^a & 15, 6: 0, 7: b,
+	}
+	for op, want := range cases {
+		in := merge(vecIn("a", a, 4), vecIn("b", b, 4), vecIn("op", op, 3))
+		out, err := sim.Eval(nl, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := vecOut(out, "y", 4); got != want {
+			t.Errorf("op %d: got %d want %d", op, got, want)
+		}
+		if out["zero"] != (want == 0) {
+			t.Errorf("op %d: zero flag %v", op, out["zero"])
+		}
+	}
+}
+
+func TestCounterCounts(t *testing.T) {
+	nl := elaborate(t, Counter(4))
+	s, err := sim.New(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step(map[string]bool{"clk": true, "rst": true, "en": false})
+	var last int
+	for i := 0; i < 10; i++ {
+		out, _ := s.Step(map[string]bool{"clk": true, "rst": false, "en": true})
+		last = vecOut(out, "q", 4)
+	}
+	if last != 9 {
+		t.Errorf("count after 10 enabled cycles = %d, want 9", last)
+	}
+}
+
+func TestLFSRCyclesThroughStates(t *testing.T) {
+	nl := elaborate(t, LFSR(4))
+	s, err := sim.New(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step(map[string]bool{"clk": true, "rst": true})
+	seen := map[int]bool{}
+	for i := 0; i < 20; i++ {
+		out, _ := s.Step(map[string]bool{"clk": true, "rst": false})
+		seen[vecOut(out, "q", 4)] = true
+	}
+	// An XNOR 4-bit LFSR visits 15 states.
+	if len(seen) < 8 {
+		t.Errorf("LFSR visited only %d states", len(seen))
+	}
+}
+
+func TestParityTreeFunction(t *testing.T) {
+	nl := elaborate(t, ParityTree(8))
+	for v := 0; v < 256; v += 17 {
+		out, err := sim.Eval(nl, vecIn("d", v, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits := 0
+		for j := 0; j < 8; j++ {
+			bits += v >> j & 1
+		}
+		if out["p"] != (bits%2 == 1) {
+			t.Errorf("parity(%08b) = %v", v, out["p"])
+		}
+	}
+}
+
+func TestMajorityTreeFunction(t *testing.T) {
+	nl := elaborate(t, MajorityTree(5))
+	for v := 0; v < 32; v++ {
+		out, err := sim.Eval(nl, vecIn("d", v, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits := 0
+		for j := 0; j < 5; j++ {
+			bits += v >> j & 1
+		}
+		if out["m"] != (bits >= 3) {
+			t.Errorf("maj(%05b) = %v (ones=%d)", v, out["m"], bits)
+		}
+	}
+}
+
+func TestGrayCounterAdjacentStatesDifferByOneBit(t *testing.T) {
+	nl := elaborate(t, GrayCounter(4))
+	s, err := sim.New(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step(map[string]bool{"clk": true, "rst": true})
+	prev := -1
+	for i := 0; i < 20; i++ {
+		out, _ := s.Step(map[string]bool{"clk": true, "rst": false})
+		g := vecOut(out, "g", 4)
+		if prev >= 0 {
+			diff := g ^ prev
+			if diff == 0 || diff&(diff-1) != 0 {
+				t.Fatalf("gray step %d: %04b -> %04b", i, prev, g)
+			}
+		}
+		prev = g
+	}
+}
+
+func TestRandomLogicDeterministic(t *testing.T) {
+	a := RandomLogic(10, 30, 5)
+	b := RandomLogic(10, 30, 5)
+	if a.VHDL != b.VHDL {
+		t.Fatal("same seed produced different source")
+	}
+	c := RandomLogic(10, 30, 6)
+	if a.VHDL == c.VHDL {
+		t.Fatal("different seeds produced identical source")
+	}
+	elaborate(t, a)
+}
+
+func TestCRC8KnownVector(t *testing.T) {
+	nl := elaborate(t, CRC8())
+	s, err := sim.New(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step(map[string]bool{"clk": true, "rst": true, "din": false})
+	// Shift in 0x01 MSB-first (8 bits: 0000 0001).
+	for i := 7; i >= 0; i-- {
+		if _, err := s.Step(map[string]bool{"clk": true, "rst": false, "din": i == 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Step outputs are sampled before the clock edge; read the register
+	// state directly for the post-edge value.
+	got := 0
+	for j := 0; j < 8; j++ {
+		if v, ok := s.Value("r[" + itoa(j) + "]"); ok && v {
+			got |= 1 << j
+		}
+	}
+	// CRC-8 (x^8+x^2+x+1) of a single 0x01 byte is 0x07.
+	if got != 0x07 {
+		t.Errorf("crc8(0x01) = %#02x, want 0x07", got)
+	}
+}
+
+func TestAccumulatorGeneric(t *testing.T) {
+	nl := elaborate(t, Accumulator(4))
+	s, err := sim.New(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step(merge(map[string]bool{"clk": true, "rst": true, "en": false}, vecIn("d", 0, 4)))
+	total := 0
+	for _, add := range []int{3, 5, 7} {
+		if _, err := s.Step(merge(map[string]bool{"clk": true, "rst": false, "en": true}, vecIn("d", add, 4))); err != nil {
+			t.Fatal(err)
+		}
+		total = (total + add) & 15
+	}
+	got := 0
+	for j := 0; j < 4; j++ {
+		if v, ok := s.Value("acc[" + itoa(j) + "]"); ok && v {
+			got |= 1 << j
+		}
+	}
+	if got != total {
+		t.Errorf("accumulated %d, want %d", got, total)
+	}
+}

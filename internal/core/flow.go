@@ -1,0 +1,498 @@
+// Package core implements the paper's primary contribution: the integrated
+// design framework that chains every tool of the flow (Fig. 11) from a VHDL
+// description down to the FPGA configuration bitstream:
+//
+//	VHDL Parser -> DIVINER (synthesis) -> DRUID (EDIF normalization) ->
+//	E2FMT (EDIF to BLIF) -> SIS (logic optimization, LUT mapping) ->
+//	T-VPack (packing) -> DUTYS (architecture file) -> VPR (placement and
+//	routing) -> PowerModel -> DAGGER (bitstream)
+//
+// Each stage can also be driven standalone through the cmd/ tools; this
+// package provides the end-to-end orchestration, per-stage metrics, and the
+// closing verification that extracts the netlist back out of the bitstream
+// and checks functional equivalence against the elaborated source.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"fpgaflow/internal/arch"
+	"fpgaflow/internal/bitstream"
+	"fpgaflow/internal/edif"
+	"fpgaflow/internal/logic"
+	"fpgaflow/internal/netlist"
+	"fpgaflow/internal/pack"
+	"fpgaflow/internal/place"
+	"fpgaflow/internal/power"
+	"fpgaflow/internal/route"
+	"fpgaflow/internal/rrgraph"
+	"fpgaflow/internal/sim"
+	"fpgaflow/internal/techmap"
+	"fpgaflow/internal/timing"
+	"fpgaflow/internal/vhdl"
+)
+
+// MapperKind selects the LUT mapping algorithm.
+type MapperKind int
+
+const (
+	// MapFlowMap is depth-optimal FlowMap (default).
+	MapFlowMap MapperKind = iota
+	// MapGreedy is the area-oriented greedy baseline.
+	MapGreedy
+)
+
+// Options configures a flow run.
+type Options struct {
+	// Arch is the target platform; nil selects the paper architecture with
+	// an auto-sized grid. A non-nil Arch keeps its grid exactly (placement
+	// fails if the design does not fit) unless AutoSizeGrid is set.
+	Arch *arch.Arch
+	// AutoSizeGrid resizes a provided Arch's grid to fit the design.
+	AutoSizeGrid bool
+	// Top names the top VHDL entity ("" = auto).
+	Top string
+	// Mapper selects the LUT mapper.
+	Mapper MapperKind
+	// Seed drives placement and activity estimation.
+	Seed int64
+	// PlaceEffort scales annealing moves (VPR inner_num; default 1 for
+	// speed, 10 for quality).
+	PlaceEffort float64
+	// RouteMaxIters bounds PathFinder iterations.
+	RouteMaxIters int
+	// MinChannelWidth binary-searches the smallest routable W instead of
+	// using the architecture's fixed width.
+	MinChannelWidth bool
+	// TimingDrivenPlace weights placement cost by net criticality (depth
+	// through the mapped netlist), trading wirelength for critical path.
+	TimingDrivenPlace bool
+	// TimingDrivenRoute weights routing base costs by resource RC delay.
+	TimingDrivenRoute bool
+	// PlaceSeeds runs that many independent annealing seeds in parallel and
+	// keeps the cheapest placement (0/1 = single seed).
+	PlaceSeeds int
+	// FixedPads pins primary input pads ("a") and output pads ("out:a") to
+	// grid locations, keeping the pinout stable across compilations.
+	FixedPads map[string]place.Location
+	// ClockHz is the power-estimation clock; 0 uses the maximum frequency
+	// from timing analysis.
+	ClockHz float64
+	// ActivityCycles controls the simulation length for switching
+	// activities (default 500).
+	ActivityCycles int
+	// SkipVerify disables the closing bitstream-extraction equivalence
+	// check (it is the most expensive step on large designs).
+	SkipVerify bool
+	// OptimizeOptions tunes the SIS stage.
+	OptimizeOptions logic.Options
+}
+
+func (o *Options) fill() {
+	if o.PlaceEffort == 0 {
+		o.PlaceEffort = 1
+	}
+	if o.ActivityCycles == 0 {
+		o.ActivityCycles = 500
+	}
+}
+
+// Stage records one tool invocation.
+type Stage struct {
+	Tool     string
+	Detail   string
+	Duration time.Duration
+}
+
+// Result is the complete output of a flow run.
+type Result struct {
+	Stages []Stage
+
+	// Source is the elaborated (pre-optimization) netlist, the reference
+	// for all equivalence checks.
+	Source *netlist.Netlist
+	// EDIF is the DIVINER output after DRUID normalization.
+	EDIF string
+	// OptimizedBLIF is the netlist after the SIS stage.
+	OptimizedBLIF string
+	// Mapped is the K-LUT network.
+	Mapped *techmap.Result
+	// ArchFile is the DUTYS architecture description used.
+	ArchFile string
+	Arch     *arch.Arch
+	Packing  *pack.Packing
+	Problem  *place.Problem
+	Placed   *place.Placement
+	Routed   *route.Result
+	Timing   *timing.Analysis
+	Power    *power.Report
+	Bits     *bitstream.Bitstream
+	// Encoded is the binary bitstream.
+	Encoded []byte
+	// Verified is true when the bitstream extraction matched the source.
+	Verified bool
+
+	Metrics Metrics
+}
+
+// Metrics summarizes the run for tables.
+type Metrics struct {
+	Name           string
+	SourceGates    int
+	LUTs           int
+	Depth          int
+	CLBs           int
+	GridW, GridH   int
+	ChannelWidth   int
+	WirelengthUsed int
+	CriticalPath   float64
+	MaxClockMHz    float64
+	DataRateMbps   float64
+	PowerTotalMW   float64
+	BitstreamBits  int
+	Utilization    float64
+	// AreaUnits is the fabric area in minimum-width transistor areas
+	// (the VPR area model over the sized grid).
+	AreaUnits float64
+}
+
+// RunVHDL executes the full flow on VHDL source.
+func RunVHDL(src string, opts Options) (*Result, error) {
+	opts.fill()
+	res := &Result{}
+	var design *vhdl.Design
+
+	// Stage 1: VHDL Parser.
+	err := res.stage("VHDL Parser", func() error {
+		var err error
+		design, err = vhdl.Parse(src)
+		if err != nil {
+			return err
+		}
+		res.Stages[len(res.Stages)-1].Detail = fmt.Sprintf("%d entities", len(design.Entities))
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+
+	// Stage 2: DIVINER synthesis.
+	err = res.stage("DIVINER", func() error {
+		nl, err := vhdl.Elaborate(design, opts.Top)
+		if err != nil {
+			return err
+		}
+		res.Source = nl
+		st := nl.Stats()
+		res.Stages[len(res.Stages)-1].Detail = fmt.Sprintf("%d gates, %d FFs", st.Logic, st.Latches)
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+
+	// Stage 3+4: EDIF out, DRUID, E2FMT back to BLIF.
+	var blif string
+	err = res.stage("DRUID", func() error {
+		text, err := edif.Write(res.Source)
+		if err != nil {
+			return err
+		}
+		res.EDIF, err = edif.Druid(text)
+		return err
+	})
+	if err != nil {
+		return res, err
+	}
+	err = res.stage("E2FMT", func() error {
+		var err error
+		blif, err = edif.E2FMT(res.EDIF)
+		return err
+	})
+	if err != nil {
+		return res, err
+	}
+	return res.continueFromBLIF(blif, opts)
+}
+
+// RunBLIF enters the flow at the SIS stage with a BLIF netlist.
+func RunBLIF(blifText string, opts Options) (*Result, error) {
+	opts.fill()
+	res := &Result{}
+	nl, err := netlist.ParseBLIF(blifText)
+	if err != nil {
+		return res, err
+	}
+	res.Source = nl
+	return res.continueFromBLIF(blifText, opts)
+}
+
+func (res *Result) continueFromBLIF(blifText string, opts Options) (*Result, error) {
+	a := opts.Arch
+	if a == nil {
+		a = arch.Paper()
+	}
+	a = a.Clone()
+	res.Arch = a
+	res.Metrics.Name = res.Source.Name
+	res.Metrics.SourceGates = res.Source.Stats().Logic
+
+	// Stage 5: SIS (technology-independent optimization + decomposition +
+	// LUT mapping).
+	var working *netlist.Netlist
+	err := res.stage("SIS", func() error {
+		nl, err := netlist.ParseBLIF(blifText)
+		if err != nil {
+			return err
+		}
+		if err := logic.Optimize(nl, opts.OptimizeOptions); err != nil {
+			return err
+		}
+		if err := logic.Decompose(nl); err != nil {
+			return err
+		}
+		working = nl
+		res.OptimizedBLIF = netlist.FormatBLIF(nl)
+		res.Stages[len(res.Stages)-1].Detail = fmt.Sprintf("%d gates after optimization", nl.Stats().Logic)
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	err = res.stage("LUT map", func() error {
+		var mapped *techmap.Result
+		var err error
+		if opts.Mapper == MapGreedy {
+			mapped, err = techmap.MapGreedy(working, a.CLB.K)
+		} else {
+			mapped, err = techmap.FlowMap(working, a.CLB.K)
+		}
+		if err != nil {
+			return err
+		}
+		res.Mapped = mapped
+		res.Metrics.LUTs = mapped.LUTs
+		res.Metrics.Depth = mapped.Depth
+		res.Stages[len(res.Stages)-1].Detail = fmt.Sprintf("%d LUTs, depth %d", mapped.LUTs, mapped.Depth)
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+
+	// Stage 6: T-VPack.
+	err = res.stage("T-VPack", func() error {
+		pk, err := pack.Pack(res.Mapped.Netlist, pack.Params{N: a.CLB.N, K: a.CLB.K, I: a.CLB.I})
+		if err != nil {
+			return err
+		}
+		res.Packing = pk
+		res.Metrics.CLBs = len(pk.Clusters)
+		res.Metrics.Utilization = pk.Utilization()
+		res.Stages[len(res.Stages)-1].Detail = fmt.Sprintf("%d CLBs, %.0f%% BLE utilization",
+			len(pk.Clusters), 100*pk.Utilization())
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+
+	// Stage 7: DUTYS architecture file.
+	autoSize := opts.Arch == nil || opts.AutoSizeGrid
+	err = res.stage("DUTYS", func() error {
+		p, err := place.NewProblem(a, res.Packing)
+		if err != nil {
+			return err
+		}
+		if autoSize {
+			p.AutoSize()
+		} else {
+			clbs, pads := p.CountKinds()
+			if clbs > a.LogicCapacity() || pads > a.IOCapacity() {
+				return fmt.Errorf("core: design needs %d CLBs / %d pads; fixed %dx%d grid offers %d / %d",
+					clbs, pads, a.Cols, a.Rows, a.LogicCapacity(), a.IOCapacity())
+			}
+		}
+		res.Problem = p
+		res.ArchFile = arch.Format(a)
+		res.Metrics.GridW, res.Metrics.GridH = a.Cols, a.Rows
+		res.Stages[len(res.Stages)-1].Detail = fmt.Sprintf("%dx%d grid", a.Cols, a.Rows)
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+
+	// Stage 8: VPR placement.
+	err = res.stage("VPR place", func() error {
+		popts := place.Options{Seed: opts.Seed, InnerNum: opts.PlaceEffort, Fixed: opts.FixedPads}
+		mode := "wirelength-driven"
+		if opts.TimingDrivenPlace {
+			popts.Weights = place.CriticalityWeights(res.Packing, res.Problem, 8)
+			mode = "timing-driven"
+		}
+		var pl *place.Placement
+		var err error
+		if opts.PlaceSeeds > 1 {
+			pl, err = place.PlaceBest(res.Problem, popts, opts.PlaceSeeds)
+			mode = fmt.Sprintf("%s, best of %d seeds", mode, opts.PlaceSeeds)
+		} else {
+			pl, err = place.Place(res.Problem, popts)
+		}
+		if err != nil {
+			return err
+		}
+		res.Placed = pl
+		res.Stages[len(res.Stages)-1].Detail = fmt.Sprintf("cost %.1f (%s)", pl.Cost, mode)
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+
+	// Stage 9: VPR routing.
+	err = res.stage("VPR route", func() error {
+		ropts := route.Options{MaxIters: opts.RouteMaxIters, DelayDriven: opts.TimingDrivenRoute}
+		if opts.MinChannelWidth {
+			w, r, err := route.MinChannelWidth(res.Problem, res.Placed, 1, a.Routing.ChannelWidth, ropts)
+			if err != nil {
+				return err
+			}
+			a.Routing.ChannelWidth = w
+			res.Routed = r
+		} else {
+			g, err := rrgraph.Build(a)
+			if err != nil {
+				return err
+			}
+			r, err := route.Route(res.Problem, res.Placed, g, ropts)
+			if err != nil {
+				return err
+			}
+			if !r.Success {
+				return fmt.Errorf("core: unroutable at W=%d (%d overused)", a.Routing.ChannelWidth, r.Overused)
+			}
+			res.Routed = r
+		}
+		if err := res.Routed.Validate(res.Problem, res.Placed); err != nil {
+			return err
+		}
+		res.Metrics.ChannelWidth = res.Routed.Graph.W
+		res.Metrics.WirelengthUsed = res.Routed.WirelengthUsed()
+		res.Stages[len(res.Stages)-1].Detail = fmt.Sprintf("W=%d, %d wire segments",
+			res.Routed.Graph.W, res.Routed.WirelengthUsed())
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+
+	// Timing analysis (feeds the power model's default clock).
+	err = res.stage("Timing", func() error {
+		an, err := timing.Analyze(res.Packing, res.Problem, res.Placed, res.Routed)
+		if err != nil {
+			return err
+		}
+		res.Timing = an
+		res.Metrics.CriticalPath = an.CriticalPath
+		res.Metrics.MaxClockMHz = an.MaxClockHz / 1e6
+		res.Metrics.DataRateMbps = an.MaxDataRateHz / 1e6
+		res.Stages[len(res.Stages)-1].Detail = fmt.Sprintf("%.2f ns critical path", an.CriticalPath*1e9)
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+
+	// Stage 10: PowerModel.
+	err = res.stage("PowerModel", func() error {
+		clock := opts.ClockHz
+		if clock == 0 {
+			clock = res.Timing.MaxClockHz
+		}
+		act, err := sim.EstimateActivity(res.Mapped.Netlist, opts.ActivityCycles, 0.5, opts.Seed)
+		if err != nil {
+			return err
+		}
+		rep, err := power.Estimate(res.Packing, res.Problem, res.Placed, res.Routed, act, clock)
+		if err != nil {
+			return err
+		}
+		res.Power = rep
+		res.Metrics.PowerTotalMW = rep.Total * 1e3
+		res.Metrics.AreaUnits = power.FabricAreaMinWidthUnits(a)
+		res.Stages[len(res.Stages)-1].Detail = fmt.Sprintf("%.3f mW at %.0f MHz", rep.Total*1e3, clock/1e6)
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+
+	// Stage 11: DAGGER bitstream.
+	err = res.stage("DAGGER", func() error {
+		bs, err := bitstream.Generate(res.Packing, res.Problem, res.Placed, res.Routed)
+		if err != nil {
+			return err
+		}
+		res.Bits = bs
+		res.Encoded, err = bitstream.Encode(bs)
+		if err != nil {
+			return err
+		}
+		res.Metrics.BitstreamBits = len(res.Encoded) * 8
+		res.Stages[len(res.Stages)-1].Detail = fmt.Sprintf("%d bytes", len(res.Encoded))
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+
+	// Closing verification: decode + extract + equivalence.
+	if !opts.SkipVerify {
+		err = res.stage("Verify", func() error {
+			bs, err := bitstream.Decode(res.Encoded)
+			if err != nil {
+				return err
+			}
+			extracted, err := bitstream.Extract(bs)
+			if err != nil {
+				return err
+			}
+			if err := sim.CheckEquivalent(res.Source, extracted, 12, 400, opts.Seed+1); err != nil {
+				return fmt.Errorf("core: bitstream does not implement the source design: %w", err)
+			}
+			res.Verified = true
+			res.Stages[len(res.Stages)-1].Detail = "bitstream equivalent to source"
+			return nil
+		})
+		if err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+func (res *Result) stage(tool string, fn func() error) error {
+	start := time.Now()
+	res.Stages = append(res.Stages, Stage{Tool: tool})
+	err := fn()
+	res.Stages[len(res.Stages)-1].Duration = time.Since(start)
+	if err != nil {
+		return fmt.Errorf("%s: %w", tool, err)
+	}
+	return nil
+}
+
+// Summary renders the per-stage report like the GUI's log pane.
+func (res *Result) Summary() string {
+	out := fmt.Sprintf("design %s\n", res.Metrics.Name)
+	for _, s := range res.Stages {
+		out += fmt.Sprintf("  %-12s %-40s %8.2fms\n", s.Tool, s.Detail, float64(s.Duration.Microseconds())/1000)
+	}
+	m := res.Metrics
+	out += fmt.Sprintf("  LUTs=%d depth=%d CLBs=%d grid=%dx%d W=%d crit=%.2fns fmax=%.1fMHz power=%.3fmW bits=%d\n",
+		m.LUTs, m.Depth, m.CLBs, m.GridW, m.GridH, m.ChannelWidth,
+		m.CriticalPath*1e9, m.MaxClockMHz, m.PowerTotalMW, m.BitstreamBits)
+	return out
+}

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"fpgaflow/internal/arch"
+	"fpgaflow/internal/circuits"
+	"fpgaflow/internal/place"
+)
+
+func TestFullFlowCombinational(t *testing.T) {
+	b := circuits.RippleAdder(4)
+	res, err := RunVHDL(b.VHDL, Options{Seed: 1})
+	if err != nil {
+		t.Fatalf("%v\n%s", err, res.Summary())
+	}
+	if !res.Verified {
+		t.Fatal("flow did not verify the bitstream")
+	}
+	m := res.Metrics
+	if m.LUTs == 0 || m.CLBs == 0 || m.ChannelWidth == 0 || m.BitstreamBits == 0 {
+		t.Errorf("metrics incomplete: %+v", m)
+	}
+	if m.CriticalPath <= 0 || m.PowerTotalMW <= 0 {
+		t.Errorf("timing/power missing: %+v", m)
+	}
+	// All eleven paper stages plus timing and verify must have run.
+	wantTools := []string{"VHDL Parser", "DIVINER", "DRUID", "E2FMT", "SIS",
+		"LUT map", "T-VPack", "DUTYS", "VPR place", "VPR route", "PowerModel", "DAGGER", "Verify"}
+	got := map[string]bool{}
+	for _, s := range res.Stages {
+		got[s.Tool] = true
+	}
+	for _, w := range wantTools {
+		if !got[w] {
+			t.Errorf("stage %q missing", w)
+		}
+	}
+}
+
+func TestFullFlowSequential(t *testing.T) {
+	b := circuits.Counter(4)
+	res, err := RunVHDL(b.VHDL, Options{Seed: 2})
+	if err != nil {
+		t.Fatalf("%v\n%s", err, res.Summary())
+	}
+	if !res.Verified {
+		t.Fatal("sequential design did not verify")
+	}
+	// DETFF architecture: data rate is twice the clock.
+	if res.Timing.MaxDataRateHz != 2*res.Timing.MaxClockHz {
+		t.Error("DETFF data-rate doubling lost in flow")
+	}
+}
+
+func TestFlowWithMinChannelWidth(t *testing.T) {
+	b := circuits.ParityTree(8)
+	res, err := RunVHDL(b.VHDL, Options{Seed: 3, MinChannelWidth: true})
+	if err != nil {
+		t.Fatalf("%v\n%s", err, res.Summary())
+	}
+	fixed, err := RunVHDL(b.VHDL, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.ChannelWidth > fixed.Metrics.ChannelWidth {
+		t.Errorf("min-W search found W=%d > fixed %d",
+			res.Metrics.ChannelWidth, fixed.Metrics.ChannelWidth)
+	}
+}
+
+func TestFlowGreedyMapper(t *testing.T) {
+	b := circuits.RandomLogic(8, 25, 1)
+	fm, err := RunVHDL(b.VHDL, Options{Seed: 1, Mapper: MapFlowMap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := RunVHDL(b.VHDL, Options{Seed: 1, Mapper: MapGreedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fm.Metrics.Depth > gr.Metrics.Depth {
+		t.Errorf("FlowMap depth %d > greedy %d", fm.Metrics.Depth, gr.Metrics.Depth)
+	}
+	if !fm.Verified || !gr.Verified {
+		t.Error("a mapper produced an unverified bitstream")
+	}
+}
+
+func TestRunBLIFEntry(t *testing.T) {
+	blif := `
+.model midflow
+.inputs a b c
+.outputs y
+.names a b t
+11 1
+.names t c y
+1- 1
+-1 1
+.end
+`
+	res, err := RunBLIF(blif, Options{Seed: 4})
+	if err != nil {
+		t.Fatalf("%v\n%s", err, res.Summary())
+	}
+	if !res.Verified {
+		t.Fatal("BLIF entry did not verify")
+	}
+	// The VHDL stages must be absent.
+	for _, s := range res.Stages {
+		if s.Tool == "VHDL Parser" || s.Tool == "DIVINER" {
+			t.Errorf("unexpected stage %s for BLIF entry", s.Tool)
+		}
+	}
+}
+
+func TestFlowErrorsAreStageTagged(t *testing.T) {
+	_, err := RunVHDL("entity broken is port (a : in std_logic)", Options{})
+	if err == nil {
+		t.Fatal("broken source accepted")
+	}
+	if !strings.Contains(err.Error(), "VHDL Parser") {
+		t.Errorf("error not tagged with stage: %v", err)
+	}
+}
+
+func TestFlowCustomArch(t *testing.T) {
+	a := arch.Paper()
+	a.CLB.N, a.CLB.K, a.CLB.I = 2, 3, 5
+	a.Routing.ChannelWidth = 14
+	b := circuits.RippleAdder(4)
+	res, err := RunVHDL(b.VHDL, Options{Seed: 5, Arch: a, AutoSizeGrid: true})
+	if err != nil {
+		t.Fatalf("%v\n%s", err, res.Summary())
+	}
+	if !res.Verified {
+		t.Fatal("custom arch did not verify")
+	}
+	for _, n := range res.Mapped.Netlist.Nodes() {
+		if len(n.Fanin) > 3 {
+			t.Fatalf("LUT wider than K=3")
+		}
+	}
+}
+
+func TestSummaryContainsAllStages(t *testing.T) {
+	b := circuits.ParityTree(8)
+	res, err := RunVHDL(b.VHDL, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Summary()
+	for _, tool := range []string{"DIVINER", "DAGGER", "T-VPack"} {
+		if !strings.Contains(s, tool) {
+			t.Errorf("summary missing %s:\n%s", tool, s)
+		}
+	}
+}
+
+func TestArchFileRoundTripsThroughFlow(t *testing.T) {
+	b := circuits.ParityTree(8)
+	res, err := RunVHDL(b.VHDL, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := arch.Parse(res.ArchFile)
+	if err != nil {
+		t.Fatalf("DUTYS output unparseable: %v", err)
+	}
+	if parsed.CLB != res.Arch.CLB {
+		t.Errorf("arch file CLB mismatch: %+v vs %+v", parsed.CLB, res.Arch.CLB)
+	}
+}
+
+func TestFlowSegmentLengths(t *testing.T) {
+	// The interconnect exploration (Figs 8-10) sweeps wire lengths; the
+	// fabric supports length-1/2/4 segments end to end, bitstream included.
+	b := circuits.RippleAdder(4)
+	for _, seg := range []int{1, 2, 4} {
+		a := arch.Paper()
+		a.Routing.SegmentLength = seg
+		res, err := RunVHDL(b.VHDL, Options{Seed: 6, Arch: a, AutoSizeGrid: true})
+		if err != nil {
+			t.Fatalf("seg=%d: %v\n%s", seg, err, res.Summary())
+		}
+		if !res.Verified {
+			t.Fatalf("seg=%d: not verified", seg)
+		}
+	}
+}
+
+func TestTimingDrivenPlaceFlow(t *testing.T) {
+	b := circuits.RippleAdder(8)
+	td, err := RunVHDL(b.VHDL, Options{Seed: 4, TimingDrivenPlace: true})
+	if err != nil {
+		t.Fatalf("%v\n%s", err, td.Summary())
+	}
+	if !td.Verified {
+		t.Fatal("timing-driven flow not verified")
+	}
+	if !strings.Contains(td.Summary(), "timing-driven") {
+		t.Error("placement mode not reported")
+	}
+}
+
+func TestFlowWithGenerics(t *testing.T) {
+	res, err := RunVHDL(circuits.Accumulator(4).VHDL, Options{Seed: 7})
+	if err != nil {
+		t.Fatalf("%v\n%s", err, res.Summary())
+	}
+	if !res.Verified {
+		t.Fatal("generic design not verified")
+	}
+}
+
+func TestFlowScalesToLargerDesigns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large design")
+	}
+	// A few hundred gates of Rent-like random logic: tens of CLBs, a
+	// double-digit grid, still fully verified through the bitstream.
+	b := circuits.RandomLogic(24, 400, 13)
+	res, err := RunVHDL(b.VHDL, Options{Seed: 9, MinChannelWidth: true})
+	if err != nil {
+		t.Fatalf("%v\n%s", err, res.Summary())
+	}
+	if !res.Verified {
+		t.Fatal("large design not verified")
+	}
+	if res.Metrics.CLBs < 10 {
+		t.Errorf("expected a multi-CLB design, got %d CLBs", res.Metrics.CLBs)
+	}
+	t.Logf("large design: %s", res.Summary())
+}
+
+func TestFlowErrorPaths(t *testing.T) {
+	// Fixed grid too small for the design: placement must fail with a
+	// stage-tagged error.
+	a := arch.Paper()
+	a.Rows, a.Cols = 1, 1
+	a.IORate = 1
+	b := circuits.RippleAdder(8)
+	_, err := RunVHDL(b.VHDL, Options{Seed: 1, Arch: a})
+	if err == nil {
+		t.Fatal("overfull fixed grid accepted")
+	}
+	if !strings.Contains(err.Error(), "VPR place") && !strings.Contains(err.Error(), "DUTYS") {
+		t.Errorf("error not stage-tagged: %v", err)
+	}
+
+	// Unroutably narrow fixed channel: routing must fail honestly.
+	n := arch.Paper()
+	n.Routing.ChannelWidth = 1
+	_, err = RunVHDL(circuits.RippleAdder(8).VHDL, Options{Seed: 1, Arch: n, RouteMaxIters: 5})
+	if err == nil {
+		t.Skip("W=1 routed this design; nothing to assert")
+	}
+	if !strings.Contains(err.Error(), "VPR route") {
+		t.Errorf("route failure not tagged: %v", err)
+	}
+
+	// K-LUT wider than arch K after custom map entry: pack must catch it.
+	blif := ".model w\n.inputs a b c d e\n.outputs y\n.names a b c d e y\n11111 1\n.end\n"
+	k3 := arch.Paper()
+	k3.CLB.K = 3
+	k3.CLB.I = 8
+	if _, err := RunBLIF(blif, Options{Seed: 1, Arch: k3}); err != nil {
+		// Acceptable: SIS/decompose keeps fanin <= 2, so mapping succeeds;
+		// only a direct over-wide LUT would fail. Either way no panic.
+		t.Logf("flow reported: %v", err)
+	}
+}
+
+func TestFlowWithFixedPads(t *testing.T) {
+	a := arch.Paper()
+	a.Rows, a.Cols = 3, 3
+	fixed := map[string]place.Location{
+		"a[0]": {X: 0, Y: 1, Sub: 0}, "a[1]": {X: 0, Y: 2, Sub: 0}, "cin": {X: 0, Y: 3, Sub: 0},
+		"out:cout": {X: 4, Y: 2, Sub: 0},
+	}
+	b := circuits.RippleAdder(4)
+	res, err := RunVHDL(b.VHDL, Options{Seed: 2, Arch: a, FixedPads: fixed})
+	if err != nil {
+		t.Fatalf("%v\n%s", err, res.Summary())
+	}
+	if !res.Verified {
+		t.Fatal("fixed-pad flow not verified")
+	}
+	for name, want := range fixed {
+		id := res.Problem.BlockByName(name)
+		if id < 0 || res.Placed.Loc[id] != want {
+			t.Errorf("%s not at %v", name, want)
+		}
+	}
+	// The bitstream pad table must reflect the pinned location.
+	padCfg := res.Bits.Pads[[3]int{0, 1, 0}]
+	if padCfg == nil || padCfg.Name != "a[0]" {
+		t.Errorf("pad table does not pin a[0] at (0,1,0): %+v", padCfg)
+	}
+}
+
+func TestFlowDeterministic(t *testing.T) {
+	// Identical options must produce a byte-identical bitstream: the flow
+	// is fully reproducible.
+	b := circuits.Counter(4)
+	r1, err := RunVHDL(b.VHDL, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunVHDL(b.VHDL, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(r1.Encoded) != string(r2.Encoded) {
+		t.Fatal("same seed produced different bitstreams")
+	}
+	r3, err := RunVHDL(b.VHDL, Options{Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(r1.Encoded) == string(r3.Encoded) && r1.Metrics.CLBs > 1 {
+		t.Log("different seeds produced identical bitstreams (tiny design; acceptable)")
+	}
+}

@@ -1,0 +1,246 @@
+package edif
+
+import (
+	"strings"
+	"testing"
+
+	"fpgaflow/internal/netlist"
+	"fpgaflow/internal/sim"
+	"fpgaflow/internal/vhdl"
+)
+
+const seqBLIF = `
+.model seq
+.inputs a b cin
+.outputs sum q
+.names a b cin sum
+100 1
+010 1
+001 1
+111 1
+.names a b t
+11 1
+.names t q dq
+10 1
+01 1
+.latch dq q re clk 1
+.end
+`
+
+func TestSExprRoundTrip(t *testing.T) {
+	src := `(edif top (edifVersion 2 0 0) (library L (cell c (view v (interface (port p (direction INPUT)))))) (design d (cellRef c)))`
+	e, err := ParseSExpr(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Head() != "edif" {
+		t.Fatalf("head = %q", e.Head())
+	}
+	text := Format(e)
+	e2, err := ParseSExpr(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if Format(e2) != text {
+		t.Fatal("formatting not canonical")
+	}
+}
+
+func TestSExprErrors(t *testing.T) {
+	for _, src := range []string{"(a (b)", "a)", `(a "unterminated)`, "", "(a) trailing"} {
+		if _, err := ParseSExpr(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	nl, err := netlist.ParseBLIF(seqBLIF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := Write(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsEDIF(text) {
+		t.Fatal("output does not sniff as EDIF")
+	}
+	back, err := Read(text)
+	if err != nil {
+		t.Fatalf("read: %v\n%s", err, text)
+	}
+	if err := sim.CheckEquivalent(nl, back, 10, 300, 1); err != nil {
+		t.Fatalf("roundtrip changed function: %v", err)
+	}
+	// Latch init must survive.
+	q := back.Node("q")
+	if q == nil || q.Kind != netlist.KindLatch || q.Init != '1' {
+		t.Fatalf("latch lost: %+v", q)
+	}
+}
+
+func TestWriteReadWithBracketNames(t *testing.T) {
+	// Vector bit names like v[3] require (rename ...) forms.
+	nl := netlist.New("vec")
+	a, _ := nl.AddInput("a[0]")
+	b, _ := nl.AddInput("a[1]")
+	nl.AddLogic("y[0]", []*netlist.Node{a, b},
+		netlist.Cover{Cubes: []netlist.Cube{netlist.Cube("11")}, Value: netlist.LitOne})
+	nl.MarkOutput("y[0]")
+	text, err := Write(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "rename") {
+		t.Error("no rename forms for bracketed names")
+	}
+	back, err := Read(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Node("y[0]") == nil {
+		t.Fatalf("original name lost: %v", back.SortedNodeNames())
+	}
+	if err := sim.CheckEquivalent(nl, back, 10, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestE2FMT(t *testing.T) {
+	nl, _ := netlist.ParseBLIF(seqBLIF)
+	text, err := Write(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blif, err := E2FMT(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := netlist.ParseBLIF(blif)
+	if err != nil {
+		t.Fatalf("E2FMT output not BLIF: %v\n%s", err, blif)
+	}
+	if err := sim.CheckEquivalent(nl, back, 10, 300, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBLIFToEDIF(t *testing.T) {
+	text, err := BLIFToEDIF(seqBLIF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsEDIF(text) {
+		t.Fatal("not EDIF")
+	}
+}
+
+func TestDruidAcceptsAndNormalizes(t *testing.T) {
+	nl, _ := netlist.ParseBLIF(seqBLIF)
+	text, err := Write(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Druid(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Druid output must still read correctly.
+	back, err := Read(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.CheckEquivalent(nl, back, 10, 300, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDruidRejectsBroken(t *testing.T) {
+	cases := []string{
+		"(notedif x)",
+		"(edif x (edifVersion 2 0 0))", // no library
+		"(edif x (library L (cell c (cellType GENERIC))))", // cell without view
+	}
+	for _, src := range cases {
+		if _, err := Druid(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestReadRejectsContention(t *testing.T) {
+	nl, _ := netlist.ParseBLIF(seqBLIF)
+	text, _ := Write(nl)
+	// Corrupt: give a second driver to a net by swapping an i0 pin to o.
+	bad := strings.Replace(text, "(portRef i0", "(portRef o", 1)
+	if _, err := Read(bad); err == nil {
+		t.Fatal("two-driver net accepted")
+	}
+}
+
+func TestVHDLToEDIFToBLIF(t *testing.T) {
+	// The real DIVINER path: VHDL -> netlist -> EDIF -> (DRUID) -> BLIF.
+	src := `
+entity majority is
+  port (a, b, c : in std_logic; y : out std_logic);
+end majority;
+architecture rtl of majority is
+begin
+  y <= (a and b) or (a and c) or (b and c);
+end rtl;
+`
+	d, err := vhdl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := vhdl.Elaborate(d, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed, err := Write(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normalized, err := Druid(ed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blif, err := E2FMT(normalized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := netlist.ParseBLIF(blif)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.CheckEquivalent(nl, back, 10, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstantsSurviveRoundTrip(t *testing.T) {
+	// Regression: constant-0 (empty cover) and constant-1 (tautology cube)
+	// cells must stay distinct through the cover encoding.
+	nl := netlist.New("consts")
+	one, _ := nl.AddLogic("one", nil, netlist.Cover{Cubes: []netlist.Cube{{}}, Value: netlist.LitOne})
+	zero, _ := nl.AddLogic("zero", nil, netlist.Cover{Value: netlist.LitOne})
+	a, _ := nl.AddInput("a")
+	nl.AddLogic("y1", []*netlist.Node{a, one},
+		netlist.Cover{Cubes: []netlist.Cube{netlist.Cube("11")}, Value: netlist.LitOne})
+	nl.AddLogic("y0", []*netlist.Node{a, zero},
+		netlist.Cover{Cubes: []netlist.Cube{netlist.Cube("1-"), netlist.Cube("-1")}, Value: netlist.LitOne})
+	nl.MarkOutput("y1")
+	nl.MarkOutput("y0")
+	text, err := Write(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.CheckEquivalent(nl, back, 10, 0, 9); err != nil {
+		t.Fatalf("constants corrupted: %v", err)
+	}
+}

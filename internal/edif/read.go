@@ -1,0 +1,342 @@
+package edif
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fpgaflow/internal/netlist"
+)
+
+// Read parses EDIF text (as produced by Write, or any structurally similar
+// netlist EDIF) back into a netlist.
+func Read(text string) (*netlist.Netlist, error) {
+	root, err := ParseSExpr(text)
+	if err != nil {
+		return nil, err
+	}
+	if root.Head() != "edif" {
+		return nil, fmt.Errorf("edif: top form is %q, want edif", root.Head())
+	}
+	lib := root.Find("library")
+	if lib == nil {
+		return nil, fmt.Errorf("edif: no library")
+	}
+
+	// Index cells.
+	type leaf struct {
+		fanins int
+		cover  netlist.Cover
+		isDFF  bool
+	}
+	leafs := make(map[string]*leaf)
+	var topCell *SExpr
+	topName := ""
+	design := root.Find("design")
+	wantTop := ""
+	if design != nil {
+		if cr := design.Find("cellref"); cr != nil {
+			wantTop = cr.AtomArg(0)
+		}
+	}
+	for _, cell := range lib.FindAll("cell") {
+		cname, _ := defName(cell.Arg(0))
+		view := cell.Find("view")
+		if view == nil {
+			return nil, fmt.Errorf("edif: cell %q has no view", cname)
+		}
+		iface := view.Find("interface")
+		if iface == nil {
+			return nil, fmt.Errorf("edif: cell %q has no interface", cname)
+		}
+		if view.Find("contents") != nil {
+			if wantTop == "" || safeName(cell.Arg(0)) == wantTop {
+				topCell = cell
+				_, topName = defName(cell.Arg(0))
+			}
+			continue
+		}
+		// Leaf cell.
+		lf := &leaf{}
+		for _, p := range iface.FindAll("port") {
+			name, _ := defName(p.Arg(0))
+			dir := ""
+			if d := p.Find("direction"); d != nil {
+				dir = strings.ToUpper(d.AtomArg(0))
+			}
+			if dir == "INPUT" {
+				lf.fanins++
+			}
+			_ = name
+		}
+		if prop := findProperty(view, "cover"); prop != "" {
+			cover, err := parseCoverString(prop, lf.fanins)
+			if err != nil {
+				return nil, fmt.Errorf("edif: cell %q: %w", cname, err)
+			}
+			lf.cover = cover
+		} else if cname == "dff" {
+			lf.isDFF = true
+		} else {
+			return nil, fmt.Errorf("edif: leaf cell %q lacks a cover property", cname)
+		}
+		leafs[safeName(cell.Arg(0))] = lf
+	}
+	if topCell == nil {
+		return nil, fmt.Errorf("edif: no top cell with contents")
+	}
+
+	view := topCell.Find("view")
+	iface := view.Find("interface")
+	contents := view.Find("contents")
+	nl := netlist.New(topName)
+
+	// Ports.
+	type portInfo struct {
+		orig string
+		dir  string
+	}
+	ports := make(map[string]portInfo)
+	var portOrder []string
+	for _, p := range iface.FindAll("port") {
+		safe, orig := safeName(p.Arg(0)), ""
+		_, orig = defName(p.Arg(0))
+		dir := "INPUT"
+		if d := p.Find("direction"); d != nil {
+			dir = strings.ToUpper(d.AtomArg(0))
+		}
+		ports[safe] = portInfo{orig, dir}
+		portOrder = append(portOrder, safe)
+	}
+
+	// Instances.
+	type instInfo struct {
+		orig string
+		leaf *leaf
+		sexp *SExpr
+	}
+	insts := make(map[string]*instInfo)
+	for _, in := range contents.FindAll("instance") {
+		safe := safeName(in.Arg(0))
+		_, orig := defName(in.Arg(0))
+		vr := in.Find("viewref")
+		if vr == nil {
+			return nil, fmt.Errorf("edif: instance %q has no viewRef", safe)
+		}
+		cr := vr.Find("cellref")
+		if cr == nil {
+			return nil, fmt.Errorf("edif: instance %q has no cellRef", safe)
+		}
+		lf := leafs[cr.AtomArg(0)]
+		if lf == nil {
+			return nil, fmt.Errorf("edif: instance %q references unknown cell %q (hierarchical EDIF is not supported)",
+				safe, cr.AtomArg(0))
+		}
+		insts[safe] = &instInfo{orig: orig, leaf: lf, sexp: in}
+	}
+
+	// Nets: find driver and sinks.
+	type pinRef struct {
+		inst string // "" = top port
+		pin  string
+	}
+	netDriver := make(map[string]pinRef) // net safe-name -> driver
+	pinNet := make(map[pinRef]string)    // consumer pin -> net safe-name
+	netOrig := make(map[string]string)
+	var netOrder []string
+	for _, net := range contents.FindAll("net") {
+		safe := safeName(net.Arg(0))
+		_, orig := defName(net.Arg(0))
+		netOrig[safe] = orig
+		netOrder = append(netOrder, safe)
+		joined := net.Find("joined")
+		if joined == nil {
+			return nil, fmt.Errorf("edif: net %q has no joined", safe)
+		}
+		for _, pr := range joined.FindAll("portref") {
+			pin := pr.AtomArg(0)
+			instRef := ""
+			if ir := pr.Find("instanceref"); ir != nil {
+				instRef = ir.AtomArg(0)
+			}
+			ref := pinRef{instRef, pin}
+			isDriver := false
+			if instRef == "" {
+				pi, ok := ports[pin]
+				if !ok {
+					return nil, fmt.Errorf("edif: net %q references unknown port %q", safe, pin)
+				}
+				isDriver = pi.dir == "INPUT"
+			} else {
+				if insts[instRef] == nil {
+					return nil, fmt.Errorf("edif: net %q references unknown instance %q", safe, instRef)
+				}
+				isDriver = pin == "o" || pin == "q"
+			}
+			if isDriver {
+				if prev, dup := netDriver[safe]; dup && prev != ref {
+					return nil, fmt.Errorf("edif: net %q has two drivers", safe)
+				}
+				netDriver[safe] = ref
+			} else {
+				if prev, dup := pinNet[ref]; dup && prev != safe {
+					return nil, fmt.Errorf("edif: pin %v on two nets", ref)
+				}
+				pinNet[ref] = safe
+			}
+		}
+	}
+
+	// Build nodes. Signal name of a net = driver's identity: top input port
+	// name, or the net's original name for instance outputs.
+	netSignal := make(map[string]string)
+	for _, safe := range netOrder {
+		drv, ok := netDriver[safe]
+		if !ok {
+			return nil, fmt.Errorf("edif: net %q has no driver", netOrig[safe])
+		}
+		if drv.inst == "" {
+			netSignal[safe] = ports[drv.pin].orig
+		} else {
+			netSignal[safe] = netOrig[safe]
+		}
+	}
+	// Primary inputs in port order.
+	for _, safe := range portOrder {
+		if ports[safe].dir == "INPUT" {
+			if _, err := nl.AddInput(ports[safe].orig); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Placeholders for instance outputs.
+	instNet := make(map[string]string) // instance -> output net
+	for _, safe := range netOrder {
+		drv := netDriver[safe]
+		if drv.inst == "" {
+			continue
+		}
+		instNet[drv.inst] = safe
+	}
+	instOrder := make([]string, 0, len(insts))
+	for inst := range insts {
+		instOrder = append(instOrder, inst)
+	}
+	sort.Strings(instOrder)
+	for _, inst := range instOrder {
+		info := insts[inst]
+		outNet, ok := instNet[inst]
+		if !ok {
+			continue // output dangles: instance is dead
+		}
+		sig := netSignal[outNet]
+		if info.leaf.isDFF {
+			init := byte('3')
+			if p := findProperty(info.sexp, "init"); p != "" {
+				init = p[0]
+			}
+			clock := findProperty(info.sexp, "clock")
+			q, err := nl.AddLatch(sig, nil, init, clock)
+			if err != nil {
+				return nil, err
+			}
+			q.Fanin = nil
+		} else {
+			if _, err := nl.AddLogic(sig, nil, netlist.Cover{Value: netlist.LitOne}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Connect fanins.
+	for _, inst := range instOrder {
+		info := insts[inst]
+		outNet, ok := instNet[inst]
+		if !ok {
+			continue
+		}
+		node := nl.Node(netSignal[outNet])
+		if info.leaf.isDFF {
+			dNet, ok := pinNet[pinRef{inst, "d"}]
+			if !ok {
+				return nil, fmt.Errorf("edif: dff %q has unconnected d", inst)
+			}
+			d := nl.Node(netSignal[dNet])
+			if d == nil {
+				return nil, fmt.Errorf("edif: dff %q: driver of %q missing", inst, netSignal[dNet])
+			}
+			node.Fanin = []*netlist.Node{d}
+			continue
+		}
+		fanin := make([]*netlist.Node, info.leaf.fanins)
+		for i := 0; i < info.leaf.fanins; i++ {
+			netName, ok := pinNet[pinRef{inst, fmt.Sprintf("i%d", i)}]
+			if !ok {
+				return nil, fmt.Errorf("edif: instance %q pin i%d unconnected", inst, i)
+			}
+			f := nl.Node(netSignal[netName])
+			if f == nil {
+				return nil, fmt.Errorf("edif: instance %q: driver of %q missing", inst, netSignal[netName])
+			}
+			fanin[i] = f
+		}
+		node.Fanin = fanin
+		node.Cover = info.leaf.cover.Clone()
+	}
+	// Outputs.
+	for _, safe := range portOrder {
+		pi := ports[safe]
+		if pi.dir != "OUTPUT" {
+			continue
+		}
+		netName, ok := pinNet[pinRef{"", safe}]
+		if !ok {
+			return nil, fmt.Errorf("edif: output port %q unconnected", pi.orig)
+		}
+		sig := netSignal[netName]
+		src := nl.Node(sig)
+		if src == nil {
+			return nil, fmt.Errorf("edif: output %q: no driver node %q", pi.orig, sig)
+		}
+		if sig != pi.orig {
+			if _, err := nl.AddLogic(pi.orig, []*netlist.Node{src},
+				netlist.Cover{Cubes: []netlist.Cube{{netlist.LitOne}}, Value: netlist.LitOne}); err != nil {
+				return nil, err
+			}
+		}
+		nl.MarkOutput(pi.orig)
+	}
+	if err := nl.Check(); err != nil {
+		return nil, fmt.Errorf("edif: reconstructed netlist invalid: %w", err)
+	}
+	return nl, nil
+}
+
+// defName extracts (safe, original) from a name position: either a bare
+// atom or (rename safe "orig").
+func defName(e *SExpr) (safe, orig string) {
+	if e == nil {
+		return "", ""
+	}
+	if e.IsList() && e.Head() == "rename" {
+		return e.AtomArg(0), e.AtomArg(1)
+	}
+	return e.Atom, e.Atom
+}
+
+func safeName(e *SExpr) string {
+	s, _ := defName(e)
+	return s
+}
+
+// findProperty returns the string value of a named property under a form.
+func findProperty(form *SExpr, name string) string {
+	for _, p := range form.FindAll("property") {
+		if strings.ToLower(safeName(p.Arg(0))) != strings.ToLower(name) {
+			continue
+		}
+		if s := p.Find("string"); s != nil {
+			return s.AtomArg(0)
+		}
+	}
+	return ""
+}

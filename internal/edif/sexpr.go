@@ -1,0 +1,216 @@
+// Package edif implements the EDIF 2.0.0 subset used between the flow's
+// front-end tools: DIVINER emits the synthesized netlist as EDIF, DRUID
+// normalizes foreign EDIF (name sanitization, single-top check), and E2FMT
+// converts EDIF to BLIF via the netlist IR.
+package edif
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// SExpr is an EDIF s-expression: either an atom or a list.
+type SExpr struct {
+	// Atom is the token text for leaves ("" for lists). Quoted strings keep
+	// their quotes stripped with Str=true.
+	Atom string
+	Str  bool
+	List []*SExpr
+}
+
+// IsList reports whether the node is a list.
+func (s *SExpr) IsList() bool { return s.Atom == "" && !s.Str }
+
+// Head returns the first atom of a list (the form's keyword), or "".
+func (s *SExpr) Head() string {
+	if s.IsList() && len(s.List) > 0 && !s.List[0].IsList() {
+		return strings.ToLower(s.List[0].Atom)
+	}
+	return ""
+}
+
+// Find returns the first child list whose head matches key.
+func (s *SExpr) Find(key string) *SExpr {
+	for _, c := range s.List {
+		if c.IsList() && c.Head() == key {
+			return c
+		}
+	}
+	return nil
+}
+
+// FindAll returns all child lists with the given head.
+func (s *SExpr) FindAll(key string) []*SExpr {
+	var out []*SExpr
+	for _, c := range s.List {
+		if c.IsList() && c.Head() == key {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Arg returns the i-th argument (after the head) or nil.
+func (s *SExpr) Arg(i int) *SExpr {
+	if i+1 < len(s.List) {
+		return s.List[i+1]
+	}
+	return nil
+}
+
+// AtomArg returns the i-th argument's atom text.
+func (s *SExpr) AtomArg(i int) string {
+	a := s.Arg(i)
+	if a == nil {
+		return ""
+	}
+	return a.Atom
+}
+
+// ParseSExpr parses a single s-expression from EDIF text.
+func ParseSExpr(text string) (*SExpr, error) {
+	p := &sparser{src: text}
+	p.skipSpace()
+	e, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos < len(p.src) {
+		return nil, fmt.Errorf("edif: trailing input at offset %d", p.pos)
+	}
+	return e, nil
+}
+
+type sparser struct {
+	src string
+	pos int
+}
+
+func (p *sparser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *sparser) parse() (*SExpr, error) {
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("edif: unexpected end of input")
+	}
+	switch c := p.src[p.pos]; {
+	case c == '(':
+		p.pos++
+		node := &SExpr{}
+		for {
+			p.skipSpace()
+			if p.pos >= len(p.src) {
+				return nil, fmt.Errorf("edif: unterminated list")
+			}
+			if p.src[p.pos] == ')' {
+				p.pos++
+				return node, nil
+			}
+			child, err := p.parse()
+			if err != nil {
+				return nil, err
+			}
+			node.List = append(node.List, child)
+		}
+	case c == ')':
+		return nil, fmt.Errorf("edif: unexpected ')' at offset %d", p.pos)
+	case c == '"':
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != '"' {
+			p.pos++
+		}
+		if p.pos >= len(p.src) {
+			return nil, fmt.Errorf("edif: unterminated string")
+		}
+		s := p.src[start:p.pos]
+		p.pos++
+		return &SExpr{Atom: s, Str: true}, nil
+	default:
+		start := p.pos
+		for p.pos < len(p.src) {
+			c := p.src[p.pos]
+			if unicode.IsSpace(rune(c)) || c == '(' || c == ')' || c == '"' {
+				break
+			}
+			p.pos++
+		}
+		if start == p.pos {
+			return nil, fmt.Errorf("edif: empty atom at offset %d", start)
+		}
+		return &SExpr{Atom: p.src[start:p.pos]}, nil
+	}
+}
+
+// Format renders an s-expression with indentation.
+func Format(s *SExpr) string {
+	var sb strings.Builder
+	writeSExpr(&sb, s, 0)
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+func writeSExpr(sb *strings.Builder, s *SExpr, depth int) {
+	if !s.IsList() {
+		if s.Str {
+			sb.WriteByte('"')
+			sb.WriteString(s.Atom)
+			sb.WriteByte('"')
+		} else {
+			sb.WriteString(s.Atom)
+		}
+		return
+	}
+	sb.WriteByte('(')
+	flat := true
+	for _, c := range s.List {
+		if c.IsList() {
+			flat = false
+		}
+	}
+	if flat || totalAtoms(s) < 6 {
+		for i, c := range s.List {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			writeSExpr(sb, c, depth+1)
+		}
+	} else {
+		for i, c := range s.List {
+			if i == 0 {
+				writeSExpr(sb, c, depth+1)
+				continue
+			}
+			sb.WriteByte('\n')
+			sb.WriteString(strings.Repeat("  ", depth+1))
+			writeSExpr(sb, c, depth+1)
+		}
+	}
+	sb.WriteByte(')')
+}
+
+func totalAtoms(s *SExpr) int {
+	if !s.IsList() {
+		return 1
+	}
+	n := 0
+	for _, c := range s.List {
+		n += totalAtoms(c)
+	}
+	return n
+}
+
+// list builds a list node from a head atom and children.
+func list(head string, children ...*SExpr) *SExpr {
+	node := &SExpr{List: []*SExpr{{Atom: head}}}
+	node.List = append(node.List, children...)
+	return node
+}
+
+func atom(a string) *SExpr    { return &SExpr{Atom: a} }
+func strAtom(a string) *SExpr { return &SExpr{Atom: a, Str: true} }

@@ -1,0 +1,99 @@
+package edif
+
+import (
+	"fmt"
+	"strings"
+
+	"fpgaflow/internal/netlist"
+)
+
+// Druid is the DRUID tool: it takes EDIF as produced by a synthesizer,
+// verifies the structure the downstream tools rely on (single library, a
+// unique top cell with contents, resolvable cell references), normalizes
+// identifier renames, and emits canonical EDIF. Foreign EDIF with illegal
+// identifiers is repaired via (rename ...) forms.
+func Druid(text string) (string, error) {
+	root, err := ParseSExpr(text)
+	if err != nil {
+		return "", err
+	}
+	if root.Head() != "edif" {
+		return "", fmt.Errorf("druid: not an EDIF file (top form %q)", root.Head())
+	}
+	libs := root.FindAll("library")
+	if len(libs) == 0 {
+		return "", fmt.Errorf("druid: no library in EDIF")
+	}
+	if len(libs) > 1 {
+		return "", fmt.Errorf("druid: %d libraries; flatten to one before mapping", len(libs))
+	}
+	lib := libs[0]
+	topCount := 0
+	for _, cell := range lib.FindAll("cell") {
+		view := cell.Find("view")
+		if view == nil {
+			return "", fmt.Errorf("druid: cell %q has no view", safeName(cell.Arg(0)))
+		}
+		if view.Find("contents") != nil {
+			topCount++
+		}
+	}
+	if topCount == 0 {
+		return "", fmt.Errorf("druid: no cell with contents (empty design)")
+	}
+	if topCount > 1 && root.Find("design") == nil {
+		return "", fmt.Errorf("druid: %d candidate top cells and no (design ...) form", topCount)
+	}
+	normalizeNames(root)
+	return Format(root), nil
+}
+
+// normalizeNames repairs identifiers: any defining atom that is not a legal
+// EDIF identifier becomes a (rename ...) form.
+func normalizeNames(e *SExpr) {
+	if !e.IsList() {
+		return
+	}
+	head := e.Head()
+	defPos := -1
+	switch head {
+	case "cell", "view", "port", "instance", "net", "design", "edif", "library", "property":
+		defPos = 1
+	}
+	if defPos > 0 && defPos < len(e.List) {
+		d := e.List[defPos]
+		if !d.IsList() && !d.Str {
+			if safe := sanitizeID(d.Atom); safe != d.Atom {
+				e.List[defPos] = list("rename", atom(safe), strAtom(d.Atom))
+			}
+		}
+	}
+	for _, c := range e.List {
+		normalizeNames(c)
+	}
+}
+
+// E2FMT is the EDIF-to-BLIF format translator: EDIF text in, BLIF text out.
+func E2FMT(edifText string) (string, error) {
+	nl, err := Read(edifText)
+	if err != nil {
+		return "", fmt.Errorf("e2fmt: %w", err)
+	}
+	return netlist.FormatBLIF(nl), nil
+}
+
+// BLIFToEDIF is the reverse translation, useful for tests and for feeding
+// externally produced BLIF back into EDIF-based tools.
+func BLIFToEDIF(blifText string) (string, error) {
+	nl, err := netlist.ParseBLIF(blifText)
+	if err != nil {
+		return "", err
+	}
+	return Write(nl)
+}
+
+// IsEDIF sniffs whether text looks like EDIF.
+func IsEDIF(text string) bool {
+	trimmed := strings.TrimSpace(text)
+	return strings.HasPrefix(strings.ToLower(trimmed), "(edif")
+}

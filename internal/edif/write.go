@@ -1,0 +1,282 @@
+package edif
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fpgaflow/internal/logic"
+	"fpgaflow/internal/netlist"
+)
+
+// Write serializes a netlist as EDIF 2.0.0: one leaf cell per distinct
+// logic function (with its cover carried as a "cover" property), a dff cell
+// for latches, and a single top cell whose contents instantiate them and
+// join the nets.
+func Write(nl *netlist.Netlist) (string, error) {
+	names := newNamer()
+
+	// Collect leaf cells.
+	type leafCell struct {
+		name   string
+		fanins int
+		cover  string
+	}
+	cellOf := make(map[string]*leafCell) // canonical cover -> cell
+	var leafs []*leafCell
+	usesDFF := false
+	for _, n := range nl.Nodes() {
+		switch n.Kind {
+		case netlist.KindLogic:
+			key := fmt.Sprintf("%d;%s", len(n.Fanin), logic.CanonicalCover(n.Cover))
+			if cellOf[key] == nil {
+				c := &leafCell{name: fmt.Sprintf("f%d", len(leafs)), fanins: len(n.Fanin),
+					cover: coverString(n.Cover)}
+				cellOf[key] = c
+				leafs = append(leafs, c)
+			}
+		case netlist.KindLatch:
+			usesDFF = true
+		}
+	}
+
+	lib := list("library", atom("DESIGNS"), list("edifLevel", atom("0")),
+		list("technology", list("numberDefinition")))
+	for _, c := range leafs {
+		iface := list("interface")
+		for i := 0; i < c.fanins; i++ {
+			iface.List = append(iface.List,
+				list("port", atom(fmt.Sprintf("i%d", i)), list("direction", atom("INPUT"))))
+		}
+		iface.List = append(iface.List, list("port", atom("o"), list("direction", atom("OUTPUT"))))
+		view := list("view", atom("netlist"), list("viewType", atom("NETLIST")), iface,
+			list("property", atom("cover"), list("string", strAtom(c.cover))))
+		lib.List = append(lib.List, list("cell", atom(c.name),
+			list("cellType", atom("GENERIC")), view))
+	}
+	if usesDFF {
+		iface := list("interface",
+			list("port", atom("d"), list("direction", atom("INPUT"))),
+			list("port", atom("q"), list("direction", atom("OUTPUT"))))
+		lib.List = append(lib.List, list("cell", atom("dff"),
+			list("cellType", atom("GENERIC")),
+			list("view", atom("netlist"), list("viewType", atom("NETLIST")), iface)))
+	}
+
+	// Top cell.
+	iface := list("interface")
+	for _, in := range nl.Inputs {
+		iface.List = append(iface.List,
+			list("port", names.ref(in.Name), list("direction", atom("INPUT"))))
+	}
+	for _, o := range nl.Outputs {
+		iface.List = append(iface.List,
+			list("port", names.ref("po:"+o), list("direction", atom("OUTPUT"))))
+	}
+	contents := list("contents")
+	for _, n := range nl.Nodes() {
+		switch n.Kind {
+		case netlist.KindLogic:
+			key := fmt.Sprintf("%d;%s", len(n.Fanin), logic.CanonicalCover(n.Cover))
+			inst := list("instance", names.ref("inst:"+n.Name),
+				list("viewRef", atom("netlist"), list("cellRef", atom(cellOf[key].name))))
+			contents.List = append(contents.List, inst)
+		case netlist.KindLatch:
+			inst := list("instance", names.ref("inst:"+n.Name),
+				list("viewRef", atom("netlist"), list("cellRef", atom("dff"))))
+			inst.List = append(inst.List,
+				list("property", atom("init"), list("string", strAtom(string(n.Init)))))
+			if n.Clock != "" {
+				inst.List = append(inst.List,
+					list("property", atom("clock"), list("string", strAtom(n.Clock))))
+			}
+			contents.List = append(contents.List, inst)
+		}
+	}
+	// Nets: one per driving signal.
+	for _, n := range nl.Nodes() {
+		joined := list("joined")
+		switch n.Kind {
+		case netlist.KindInput:
+			joined.List = append(joined.List, list("portRef", names.refPlain(n.Name)))
+		case netlist.KindLogic:
+			joined.List = append(joined.List, list("portRef", atom("o"),
+				list("instanceRef", names.refPlain("inst:"+n.Name))))
+		case netlist.KindLatch:
+			joined.List = append(joined.List, list("portRef", atom("q"),
+				list("instanceRef", names.refPlain("inst:"+n.Name))))
+		}
+		// Sinks: every consumer pin.
+		for _, consumer := range nl.Nodes() {
+			for i, f := range consumer.Fanin {
+				if f != n {
+					continue
+				}
+				pin := fmt.Sprintf("i%d", i)
+				if consumer.Kind == netlist.KindLatch {
+					pin = "d"
+				}
+				joined.List = append(joined.List, list("portRef", atom(pin),
+					list("instanceRef", names.refPlain("inst:"+consumer.Name))))
+			}
+		}
+		if nl.IsOutput(n.Name) {
+			joined.List = append(joined.List, list("portRef", names.refPlain("po:"+n.Name)))
+		}
+		if len(joined.List) < 2 {
+			continue // dangling net: no sinks
+		}
+		contents.List = append(contents.List, list("net", names.ref("net:"+n.Name), joined))
+	}
+	topView := list("view", atom("netlist"), list("viewType", atom("NETLIST")), iface, contents)
+	topName := names.ref("cell:" + nl.Name)
+	lib.List = append(lib.List, list("cell", topName, list("cellType", atom("GENERIC")), topView))
+
+	root := list("edif", names.ref("design:"+nl.Name),
+		list("edifVersion", atom("2"), atom("0"), atom("0")),
+		list("edifLevel", atom("0")),
+		list("keywordMap", list("keywordLevel", atom("0"))),
+		lib,
+		list("design", names.ref("d:"+nl.Name),
+			list("cellRef", plainOf(topName), list("libraryRef", atom("DESIGNS")))))
+	return Format(root), nil
+}
+
+// coverString encodes a cover as "phase|cube|cube". The zero-width cube of
+// a constant-1 cell is written as "T" so constant 0 (no cubes) and constant
+// 1 (one tautology cube) stay distinct.
+func coverString(c netlist.Cover) string {
+	cubes := make([]string, len(c.Cubes))
+	for i, cube := range c.Cubes {
+		if len(cube) == 0 {
+			cubes[i] = "T"
+		} else {
+			cubes[i] = string(cube)
+		}
+	}
+	sort.Strings(cubes)
+	phase := "1"
+	if !c.OnSet() {
+		phase = "0"
+	}
+	if len(cubes) == 0 {
+		return phase
+	}
+	return phase + "|" + strings.Join(cubes, "|")
+}
+
+// parseCoverString inverts coverString.
+func parseCoverString(s string, fanins int) (netlist.Cover, error) {
+	parts := strings.Split(s, "|")
+	if len(parts) < 1 {
+		return netlist.Cover{}, fmt.Errorf("edif: empty cover")
+	}
+	var c netlist.Cover
+	switch parts[0] {
+	case "1":
+		c.Value = netlist.LitOne
+	case "0":
+		c.Value = netlist.LitZero
+	default:
+		return netlist.Cover{}, fmt.Errorf("edif: bad cover phase %q", parts[0])
+	}
+	for _, cube := range parts[1:] {
+		if cube == "" {
+			continue
+		}
+		if cube == "T" {
+			// Tautology row of a constant-1 cell.
+			if fanins != 0 {
+				return netlist.Cover{}, fmt.Errorf("edif: tautology cube on %d-input cell", fanins)
+			}
+			c.Cubes = append(c.Cubes, netlist.Cube{})
+			continue
+		}
+		if len(cube) != fanins {
+			return netlist.Cover{}, fmt.Errorf("edif: cube %q width != %d", cube, fanins)
+		}
+		for _, ch := range cube {
+			if ch != '0' && ch != '1' && ch != '-' {
+				return netlist.Cover{}, fmt.Errorf("edif: bad cube %q", cube)
+			}
+		}
+		c.Cubes = append(c.Cubes, netlist.Cube(cube))
+	}
+	return c, nil
+}
+
+// namer maps arbitrary signal names to EDIF-safe identifiers, emitting
+// (rename safe "original") where needed. Keys carry a namespace prefix
+// ("inst:x") so instances, nets and ports cannot collide.
+type namer struct {
+	byKey map[string]*SExpr
+	used  map[string]bool
+}
+
+func newNamer() *namer {
+	return &namer{byKey: make(map[string]*SExpr), used: make(map[string]bool)}
+}
+
+// ref returns the defining occurrence (possibly a rename form).
+func (nm *namer) ref(key string) *SExpr {
+	if e, ok := nm.byKey[key]; ok {
+		return cloneSExpr(e)
+	}
+	orig := key
+	if i := strings.IndexByte(key, ':'); i >= 0 {
+		orig = key[i+1:]
+	}
+	safe := sanitizeID(orig)
+	base := safe
+	for i := 2; nm.used[safe]; i++ {
+		safe = fmt.Sprintf("%s_%d", base, i)
+	}
+	nm.used[safe] = true
+	var e *SExpr
+	if safe == orig {
+		e = atom(safe)
+	} else {
+		e = list("rename", atom(safe), strAtom(orig))
+	}
+	nm.byKey[key] = e
+	return cloneSExpr(e)
+}
+
+// refPlain returns just the safe identifier for reference positions.
+func (nm *namer) refPlain(key string) *SExpr {
+	return plainOf(nm.ref(key))
+}
+
+func plainOf(e *SExpr) *SExpr {
+	if e.IsList() && e.Head() == "rename" {
+		return atom(e.AtomArg(0))
+	}
+	return atom(e.Atom)
+}
+
+func cloneSExpr(e *SExpr) *SExpr {
+	c := &SExpr{Atom: e.Atom, Str: e.Str}
+	for _, ch := range e.List {
+		c.List = append(c.List, cloneSExpr(ch))
+	}
+	return c
+}
+
+// sanitizeID maps a string to a legal EDIF identifier.
+func sanitizeID(s string) string {
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			sb.WriteByte(c)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	out := sb.String()
+	if out == "" || (out[0] >= '0' && out[0] <= '9') {
+		out = "n" + out
+	}
+	return out
+}

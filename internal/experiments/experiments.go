@@ -1,0 +1,152 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation, plus the architecture explorations that section 3 cites.
+// Each function returns the data and can render the paper's rows to a
+// writer; cmd/experiments and the root bench harness drive them.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"fpgaflow/internal/arch"
+	"fpgaflow/internal/circuit"
+)
+
+// Table1 reproduces "Table 1: Energy consumption, delay and energy delay
+// product of DET F/Fs".
+func Table1(w io.Writer) ([]*circuit.DETFFResult, error) {
+	rows, err := circuit.Table1(arch.STM018())
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "Table 1: DETFF energy, delay, energy-delay product (STM 0.18um model)\n")
+	fmt.Fprintf(w, "%-10s %14s %12s %18s %12s\n", "Cell", "Total Energy", "Delay", "EnergyDelayProd", "Transistors")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %11.2f fJ %9.1f ps %15.3g J*s %12d\n",
+			r.Kind, r.Energy*1e15, r.Delay*1e12, r.EDP, r.Transistors)
+	}
+	best := pickDETFF(rows)
+	fmt.Fprintf(w, "-> lowest energy: %s; lowest EDP: %s; selected: %s (simplest structure)\n",
+		best.minEnergy, best.minEDP, best.minEnergy)
+	return rows, nil
+}
+
+type detffPick struct{ minEnergy, minEDP string }
+
+func pickDETFF(rows []*circuit.DETFFResult) detffPick {
+	var p detffPick
+	var bestE, bestEDP float64
+	for i, r := range rows {
+		if i == 0 || r.Energy < bestE {
+			bestE = r.Energy
+			p.minEnergy = r.Kind.String()
+		}
+		if i == 0 || r.EDP < bestEDP {
+			bestEDP = r.EDP
+			p.minEDP = r.Kind.String()
+		}
+	}
+	return p
+}
+
+// Table2 reproduces "Table 2: Energy consumption for single and gated
+// clock" at BLE level.
+func Table2(w io.Writer) ([]*circuit.Table2Row, error) {
+	rows, err := circuit.Table2(arch.STM018())
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "Table 2: single vs gated clock at BLE level\n")
+	single := rows[0].Energy
+	for _, r := range rows {
+		label := r.Config
+		if r.Config == "gated clock" {
+			if r.Enable {
+				label += ` (clock_enable "1")`
+			} else {
+				label += ` (clock_enable "0")`
+			}
+		}
+		fmt.Fprintf(w, "  %-28s E = %6.2f fJ (%+.1f%% vs single)\n",
+			label, r.Energy*1e15, 100*(r.Energy-single)/single)
+	}
+	return rows, nil
+}
+
+// Table3 reproduces "Table 3: Energy consumption for single and gated clock
+// at CLB level" for the paper's 5-BLE cluster.
+func Table3(w io.Writer) ([]*circuit.Table3Row, error) {
+	rows, err := circuit.Table3(arch.STM018(), 5)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "Table 3: single vs gated clock at CLB level (N=5)\n")
+	fmt.Fprintf(w, "  %-16s %14s %14s %10s\n", "Condition", "Single Clock", "Gated Clock", "delta")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-16s %11.2f fJ %11.2f fJ %+9.1f%%\n",
+			r.Condition, r.SingleClock*1e15, r.GatedClock*1e15,
+			100*(r.GatedClock-r.SingleClock)/r.SingleClock)
+	}
+	if p, err := circuit.GatingBreakEven(rows); err == nil {
+		fmt.Fprintf(w, "-> CLB gating pays off when P(all F/Fs idle) > %.2f (paper: ~1/3)\n", p)
+	}
+	return rows, nil
+}
+
+// SizingFigure renders one of Figs 8-10: normalized energy-delay-area
+// product vs routing pass-transistor width for each wire length.
+func SizingFigure(w io.Writer, figName string, data map[int][]circuit.SizingPoint) {
+	fmt.Fprintf(w, "%s: normalized E*D*A vs pass transistor width\n", figName)
+	fmt.Fprintf(w, "  %8s", "width")
+	for _, wd := range circuit.SweepWidths() {
+		fmt.Fprintf(w, " %7.0fx", wd)
+	}
+	fmt.Fprintln(w)
+	for _, l := range circuit.WireLengths() {
+		pts := circuit.NormalizeEDA(data[l])
+		fmt.Fprintf(w, "  len=%-4d", l)
+		for _, p := range pts {
+			fmt.Fprintf(w, " %8.2f", p.EDA)
+		}
+		fmt.Fprintf(w, "   optimum %gx\n", circuit.OptimalWidth(pts))
+	}
+}
+
+// Fig8 reproduces Figure 8 (min width, min spacing).
+func Fig8(w io.Writer) map[int][]circuit.SizingPoint {
+	data := circuit.Fig8(arch.STM018())
+	SizingFigure(w, "Fig 8 (min width, min spacing)", data)
+	return data
+}
+
+// Fig9 reproduces Figure 9 (min width, double spacing).
+func Fig9(w io.Writer) map[int][]circuit.SizingPoint {
+	data := circuit.Fig9(arch.STM018())
+	SizingFigure(w, "Fig 9 (min width, double spacing)", data)
+	return data
+}
+
+// Fig10 reproduces Figure 10 (double width, double spacing).
+func Fig10(w io.Writer) map[int][]circuit.SizingPoint {
+	data := circuit.Fig10(arch.STM018())
+	SizingFigure(w, "Fig 10 (double width, double spacing)", data)
+	return data
+}
+
+// TriState reproduces the tri-state buffer sizing exploration of §3.3.2
+// (results the paper omitted for space): buffer width sweep at the selected
+// wire geometry, compared against the chosen pass-transistor design point.
+func TriState(w io.Writer) []circuit.SizingPoint {
+	tech := arch.STM018()
+	cfg := circuit.MinWidthDblSpacing()
+	pts := circuit.TriStateSweep(tech, cfg, 1)
+	fmt.Fprintf(w, "Tri-state buffer sizing (len-1 wires, min width double spacing)\n")
+	for _, p := range pts {
+		fmt.Fprintf(w, "  %4.0fx  E=%7.2f fJ  D=%7.1f ps  A=%6.1f  EDA=%.3g\n",
+			p.SwitchWidth, p.Energy*1e15, p.Delay*1e12, p.Area, p.EDA)
+	}
+	pass := circuit.PassTransistorPoint(tech, cfg, 1, 10)
+	fmt.Fprintf(w, "-> selected pass transistor 10x: E=%.2f fJ D=%.1f ps (buffers omitted: pass transistors win on energy)\n",
+		pass.Energy*1e15, pass.Delay*1e12)
+	return pts
+}

@@ -1,0 +1,52 @@
+package gui
+
+import (
+	"net/http"
+)
+
+// The paper's "Ease of use" feature (§4.1 v) includes on-line documentation
+// alongside the GUI; /docs serves the tool reference.
+const docsHTML = `<!DOCTYPE html>
+<html><head><title>FPGA Design Framework &mdash; documentation</title>
+<style>body { font-family: sans-serif; margin: 2em; max-width: 60em; }
+dt { font-weight: bold; margin-top: 0.8em; } code { background: #f4f4f4; }</style>
+</head><body>
+<h1>On-line documentation</h1>
+<p>The framework implements the complete design flow from a VHDL circuit
+description down to the FPGA configuration bitstream. Each stage can run
+standalone from the command line or through this interface.</p>
+<dl>
+<dt>VHDL Parser</dt><dd>Syntax and semantic check of the VHDL source against
+the supported synthesizable subset (entities, architectures, processes,
+generics, generate loops).</dd>
+<dt>DIVINER</dt><dd>Behavioural synthesis: elaborates the checked design into
+a gate-level netlist and emits it as an EDIF 2.0.0 file.</dd>
+<dt>DRUID</dt><dd>Normalizes EDIF produced by a synthesizer so the following
+tools can consume it (identifier repair, single-top check).</dd>
+<dt>E2FMT</dt><dd>Translates the EDIF netlist to BLIF.</dd>
+<dt>SIS</dt><dd>Technology-independent logic optimization (sweep, eliminate,
+two-level minimization, structural hashing) followed by depth-optimal
+FlowMap technology mapping onto 4-input LUTs.</dd>
+<dt>T-VPack</dt><dd>Packs LUTs and flip-flops into Basic Logic Elements and
+clusters of N=5 BLEs with I=12 inputs (the platform's CLB).</dd>
+<dt>DUTYS</dt><dd>Generates the architecture description file of the target
+FPGA platform.</dd>
+<dt>VPR</dt><dd>Places the clusters by adaptive simulated annealing and
+routes with the PathFinder negotiated-congestion algorithm; reports the
+critical path. The <a href="/layout">floorplan</a> shows the placement.</dd>
+<dt>PowerModel</dt><dd>Estimates dynamic, short-circuit and leakage power
+from simulated switching activities.</dd>
+<dt>DAGGER</dt><dd>Generates the configuration bitstream, which is verified
+by extraction and functional-equivalence checking before download.</dd>
+</dl>
+<p>The target platform: island-style fabric, cluster-based CLBs with 4-input
+LUTs, double-edge-triggered flip-flops, clock gating at BLE and CLB level,
+and pass-transistor routing switches at 10x minimum width on length-1
+segments (minimum metal width, double spacing).</p>
+<p><a href="/">back to the design flow</a></p>
+</body></html>`
+
+func (s *Server) handleDocs(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write([]byte(docsHTML))
+}

@@ -1,0 +1,81 @@
+package gui
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"fpgaflow/internal/place"
+)
+
+// FloorplanText renders the placed design as an ASCII grid: '.' empty logic
+// site, 'C' occupied CLB, 'i'/'o' input/output pads, blank corners. The
+// legend lists every block with its coordinates, mirroring VPR's placement
+// display in a browser-friendly form.
+func FloorplanText(p *place.Problem, pl *place.Placement) string {
+	a := p.Arch
+	w, h := a.Cols+2, a.Rows+2
+	grid := make([][]byte, w)
+	for x := range grid {
+		grid[x] = make([]byte, h)
+		for y := range grid[x] {
+			onX := x == 0 || x == a.Cols+1
+			onY := y == 0 || y == a.Rows+1
+			switch {
+			case onX && onY:
+				grid[x][y] = ' '
+			case onX || onY:
+				grid[x][y] = '-'
+			default:
+				grid[x][y] = '.'
+			}
+		}
+	}
+	type entry struct {
+		name string
+		loc  place.Location
+		kind place.BlockKind
+	}
+	var entries []entry
+	for _, b := range p.Blocks {
+		l := pl.Loc[b.ID]
+		switch b.Kind {
+		case place.BlockCLB:
+			grid[l.X][l.Y] = 'C'
+		case place.BlockInpad:
+			grid[l.X][l.Y] = 'i'
+		case place.BlockOutpad:
+			grid[l.X][l.Y] = 'o'
+		}
+		entries = append(entries, entry{b.Name, l, b.Kind})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "floorplan %dx%d logic grid (y grows downward)\n\n", a.Cols, a.Rows)
+	for y := h - 1; y >= 0; y-- {
+		sb.WriteString("  ")
+		for x := 0; x < w; x++ {
+			sb.WriteByte(grid[x][y])
+			sb.WriteByte(' ')
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("\nblocks:\n")
+	for _, e := range entries {
+		fmt.Fprintf(&sb, "  %-7s %-24s (%d,%d) sub %d\n", e.kind, e.name, e.loc.X, e.loc.Y, e.loc.Sub)
+	}
+	return sb.String()
+}
+
+func (s *Server) handleLayout(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.Result == nil || s.Result.Placed == nil {
+		http.Error(w, "run placement first", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, FloorplanText(s.Result.Problem, s.Result.Placed))
+}

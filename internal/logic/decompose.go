@@ -1,0 +1,118 @@
+package logic
+
+import (
+	"fmt"
+
+	"fpgaflow/internal/netlist"
+)
+
+// Decompose rewrites every logic node into a tree of at-most-2-input
+// AND/OR/NOT nodes (the "tech_decomp -a 2 -o 2" step before LUT mapping).
+// The transformation is functionality-preserving: each SOP cover becomes an
+// OR tree over AND trees of its (possibly inverted) literals. Inverters are
+// shared per source signal.
+func Decompose(nl *netlist.Netlist) error {
+	inverters := make(map[*netlist.Node]*netlist.Node)
+	invert := func(src *netlist.Node) (*netlist.Node, error) {
+		if inv, ok := inverters[src]; ok {
+			return inv, nil
+		}
+		inv, err := nl.AddLogic(nl.FreshName(src.Name+"_n"), []*netlist.Node{src},
+			netlist.Cover{Cubes: []netlist.Cube{{netlist.LitZero}}, Value: netlist.LitOne})
+		if err != nil {
+			return nil, err
+		}
+		inverters[src] = inv
+		return inv, nil
+	}
+	and2 := netlist.Cover{Cubes: []netlist.Cube{{netlist.LitOne, netlist.LitOne}}, Value: netlist.LitOne}
+	or2 := netlist.Cover{Cubes: []netlist.Cube{
+		{netlist.LitOne, netlist.LitDC}, {netlist.LitDC, netlist.LitOne}}, Value: netlist.LitOne}
+
+	// buildTree folds terms pairwise with the given 2-input gate cover.
+	buildTree := func(terms []*netlist.Node, cover netlist.Cover, prefix string) (*netlist.Node, error) {
+		for len(terms) > 1 {
+			var next []*netlist.Node
+			for i := 0; i+1 < len(terms); i += 2 {
+				g, err := nl.AddLogic(nl.FreshName(prefix), []*netlist.Node{terms[i], terms[i+1]}, cover.Clone())
+				if err != nil {
+					return nil, err
+				}
+				next = append(next, g)
+			}
+			if len(terms)%2 == 1 {
+				next = append(next, terms[len(terms)-1])
+			}
+			terms = next
+		}
+		return terms[0], nil
+	}
+
+	// Snapshot: new nodes are appended while we iterate.
+	targets := make([]*netlist.Node, 0, nl.NumNodes())
+	for _, n := range nl.Nodes() {
+		if n.Kind == netlist.KindLogic && len(n.Fanin) > 2 {
+			targets = append(targets, n)
+		}
+	}
+	for _, n := range targets {
+		var cubeRoots []*netlist.Node
+		for _, cube := range n.Cover.Cubes {
+			var lits []*netlist.Node
+			for i, lit := range cube {
+				switch lit {
+				case netlist.LitOne:
+					lits = append(lits, n.Fanin[i])
+				case netlist.LitZero:
+					inv, err := invert(n.Fanin[i])
+					if err != nil {
+						return err
+					}
+					lits = append(lits, inv)
+				}
+			}
+			if len(lits) == 0 {
+				return fmt.Errorf("logic: node %s has a tautology cube over >2 fanins", n.Name)
+			}
+			root, err := buildTree(lits, and2, n.Name+"_and")
+			if err != nil {
+				return err
+			}
+			cubeRoots = append(cubeRoots, root)
+		}
+		if len(cubeRoots) == 0 {
+			// Constant-0 on-set (or constant-1 off-set): make it a constant.
+			n.Fanin = nil
+			if n.Cover.OnSet() {
+				n.Cover = netlist.Cover{Value: netlist.LitOne}
+			} else {
+				n.Cover = netlist.Cover{Cubes: []netlist.Cube{{}}, Value: netlist.LitOne}
+			}
+			continue
+		}
+		root, err := buildTree(cubeRoots, or2, n.Name+"_or")
+		if err != nil {
+			return err
+		}
+		// Rewrite n as buffer or inverter of the tree root, preserving its name.
+		phase := netlist.LitOne
+		if !n.Cover.OnSet() {
+			phase = netlist.LitZero
+		}
+		n.Fanin = []*netlist.Node{root}
+		n.Cover = netlist.Cover{Cubes: []netlist.Cube{{phase}}, Value: netlist.LitOne}
+	}
+	nl.Sweep()
+	return nl.Check()
+}
+
+// MaxFanin returns the widest logic-node fanin in the netlist.
+func MaxFanin(nl *netlist.Netlist) int {
+	max := 0
+	for _, n := range nl.Nodes() {
+		if n.Kind == netlist.KindLogic && len(n.Fanin) > max {
+			max = len(n.Fanin)
+		}
+	}
+	return max
+}

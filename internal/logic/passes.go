@@ -1,0 +1,357 @@
+package logic
+
+import (
+	"fmt"
+	"strings"
+
+	"fpgaflow/internal/netlist"
+)
+
+// Options tunes the optimization script.
+type Options struct {
+	// EliminateMaxSupport bounds the combined support of a collapse; nodes
+	// whose merge would exceed it are kept. Default 10.
+	EliminateMaxSupport int
+	// EliminateMaxFanout bounds the fanout of nodes considered for
+	// elimination (SIS's value threshold). Default 3.
+	EliminateMaxFanout int
+	// Iterations of the full script. Default 2.
+	Iterations int
+}
+
+func (o *Options) fill() {
+	if o.EliminateMaxSupport == 0 {
+		o.EliminateMaxSupport = 10
+	}
+	if o.EliminateMaxFanout == 0 {
+		o.EliminateMaxFanout = 3
+	}
+	if o.Iterations == 0 {
+		o.Iterations = 2
+	}
+}
+
+// Optimize runs the full technology-independent script, a compact analogue
+// of SIS's script.rugged: constant propagation and buffer removal, node
+// elimination, per-node two-level minimization, structural hashing, sweep.
+func Optimize(nl *netlist.Netlist, opts Options) error {
+	opts.fill()
+	for it := 0; it < opts.Iterations; it++ {
+		if err := PropagateConstants(nl); err != nil {
+			return err
+		}
+		RemoveBuffers(nl)
+		if err := Eliminate(nl, opts.EliminateMaxSupport, opts.EliminateMaxFanout); err != nil {
+			return err
+		}
+		if err := SimplifyNodes(nl); err != nil {
+			return err
+		}
+		MergeDuplicates(nl)
+		nl.Sweep()
+	}
+	return nl.Check()
+}
+
+// SimplifyNodes minimizes every logic node's cover in place.
+func SimplifyNodes(nl *netlist.Netlist) error {
+	for _, n := range nl.Nodes() {
+		if n.Kind != netlist.KindLogic {
+			continue
+		}
+		if err := checkWidth(n.Cover, len(n.Fanin)); err != nil {
+			return fmt.Errorf("node %s: %w", n.Name, err)
+		}
+		min := MinimizeCover(n.Cover, len(n.Fanin))
+		// Drop fanins that became irrelevant (all-DC columns).
+		n.Cover = min
+		pruneUnusedFanins(n)
+	}
+	return nil
+}
+
+// pruneUnusedFanins removes fanin positions that are don't-care in every cube.
+func pruneUnusedFanins(n *netlist.Node) {
+	if n.Kind != netlist.KindLogic || len(n.Fanin) == 0 {
+		return
+	}
+	used := make([]bool, len(n.Fanin))
+	for _, cube := range n.Cover.Cubes {
+		for i, lit := range cube {
+			if lit != netlist.LitDC {
+				used[i] = true
+			}
+		}
+	}
+	keepAll := true
+	for _, u := range used {
+		if !u {
+			keepAll = false
+		}
+	}
+	if keepAll {
+		return
+	}
+	var newFanin []*netlist.Node
+	idx := make([]int, 0, len(n.Fanin))
+	for i, u := range used {
+		if u {
+			idx = append(idx, i)
+			newFanin = append(newFanin, n.Fanin[i])
+		}
+	}
+	newCubes := make([]netlist.Cube, len(n.Cover.Cubes))
+	for ci, cube := range n.Cover.Cubes {
+		nc := make(netlist.Cube, len(idx))
+		for j, i := range idx {
+			nc[j] = cube[i]
+		}
+		newCubes[ci] = nc
+	}
+	n.Fanin = newFanin
+	n.Cover.Cubes = newCubes
+}
+
+// PropagateConstants replaces uses of constant nodes by specializing the
+// consuming covers, iterating to a fixed point.
+func PropagateConstants(nl *netlist.Netlist) error {
+	for {
+		changed := false
+		for _, n := range nl.Nodes() {
+			if n.Kind != netlist.KindLogic {
+				continue
+			}
+			for i := 0; i < len(n.Fanin); i++ {
+				cn, ok := constValue(n.Fanin[i])
+				if !ok {
+					continue
+				}
+				specialize(n, i, cn)
+				changed = true
+				i-- // positions shifted
+			}
+		}
+		if !changed {
+			return nil
+		}
+	}
+}
+
+func constValue(n *netlist.Node) (bool, bool) {
+	ok, v := n.IsConst()
+	return v, ok
+}
+
+// specialize fixes fanin position i of n to value v and removes the fanin.
+func specialize(n *netlist.Node, i int, v bool) {
+	lit := netlist.LitZero
+	if v {
+		lit = netlist.LitOne
+	}
+	var cubes []netlist.Cube
+	for _, cube := range n.Cover.Cubes {
+		if cube[i] != netlist.LitDC && cube[i] != lit {
+			continue // cube cannot fire
+		}
+		nc := make(netlist.Cube, 0, len(cube)-1)
+		nc = append(nc, cube[:i]...)
+		nc = append(nc, cube[i+1:]...)
+		cubes = append(cubes, nc)
+	}
+	n.Cover.Cubes = cubes
+	n.Fanin = append(n.Fanin[:i], n.Fanin[i+1:]...)
+}
+
+// RemoveBuffers redirects uses of buffer nodes to their sources. Inverter
+// chains of even length collapse transitively through repeated passes.
+// Buffers feeding primary outputs are kept when removing them would merge
+// two output names onto one node.
+func RemoveBuffers(nl *netlist.Netlist) int {
+	removed := 0
+	for _, n := range nl.Nodes() {
+		if !n.IsBuffer() {
+			continue
+		}
+		src := n.Fanin[0]
+		nl.ReplaceUses(n, src)
+		if nl.IsOutput(n.Name) {
+			continue // keep: the node still names an output signal
+		}
+		removed++
+	}
+	nl.Sweep()
+	return removed
+}
+
+// Eliminate collapses logic nodes with fanout <= maxFanout into their
+// consumers when the merged support stays within maxSupport and the merged
+// cover does not blow up (the SIS "eliminate" value check: two-level
+// collapsing of XOR/parity chains is exponential and must be refused).
+// Primary outputs and latch D-drivers keep their nodes.
+func Eliminate(nl *netlist.Netlist, maxSupport, maxFanout int) error {
+	nl.BuildFanout()
+	for _, g := range nl.Nodes() {
+		if g.Kind != netlist.KindLogic || len(g.Fanin) == 0 {
+			continue
+		}
+		if nl.IsOutput(g.Name) {
+			continue
+		}
+		fanout := g.Fanout()
+		if len(fanout) == 0 || len(fanout) > maxFanout {
+			continue
+		}
+		collapsible := true
+		merged := make([]collapsed, 0, len(fanout))
+		for _, f := range fanout {
+			if f.Kind != netlist.KindLogic {
+				collapsible = false
+				break
+			}
+			if supportAfterMerge(f, g) > maxSupport {
+				collapsible = false
+				break
+			}
+			m, err := mergedFunction(f, g)
+			if err != nil {
+				return err
+			}
+			// Value check: refuse collapses that grow the literal count
+			// beyond the two nodes' combined cost.
+			if Literals(m.cover) > Literals(f.Cover)+Literals(g.Cover)+2 {
+				collapsible = false
+				break
+			}
+			merged = append(merged, m)
+		}
+		if !collapsible {
+			continue
+		}
+		for i, f := range fanout {
+			f.Fanin = merged[i].fanin
+			f.Cover = merged[i].cover
+			pruneUnusedFanins(f)
+		}
+		nl.BuildFanout()
+	}
+	nl.Sweep()
+	return nil
+}
+
+func supportAfterMerge(f, g *netlist.Node) int {
+	set := make(map[*netlist.Node]bool, len(f.Fanin)+len(g.Fanin))
+	for _, x := range f.Fanin {
+		if x != g {
+			set[x] = true
+		}
+	}
+	for _, x := range g.Fanin {
+		set[x] = true
+	}
+	return len(set)
+}
+
+// collapsed is a candidate merged node body.
+type collapsed struct {
+	fanin []*netlist.Node
+	cover netlist.Cover
+}
+
+// mergedFunction computes the result of substituting g into f without
+// mutating either node.
+func mergedFunction(f, g *netlist.Node) (collapsed, error) {
+	var fanin []*netlist.Node
+	pos := make(map[*netlist.Node]int)
+	for _, x := range f.Fanin {
+		if x == g {
+			continue
+		}
+		if _, seen := pos[x]; !seen {
+			pos[x] = len(fanin)
+			fanin = append(fanin, x)
+		}
+	}
+	for _, x := range g.Fanin {
+		if _, seen := pos[x]; !seen {
+			pos[x] = len(fanin)
+			fanin = append(fanin, x)
+		}
+	}
+	k := len(fanin)
+	if k > qmLimit {
+		return collapsed{}, fmt.Errorf("logic: collapse of %s into %s needs %d-input table", g.Name, f.Name, k)
+	}
+	rows := 1 << uint(k)
+	tt := make([]bool, rows)
+	fin := make([]bool, len(f.Fanin))
+	gin := make([]bool, len(g.Fanin))
+	for m := 0; m < rows; m++ {
+		val := func(x *netlist.Node) bool { return m&(1<<uint(pos[x])) != 0 }
+		for i, x := range g.Fanin {
+			gin[i] = val(x)
+		}
+		gv := netlist.EvalCover(g.Cover, gin)
+		for i, x := range f.Fanin {
+			if x == g {
+				fin[i] = gv
+			} else {
+				fin[i] = val(x)
+			}
+		}
+		tt[m] = netlist.EvalCover(f.Cover, fin)
+	}
+	return collapsed{fanin: fanin, cover: MinimizeTruthTable(tt, k)}, nil
+}
+
+// collapseInto substitutes g's function into f.
+func collapseInto(f, g *netlist.Node) error {
+	m, err := mergedFunction(f, g)
+	if err != nil {
+		return err
+	}
+	f.Fanin = m.fanin
+	f.Cover = m.cover
+	pruneUnusedFanins(f)
+	return nil
+}
+
+// MergeDuplicates performs structural hashing: logic nodes with identical
+// fanin lists and canonical covers are merged, keeping the first. Returns
+// the number of merged nodes.
+func MergeDuplicates(nl *netlist.Netlist) int {
+	merged := 0
+	for {
+		seen := make(map[string]*netlist.Node, nl.NumNodes())
+		victim := 0
+		for _, n := range nl.Nodes() {
+			if n.Kind != netlist.KindLogic {
+				continue
+			}
+			key := hashKey(n)
+			if first, dup := seen[key]; dup {
+				nl.ReplaceUses(n, first)
+				if !nl.IsOutput(n.Name) {
+					victim++
+				}
+				continue
+			}
+			seen[key] = n
+		}
+		if victim == 0 {
+			break
+		}
+		merged += nl.Sweep()
+	}
+	return merged
+}
+
+func hashKey(n *netlist.Node) string {
+	var sb strings.Builder
+	for _, f := range n.Fanin {
+		sb.WriteString(f.Name)
+		sb.WriteByte(',')
+	}
+	sb.WriteByte(';')
+	sb.WriteString(CanonicalCover(n.Cover))
+	return sb.String()
+}

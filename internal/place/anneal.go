@@ -1,0 +1,447 @@
+package place
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Location is a grid site plus sub-slot (pads share sites up to IORate).
+type Location struct {
+	X, Y, Sub int
+}
+
+// Placement assigns every block a location.
+type Placement struct {
+	Problem *Problem
+	Loc     []Location
+	// Cost is the final (possibly criticality-weighted) bounding-box cost.
+	Cost float64
+	// Moves and Accepted count annealing statistics.
+	Moves, Accepted int
+
+	weights []float64
+}
+
+// Options tunes the annealer.
+type Options struct {
+	Seed int64
+	// InnerNum scales moves per temperature: moves = InnerNum * nBlocks^(4/3)
+	// (VPR default 10; use 1 for fast mode).
+	InnerNum float64
+	// FixedSeedOnly disables annealing and keeps the initial placement
+	// (for tests and debugging).
+	FixedSeedOnly bool
+	// Weights are per-net cost multipliers (timing-driven placement; see
+	// CriticalityWeights). nil means uniform.
+	Weights []float64
+	// Fixed pins blocks (by name) to locations; fixed blocks never move
+	// (pad constraint files / stable pinout across reconfigurations).
+	Fixed map[string]Location
+}
+
+// site is an indexable placement site.
+type site struct{ x, y, sub int }
+
+// Place runs the annealer and returns a legal placement.
+func Place(p *Problem, opts Options) (*Placement, error) {
+	if opts.InnerNum == 0 {
+		opts.InnerNum = 10
+	}
+	a := p.Arch
+	clbs, pads := p.CountKinds()
+	if clbs > a.LogicCapacity() {
+		return nil, fmt.Errorf("place: %d CLBs exceed capacity %d", clbs, a.LogicCapacity())
+	}
+	if pads > a.IOCapacity() {
+		return nil, fmt.Errorf("place: %d pads exceed capacity %d", pads, a.IOCapacity())
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	var clbSites, ioSites []site
+	for x := 1; x <= a.Cols; x++ {
+		for y := 1; y <= a.Rows; y++ {
+			clbSites = append(clbSites, site{x, y, 0})
+		}
+	}
+	for x := 0; x < a.Cols+2; x++ {
+		for y := 0; y < a.Rows+2; y++ {
+			onX := x == 0 || x == a.Cols+1
+			onY := y == 0 || y == a.Rows+1
+			if onX != onY {
+				for s := 0; s < a.IORate; s++ {
+					ioSites = append(ioSites, site{x, y, s})
+				}
+			}
+		}
+	}
+
+	if opts.Weights != nil && len(opts.Weights) != len(p.Nets) {
+		return nil, fmt.Errorf("place: %d weights for %d nets", len(opts.Weights), len(p.Nets))
+	}
+	pl := &Placement{Problem: p, Loc: make([]Location, len(p.Blocks)), weights: opts.Weights}
+	// occupant maps a site to the block there (-1 empty), separate per class.
+	occ := make(map[site]int, len(clbSites)+len(ioSites))
+	for _, s := range clbSites {
+		occ[s] = -1
+	}
+	for _, s := range ioSites {
+		occ[s] = -1
+	}
+	// Fixed blocks claim their sites first.
+	fixed := make([]bool, len(p.Blocks))
+	for name, loc := range opts.Fixed {
+		id := p.BlockByName(name)
+		if id < 0 {
+			return nil, fmt.Errorf("place: fixed block %q does not exist", name)
+		}
+		s := site{loc.X, loc.Y, loc.Sub}
+		prev, known := occ[s]
+		if !known {
+			return nil, fmt.Errorf("place: fixed block %q at illegal site %v", name, loc)
+		}
+		onX := loc.X == 0 || loc.X == a.Cols+1
+		onY := loc.Y == 0 || loc.Y == a.Rows+1
+		isIO := onX != onY
+		if (p.Blocks[id].Kind == BlockCLB) == isIO {
+			return nil, fmt.Errorf("place: fixed %s %q on incompatible site %v", p.Blocks[id].Kind, name, loc)
+		}
+		if prev >= 0 {
+			return nil, fmt.Errorf("place: fixed blocks %q and %q share %v", p.Blocks[prev].Name, name, loc)
+		}
+		occ[s] = id
+		pl.Loc[id] = loc
+		fixed[id] = true
+	}
+	// Random initial placement for the rest.
+	rng.Shuffle(len(clbSites), func(i, j int) { clbSites[i], clbSites[j] = clbSites[j], clbSites[i] })
+	rng.Shuffle(len(ioSites), func(i, j int) { ioSites[i], ioSites[j] = ioSites[j], ioSites[i] })
+	ci, ii := 0, 0
+	for _, b := range p.Blocks {
+		if fixed[b.ID] {
+			continue
+		}
+		var s site
+		if b.Kind == BlockCLB {
+			for occ[clbSites[ci]] >= 0 {
+				ci++
+			}
+			s = clbSites[ci]
+			ci++
+		} else {
+			for occ[ioSites[ii]] >= 0 {
+				ii++
+			}
+			s = ioSites[ii]
+			ii++
+		}
+		occ[s] = b.ID
+		pl.Loc[b.ID] = Location{s.x, s.y, s.sub}
+	}
+
+	cost := 0.0
+	netCost := make([]float64, len(p.Nets))
+	for i := range p.Nets {
+		netCost[i] = p.netBBCost(pl, i)
+		cost += netCost[i]
+	}
+
+	if opts.FixedSeedOnly || len(p.Nets) == 0 {
+		pl.Cost = cost
+		return pl, nil
+	}
+
+	// deltaFor computes the cost delta of moving block b to site s (swapping
+	// with any occupant), without committing.
+	siteOf := func(b int) site {
+		l := pl.Loc[b]
+		return site{l.X, l.Y, l.Sub}
+	}
+	affectedNets := func(b1, b2 int) []int {
+		nets := append([]int(nil), p.Blocks[b1].Nets...)
+		if b2 >= 0 {
+			for _, n := range p.Blocks[b2].Nets {
+				dup := false
+				for _, m := range nets {
+					if m == n {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					nets = append(nets, n)
+				}
+			}
+		}
+		return nets
+	}
+	apply := func(b int, s site) {
+		occ[siteOf(b)] = -1
+		occ[s] = b
+		pl.Loc[b] = Location{s.x, s.y, s.sub}
+	}
+
+	// Initial temperature: 20 x stddev of cost over random trial moves (VPR).
+	nBlocks := len(p.Blocks)
+	trials := nBlocks
+	if trials < 20 {
+		trials = 20
+	}
+	var sum, sum2 float64
+	for i := 0; i < trials; i++ {
+		b := rng.Intn(nBlocks)
+		if fixed[b] {
+			continue
+		}
+		cands := clbSites
+		if p.Blocks[b].Kind != BlockCLB {
+			cands = ioSites
+		}
+		s := cands[rng.Intn(len(cands))]
+		if other := occ[s]; other >= 0 && fixed[other] {
+			continue
+		}
+		d := p.trialDelta(pl, occ, b, s, netCost, affectedNets, apply, siteOf, true, rng)
+		sum += d
+		sum2 += d * d
+	}
+	mean := sum / float64(trials)
+	variance := sum2/float64(trials) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	temp := 20 * math.Sqrt(variance)
+	if temp <= 0 {
+		temp = 1
+	}
+
+	movesPerT := int(opts.InnerNum * math.Pow(float64(nBlocks), 4.0/3.0))
+	if movesPerT < 16 {
+		movesPerT = 16
+	}
+	rlim := float64(max(a.Cols, a.Rows) + 2)
+	exitT := 0.005 * cost / float64(len(p.Nets))
+
+	for temp > exitT {
+		accepted := 0
+		for m := 0; m < movesPerT; m++ {
+			b := rng.Intn(nBlocks)
+			if fixed[b] {
+				continue
+			}
+			s, ok := p.randomSiteNear(pl, b, rlim, clbSites, ioSites, rng)
+			if !ok {
+				continue
+			}
+			cur := siteOf(b)
+			if s == cur {
+				continue
+			}
+			other := occ[s]
+			if other >= 0 && fixed[other] {
+				continue // never displace a pinned block
+			}
+			nets := affectedNets(b, other)
+			old := 0.0
+			for _, n := range nets {
+				old += netCost[n]
+			}
+			// Tentatively move.
+			if other >= 0 {
+				apply(other, site{-1, -1, -1})
+			}
+			apply(b, s)
+			if other >= 0 {
+				apply(other, cur)
+			}
+			newSum := 0.0
+			for _, n := range nets {
+				newSum += p.netBBCost(pl, n)
+			}
+			delta := newSum - old
+			if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+				for _, n := range nets {
+					netCost[n] = p.netBBCost(pl, n)
+				}
+				cost += delta
+				accepted++
+			} else {
+				// Revert.
+				if other >= 0 {
+					apply(other, site{-2, -2, -2})
+				}
+				apply(b, cur)
+				if other >= 0 {
+					apply(other, s)
+				}
+			}
+			pl.Moves++
+		}
+		pl.Accepted += accepted
+		accRate := float64(accepted) / float64(movesPerT)
+		// VPR adaptive schedule.
+		var alpha float64
+		switch {
+		case accRate > 0.96:
+			alpha = 0.5
+		case accRate > 0.8:
+			alpha = 0.9
+		case accRate > 0.15:
+			alpha = 0.95
+		default:
+			alpha = 0.8
+		}
+		temp *= alpha
+		rlim *= 1 - 0.44 + accRate
+		if rlim < 1 {
+			rlim = 1
+		}
+		if m := float64(max(a.Cols, a.Rows) + 2); rlim > m {
+			rlim = m
+		}
+	}
+
+	// Recompute exactly to wash out float drift.
+	cost = 0
+	for i := range p.Nets {
+		netCost[i] = p.netBBCost(pl, i)
+		cost += netCost[i]
+	}
+	pl.Cost = cost
+	return pl, pl.Validate()
+}
+
+// trialDelta measures a move's delta then reverts it (used for the initial
+// temperature estimate); commit selects whether to keep the move.
+func (p *Problem) trialDelta(pl *Placement, occ map[site]int, b int, s site,
+	netCost []float64, affectedNets func(int, int) []int, apply func(int, site), siteOf func(int) site,
+	revert bool, rng *rand.Rand) float64 {
+	cur := siteOf(b)
+	if s == cur {
+		return 0
+	}
+	other := occ[s]
+	nets := affectedNets(b, other)
+	old := 0.0
+	for _, n := range nets {
+		old += netCost[n]
+	}
+	if other >= 0 {
+		apply(other, site{-3, -3, -3})
+	}
+	apply(b, s)
+	if other >= 0 {
+		apply(other, cur)
+	}
+	newSum := 0.0
+	for _, n := range nets {
+		newSum += p.netBBCost(pl, n)
+	}
+	if revert {
+		if other >= 0 {
+			apply(other, site{-4, -4, -4})
+		}
+		apply(b, cur)
+		if other >= 0 {
+			apply(other, s)
+		}
+	}
+	return newSum - old
+}
+
+// randomSiteNear picks a legal site for block b within the range limit.
+func (p *Problem) randomSiteNear(pl *Placement, b int, rlim float64, clbSites, ioSites []site, rng *rand.Rand) (site, bool) {
+	cands := clbSites
+	if p.Blocks[b].Kind != BlockCLB {
+		cands = ioSites
+	}
+	l := pl.Loc[b]
+	r := int(rlim)
+	for try := 0; try < 12; try++ {
+		s := cands[rng.Intn(len(cands))]
+		if abs(s.x-l.X) <= r && abs(s.y-l.Y) <= r {
+			return s, true
+		}
+	}
+	return site{}, false
+}
+
+// netBBCost is the VPR bounding-box cost: q(n) * (bbx + bby), with the
+// crossing-count correction q for nets with more than 3 terminals.
+func (p *Problem) netBBCost(pl *Placement, netIdx int) float64 {
+	n := p.Nets[netIdx]
+	minX, maxX := 1<<30, -1
+	minY, maxY := 1<<30, -1
+	for _, b := range n.Blocks {
+		l := pl.Loc[b]
+		if l.X < minX {
+			minX = l.X
+		}
+		if l.X > maxX {
+			maxX = l.X
+		}
+		if l.Y < minY {
+			minY = l.Y
+		}
+		if l.Y > maxY {
+			maxY = l.Y
+		}
+	}
+	cost := crossingCount(len(n.Blocks)) * float64((maxX-minX)+(maxY-minY)+2)
+	if pl.weights != nil {
+		cost *= pl.weights[netIdx]
+	}
+	return cost
+}
+
+// crossingCount is the classic Cheng correction table for the expected
+// wirelength of multi-terminal nets.
+func crossingCount(terminals int) float64 {
+	table := []float64{0, 1, 1, 1, 1.0828, 1.1536, 1.2206, 1.2823, 1.3385, 1.3991, 1.4493}
+	if terminals < len(table) {
+		return table[terminals]
+	}
+	return 1.4493 + 0.02616*float64(terminals-10)
+}
+
+// Validate checks placement legality: every block on a compatible site, no
+// two blocks sharing a site/sub-slot, coordinates in range.
+func (pl *Placement) Validate() error {
+	p := pl.Problem
+	a := p.Arch
+	used := make(map[Location]int)
+	for _, b := range p.Blocks {
+		l := pl.Loc[b.ID]
+		if prev, dup := used[l]; dup {
+			return fmt.Errorf("place: blocks %q and %q share %v", p.Blocks[prev].Name, b.Name, l)
+		}
+		used[l] = b.ID
+		onX := l.X == 0 || l.X == a.Cols+1
+		onY := l.Y == 0 || l.Y == a.Rows+1
+		switch b.Kind {
+		case BlockCLB:
+			if l.X < 1 || l.X > a.Cols || l.Y < 1 || l.Y > a.Rows || l.Sub != 0 {
+				return fmt.Errorf("place: CLB %q at illegal %v", b.Name, l)
+			}
+		default:
+			if onX == onY || l.Sub < 0 || l.Sub >= a.IORate {
+				return fmt.Errorf("place: pad %q at illegal %v", b.Name, l)
+			}
+		}
+	}
+	return nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

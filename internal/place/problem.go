@@ -1,0 +1,162 @@
+// Package place implements the placement half of the paper's VPR stage: an
+// adaptive simulated-annealing placer with the classic bounding-box
+// wirelength cost, range-limited swap moves and the VPR cooling schedule.
+package place
+
+import (
+	"fmt"
+	"sort"
+
+	"fpgaflow/internal/arch"
+	"fpgaflow/internal/pack"
+)
+
+// BlockKind classifies placeable blocks.
+type BlockKind int
+
+const (
+	// BlockCLB is a logic cluster.
+	BlockCLB BlockKind = iota
+	// BlockInpad is a primary-input pad.
+	BlockInpad
+	// BlockOutpad is a primary-output pad.
+	BlockOutpad
+)
+
+func (k BlockKind) String() string {
+	switch k {
+	case BlockCLB:
+		return "clb"
+	case BlockInpad:
+		return "inpad"
+	case BlockOutpad:
+		return "outpad"
+	}
+	return fmt.Sprintf("BlockKind(%d)", int(k))
+}
+
+// Block is one placeable object.
+type Block struct {
+	ID   int
+	Name string
+	Kind BlockKind
+	// Cluster is set for BlockCLB.
+	Cluster *pack.Cluster
+	// Nets are indices into Problem.Nets of nets touching this block.
+	Nets []int
+}
+
+// Net is a placement net: a source block and sink blocks.
+type Net struct {
+	Signal string
+	// Blocks[0] is the source; the rest are sinks (deduplicated).
+	Blocks []int
+}
+
+// Problem is a placement instance.
+type Problem struct {
+	Arch   *arch.Arch
+	Blocks []*Block
+	Nets   []*Net
+	// blockByName finds a block from its name (cluster output signal name
+	// for CLBs, signal name for pads).
+	blockByName map[string]int
+}
+
+// BlockByName returns the block index by name, or -1.
+func (p *Problem) BlockByName(name string) int {
+	if i, ok := p.blockByName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// NewProblem builds a placement problem from a packing: one block per
+// cluster, one inpad per primary input, one outpad per primary output, and
+// one net per inter-cluster signal.
+func NewProblem(a *arch.Arch, pk *pack.Packing) (*Problem, error) {
+	p := &Problem{Arch: a, blockByName: make(map[string]int)}
+	clusterBlock := make(map[*pack.Cluster]int)
+	for _, c := range pk.Clusters {
+		b := &Block{ID: len(p.Blocks), Name: fmt.Sprintf("clb%d", c.ID), Kind: BlockCLB, Cluster: c}
+		p.Blocks = append(p.Blocks, b)
+		clusterBlock[c] = b.ID
+		p.blockByName[b.Name] = b.ID
+	}
+	for _, in := range pk.Netlist.Inputs {
+		b := &Block{ID: len(p.Blocks), Name: in.Name, Kind: BlockInpad}
+		p.Blocks = append(p.Blocks, b)
+		p.blockByName[in.Name] = b.ID
+	}
+	for _, o := range pk.Netlist.Outputs {
+		name := "out:" + o
+		b := &Block{ID: len(p.Blocks), Name: name, Kind: BlockOutpad}
+		p.Blocks = append(p.Blocks, b)
+		p.blockByName[name] = b.ID
+	}
+
+	for _, n := range pk.ExternalNets() {
+		var src int
+		if n.SourceCluster != nil {
+			src = clusterBlock[n.SourceCluster]
+		} else {
+			i, ok := p.blockByName[n.Signal]
+			if !ok {
+				return nil, fmt.Errorf("place: net %q has no source", n.Signal)
+			}
+			src = i
+		}
+		net := &Net{Signal: n.Signal, Blocks: []int{src}}
+		for _, s := range n.SinkClusters {
+			net.Blocks = append(net.Blocks, clusterBlock[s])
+		}
+		if n.IsPrimaryOutput {
+			net.Blocks = append(net.Blocks, p.blockByName["out:"+n.Signal])
+		}
+		if len(net.Blocks) < 2 {
+			continue // net never leaves its source; nothing to place for
+		}
+		idx := len(p.Nets)
+		p.Nets = append(p.Nets, net)
+		seen := map[int]bool{}
+		for _, b := range net.Blocks {
+			if !seen[b] {
+				seen[b] = true
+				p.Blocks[b].Nets = append(p.Blocks[b].Nets, idx)
+			}
+		}
+	}
+	sort.Slice(p.Nets, func(i, j int) bool { return p.Nets[i].Signal < p.Nets[j].Signal })
+	// Re-link block->net indices after sorting.
+	for _, b := range p.Blocks {
+		b.Nets = b.Nets[:0]
+	}
+	for idx, net := range p.Nets {
+		seen := map[int]bool{}
+		for _, b := range net.Blocks {
+			if !seen[b] {
+				seen[b] = true
+				p.Blocks[b].Nets = append(p.Blocks[b].Nets, idx)
+			}
+		}
+	}
+	return p, nil
+}
+
+// CountKinds returns the number of CLB and pad blocks.
+func (p *Problem) CountKinds() (clbs, pads int) {
+	for _, b := range p.Blocks {
+		if b.Kind == BlockCLB {
+			clbs++
+		} else {
+			pads++
+		}
+	}
+	return
+}
+
+// AutoSize grows the architecture grid to fit the problem.
+func (p *Problem) AutoSize() {
+	clbs, pads := p.CountKinds()
+	p.Arch.SizeGrid(clbs, pads)
+}

@@ -1,0 +1,99 @@
+package power
+
+import "fpgaflow/internal/arch"
+
+// Transistor inventory of the fabric, used for the leakage estimate and the
+// area model. The counts follow the paper's circuit structures: LUTs built
+// as SRAM-driven pass-transistor mux trees (Fig. 2), fully connected local
+// interconnect ((I+N)-to-1 mux per LUT input), one DETFF and one 2:1 output
+// mux per BLE, NAND clock gates at BLE and CLB level (Figs. 5-6), and
+// SRAM-configured pass-transistor routing switches.
+
+const (
+	sramCell = 6 // 6T SRAM bit
+	nandGate = 4
+	inverter = 2
+	// detffTransistors matches the Llopis-1 DETFF selected in the paper
+	// (two C2MOS latch branches plus output mux).
+	detffTransistors = 20
+	// setffTransistors is a master-slave single-edge FF for comparison.
+	setffTransistors = 24
+)
+
+// CLBTransistors counts the transistors in one CLB.
+func CLBTransistors(a *arch.Arch) int {
+	c := a.CLB
+	lutBits := 1 << uint(c.K)
+	// LUT: SRAM bits + mux tree (2*(2^K - 1) pass transistors) + output buffer.
+	lut := lutBits*sramCell + 2*(lutBits-1) + inverter
+	ff := setffTransistors
+	if c.DoubleEdgeFF {
+		ff = detffTransistors
+	}
+	// BLE: LUT + FF + 2:1 output mux (2 pass + 1 config bit).
+	ble := lut + ff + 2 + sramCell
+	if c.GatedClock {
+		ble += nandGate + sramCell // per-BLE clock gate + enable bit
+	}
+	// Local interconnect: one (I+N):1 mux per LUT input per BLE,
+	// pass-transistor tree with binary-encoded SRAM select.
+	muxIn := c.I + c.N
+	selBits := bitsFor(muxIn)
+	localMux := muxIn + selBits*sramCell + inverter
+	cluster := c.N*(ble+c.K*localMux) + inverter // + clock root buffer
+	if c.GatedClock {
+		cluster += nandGate + sramCell // CLB-level clock gate
+	}
+	return cluster
+}
+
+// TileRoutingTransistors counts the routing transistors associated with one
+// logic tile: switch-box switches for the two adjacent channels plus the
+// connection-box switches for the tile's pins.
+func TileRoutingTransistors(a *arch.Arch) int {
+	r := a.Routing
+	w := r.ChannelWidth
+	// Disjoint switch box: per track, the 4 incident wire ends interconnect
+	// with 6 pass transistors; one switch box per tile.
+	sb := w * 6
+	sbBits := w * 6 * sramCell // one config bit per switch
+	// Connection boxes: each input pin connects to Fc_in*W tracks, each
+	// output pin to Fc_out*W tracks, one pass transistor + bit each.
+	inConn := int(float64(a.CLB.I)*r.FcIn*float64(w) + 0.5)
+	outConn := int(float64(a.CLB.Outputs())*r.FcOut*float64(w) + 0.5)
+	cb := inConn + outConn
+	cbBits := cb * sramCell
+	return sb + sbBits + cb + cbBits
+}
+
+// FabricTransistors counts the whole fabric.
+func FabricTransistors(a *arch.Arch) int {
+	perTile := CLBTransistors(a) + TileRoutingTransistors(a)
+	return perTile * a.Rows * a.Cols
+}
+
+// FabricAreaMinWidthUnits estimates total layout area in units of
+// minimum-width transistor areas (the VPR area model), accounting for the
+// wider routing switches.
+func FabricAreaMinWidthUnits(a *arch.Arch) float64 {
+	logic := float64(CLBTransistors(a)) * arch.TransistorArea(1)
+	r := a.Routing
+	w := float64(r.ChannelWidth)
+	switchArea := arch.TransistorArea(r.SwitchWidthMult)
+	sb := w * 6 * switchArea
+	sbBits := w * 6 * float64(sramCell) * arch.TransistorArea(1)
+	inConn := float64(a.CLB.I) * r.FcIn * w
+	outConn := float64(a.CLB.Outputs()) * r.FcOut * w
+	cb := (inConn + outConn) * switchArea
+	cbBits := (inConn + outConn) * float64(sramCell) * arch.TransistorArea(1)
+	perTile := logic + sb + sbBits + cb + cbBits
+	return perTile * float64(a.Rows*a.Cols)
+}
+
+func bitsFor(n int) int {
+	b := 0
+	for 1<<uint(b) < n {
+		b++
+	}
+	return b
+}

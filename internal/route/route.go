@@ -1,0 +1,407 @@
+// Package route implements the routing half of the paper's VPR stage: the
+// PathFinder negotiated-congestion algorithm over the routing-resource
+// graph, plus a binary search for the minimum feasible channel width.
+package route
+
+import (
+	"container/heap"
+	"fmt"
+
+	"fpgaflow/internal/place"
+	"fpgaflow/internal/rrgraph"
+)
+
+// Options tunes the router.
+type Options struct {
+	// MaxIters bounds the rip-up-and-reroute iterations (default 40).
+	MaxIters int
+	// PresFacInit is the initial present-congestion factor (default 0.5).
+	PresFacInit float64
+	// PresFacMult grows the present factor each iteration (default 1.3).
+	PresFacMult float64
+	// HistFac accumulates history cost on overused nodes (default 1.0).
+	HistFac float64
+	// DelayDriven weights base costs by each resource's intrinsic RC delay
+	// so paths prefer electrically fast routes, not just few hops.
+	DelayDriven bool
+}
+
+func (o *Options) fill() {
+	if o.MaxIters == 0 {
+		o.MaxIters = 40
+	}
+	if o.PresFacInit == 0 {
+		o.PresFacInit = 0.5
+	}
+	if o.PresFacMult == 0 {
+		o.PresFacMult = 1.3
+	}
+	if o.HistFac == 0 {
+		o.HistFac = 1.0
+	}
+}
+
+// NetRoute is the routing of one net: one node path per sink, each running
+// from the net's source node to that sink's sink node.
+type NetRoute struct {
+	// Paths[i] is the path for sink i of the net (problem order).
+	Paths [][]int
+}
+
+// Nodes returns the set of RR nodes the net occupies.
+func (nr *NetRoute) Nodes() map[int]bool {
+	set := make(map[int]bool)
+	for _, path := range nr.Paths {
+		for _, n := range path {
+			set[n] = true
+		}
+	}
+	return set
+}
+
+// Result is a complete routing.
+type Result struct {
+	Graph  *rrgraph.Graph
+	Routes []*NetRoute // parallel to Problem.Nets
+	// Success is true when no resource is overused.
+	Success    bool
+	Iterations int
+	// Overused counts nodes above capacity (0 on success).
+	Overused int
+}
+
+// Route runs PathFinder. The placement must be legal for the graph's arch.
+func Route(p *place.Problem, pl *place.Placement, g *rrgraph.Graph, opts Options) (*Result, error) {
+	opts.fill()
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	type conn struct {
+		source int
+		sinks  []int
+	}
+	conns := make([]conn, len(p.Nets))
+	for i, n := range p.Nets {
+		srcLoc := pl.Loc[n.Blocks[0]]
+		src := g.SourceAt(srcLoc.X, srcLoc.Y)
+		if src < 0 {
+			return nil, fmt.Errorf("route: net %s: no source node at (%d,%d)", n.Signal, srcLoc.X, srcLoc.Y)
+		}
+		c := conn{source: src}
+		for _, b := range n.Blocks[1:] {
+			l := pl.Loc[b]
+			snk := g.SinkAt(l.X, l.Y)
+			if snk < 0 {
+				return nil, fmt.Errorf("route: net %s: no sink node at (%d,%d)", n.Signal, l.X, l.Y)
+			}
+			c.sinks = append(c.sinks, snk)
+		}
+		conns[i] = c
+	}
+
+	nNodes := len(g.Nodes)
+	usage := make([]int, nNodes) // nets per node
+	history := make([]float64, nNodes)
+	routes := make([]*NetRoute, len(p.Nets))
+
+	occupy := func(nr *NetRoute, delta int) {
+		if nr == nil {
+			return
+		}
+		for n := range nr.Nodes() {
+			usage[n] += delta
+		}
+	}
+	presFac := opts.PresFacInit
+
+	// Delay-driven base costs: normalize each wire's R*C against the worst
+	// so costs stay comparable to the unit hop cost.
+	var delayNorm float64
+	if opts.DelayDriven {
+		for _, n := range g.Nodes {
+			if d := n.R * n.C; d > delayNorm {
+				delayNorm = d
+			}
+		}
+	}
+	nodeCost := func(id int) float64 {
+		n := g.Nodes[id]
+		over := usage[id] + 1 - n.Capacity
+		pres := 1.0
+		if over > 0 {
+			pres += presFac * float64(over)
+		}
+		base := 1.0
+		if n.Type == rrgraph.Sink {
+			base = 0.1
+		} else if opts.DelayDriven && delayNorm > 0 {
+			base = 0.3 + 2*(n.R*n.C)/delayNorm
+		}
+		return (base + history[id]) * pres
+	}
+
+	res := &Result{Graph: g, Routes: routes}
+	scratch := newScratch(nNodes)
+	for iter := 1; iter <= opts.MaxIters; iter++ {
+		res.Iterations = iter
+		for ni := range conns {
+			occupy(routes[ni], -1)
+			nr, err := routeNet(g, conns[ni].source, conns[ni].sinks, nodeCost, scratch)
+			if err != nil {
+				return nil, fmt.Errorf("route: net %s: %w", p.Nets[ni].Signal, err)
+			}
+			routes[ni] = nr
+			occupy(nr, +1)
+		}
+		over := 0
+		for id, n := range g.Nodes {
+			if usage[id] > n.Capacity {
+				over++
+				history[id] += opts.HistFac * float64(usage[id]-n.Capacity)
+			}
+		}
+		res.Overused = over
+		if over == 0 {
+			res.Success = true
+			return res, nil
+		}
+		presFac *= opts.PresFacMult
+	}
+	return res, nil
+}
+
+// scratch holds per-router search state, generation-stamped so clearing
+// between searches is O(1).
+type scratch struct {
+	dist []float64
+	prev []int32
+	gen  []uint32
+	cur  uint32
+}
+
+func newScratch(n int) *scratch {
+	return &scratch{dist: make([]float64, n), prev: make([]int32, n), gen: make([]uint32, n)}
+}
+
+func (s *scratch) reset() { s.cur++ }
+
+func (s *scratch) seen(n int) bool { return s.gen[n] == s.cur }
+
+func (s *scratch) set(n int, d float64, p int32) {
+	s.gen[n] = s.cur
+	s.dist[n] = d
+	s.prev[n] = p
+}
+
+// routeNet routes one net: sequential shortest paths, each seeded with the
+// tree built so far. The net's Source node is only usable for the first
+// path, pinning the net to a single output pin choice thereafter.
+func routeNet(g *rrgraph.Graph, source int, sinks []int, nodeCost func(int) float64, sc *scratch) (*NetRoute, error) {
+	nr := &NetRoute{}
+	// The tree is kept as an ordered list (plus membership set) so Dijkstra
+	// seeds deterministically: map iteration order would otherwise break
+	// tie-resolution and with it bitstream reproducibility.
+	inTree := map[int]bool{source: true}
+	treeList := []int{source}
+	sourceLocked := false
+	for _, sink := range sinks {
+		path, err := dijkstra(g, treeList, sink, source, sourceLocked, nodeCost, sc)
+		if err != nil {
+			return nil, err
+		}
+		nr.Paths = append(nr.Paths, path)
+		for _, n := range path {
+			if !inTree[n] {
+				inTree[n] = true
+				treeList = append(treeList, n)
+			}
+		}
+		sourceLocked = true
+	}
+	return nr, nil
+}
+
+type pqItem struct {
+	node int
+	cost float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].cost < q[j].cost }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// dijkstra finds the cheapest path from the tree to target. Tree nodes cost
+// nothing to reuse. When sourceLocked, expansion out of the source node is
+// forbidden (the output pin is already chosen).
+func dijkstra(g *rrgraph.Graph, tree []int, target, source int, sourceLocked bool, nodeCost func(int) float64, sc *scratch) ([]int, error) {
+	const unseen = -1
+	sc.reset()
+	var q pq
+	for _, n := range tree {
+		if sourceLocked && n == source {
+			continue
+		}
+		sc.set(n, 0, unseen)
+		heap.Push(&q, pqItem{n, 0})
+	}
+	reached := false
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if it.cost > sc.dist[it.node] {
+			continue
+		}
+		if it.node == target {
+			reached = true
+			break
+		}
+		for _, e := range g.Nodes[it.node].Edges {
+			c := it.cost + nodeCost(e)
+			if !sc.seen(e) || c < sc.dist[e] {
+				sc.set(e, c, int32(it.node))
+				heap.Push(&q, pqItem{e, c})
+			}
+		}
+	}
+	if !reached {
+		return nil, fmt.Errorf("no path to node %d (%s at %d,%d)",
+			target, g.Nodes[target].Type, g.Nodes[target].X, g.Nodes[target].Y)
+	}
+	var path []int
+	for n := target; n != unseen; n = int(sc.prev[n]) {
+		path = append(path, n)
+	}
+	// Reverse to source->sink order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, nil
+}
+
+// Validate checks a successful routing: every path connected in the graph,
+// starting at the net's source and ending at each sink, with no node over
+// capacity.
+func (r *Result) Validate(p *place.Problem, pl *place.Placement) error {
+	usage := make([]int, len(r.Graph.Nodes))
+	for ni, nr := range r.Routes {
+		if nr == nil {
+			return fmt.Errorf("route: net %s unrouted", p.Nets[ni].Signal)
+		}
+		srcLoc := pl.Loc[p.Nets[ni].Blocks[0]]
+		wantSrc := r.Graph.SourceAt(srcLoc.X, srcLoc.Y)
+		for si, path := range nr.Paths {
+			if len(path) == 0 {
+				return fmt.Errorf("route: net %s sink %d empty path", p.Nets[ni].Signal, si)
+			}
+			sinkLoc := pl.Loc[p.Nets[ni].Blocks[si+1]]
+			wantSink := r.Graph.SinkAt(sinkLoc.X, sinkLoc.Y)
+			if path[len(path)-1] != wantSink {
+				return fmt.Errorf("route: net %s sink %d ends at node %d, want %d",
+					p.Nets[ni].Signal, si, path[len(path)-1], wantSink)
+			}
+			// Path must start in the tree built from the source.
+			if si == 0 && path[0] != wantSrc {
+				return fmt.Errorf("route: net %s first path starts at %d, want source %d",
+					p.Nets[ni].Signal, path[0], wantSrc)
+			}
+			for i := 0; i+1 < len(path); i++ {
+				if !hasEdge(r.Graph, path[i], path[i+1]) {
+					return fmt.Errorf("route: net %s uses missing edge %d->%d",
+						p.Nets[ni].Signal, path[i], path[i+1])
+				}
+			}
+		}
+		treeNodes := nr.Nodes()
+		for si, path := range nr.Paths {
+			if si > 0 && !treeNodes[path[0]] {
+				return fmt.Errorf("route: net %s sink %d path detached", p.Nets[ni].Signal, si)
+			}
+		}
+		for n := range treeNodes {
+			usage[n]++
+		}
+	}
+	for id, u := range usage {
+		if u > r.Graph.Nodes[id].Capacity {
+			return fmt.Errorf("route: node %d (%s) used %d > capacity %d",
+				id, r.Graph.Nodes[id].Type, u, r.Graph.Nodes[id].Capacity)
+		}
+	}
+	return nil
+}
+
+func hasEdge(g *rrgraph.Graph, from, to int) bool {
+	for _, e := range g.Nodes[from].Edges {
+		if e == to {
+			return true
+		}
+	}
+	return false
+}
+
+// WirelengthUsed counts the wire segments occupied across all nets.
+func (r *Result) WirelengthUsed() int {
+	total := 0
+	for _, nr := range r.Routes {
+		if nr == nil {
+			continue
+		}
+		for n := range nr.Nodes() {
+			t := r.Graph.Nodes[n].Type
+			if t == rrgraph.ChanX || t == rrgraph.ChanY {
+				total += r.Graph.Nodes[n].Span
+			}
+		}
+	}
+	return total
+}
+
+// MinChannelWidth binary-searches the smallest channel width that routes
+// successfully, returning that width and its routing.
+func MinChannelWidth(p *place.Problem, pl *place.Placement, lo, hi int, opts Options) (int, *Result, error) {
+	if lo < 1 {
+		lo = 1
+	}
+	build := func(w int) (*Result, error) {
+		a := p.Arch.Clone()
+		a.Routing.ChannelWidth = w
+		g, err := rrgraph.Build(a)
+		if err != nil {
+			return nil, err
+		}
+		return Route(p, pl, g, opts)
+	}
+	// Ensure hi is routable, growing if needed.
+	var best *Result
+	bestW := -1
+	for {
+		r, err := build(hi)
+		if err == nil && r.Success {
+			best, bestW = r, hi
+			break
+		}
+		if hi > 512 {
+			return 0, nil, fmt.Errorf("route: unroutable even at W=%d", hi)
+		}
+		hi *= 2
+	}
+	for lo < bestW {
+		mid := (lo + bestW) / 2
+		r, err := build(mid)
+		if err == nil && r.Success {
+			best, bestW = r, mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return bestW, best, nil
+}

@@ -1,0 +1,494 @@
+// Package rrgraph builds the routing-resource graph of the island-style
+// fabric: sources, sinks, block pins and channel wire segments, connected
+// through connection boxes (Fc) and disjoint switch boxes (Fs=3), following
+// the VPR model the paper's flow relies on. The graph is consumed by the
+// PathFinder router, the timing analyzer, the power model and the bitstream
+// generator.
+package rrgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"fpgaflow/internal/arch"
+)
+
+// NodeType classifies routing-resource nodes.
+type NodeType int
+
+const (
+	// Source is the logical origin of a net inside a block.
+	Source NodeType = iota
+	// Sink is the logical destination inside a block.
+	Sink
+	// OPin is a physical block output pin.
+	OPin
+	// IPin is a physical block input pin.
+	IPin
+	// ChanX is a horizontal wire segment.
+	ChanX
+	// ChanY is a vertical wire segment.
+	ChanY
+)
+
+func (t NodeType) String() string {
+	switch t {
+	case Source:
+		return "SOURCE"
+	case Sink:
+		return "SINK"
+	case OPin:
+		return "OPIN"
+	case IPin:
+		return "IPIN"
+	case ChanX:
+		return "CHANX"
+	case ChanY:
+		return "CHANY"
+	}
+	return fmt.Sprintf("NodeType(%d)", int(t))
+}
+
+// SiteKind classifies grid locations.
+type SiteKind int
+
+const (
+	// SiteEmpty marks corners of the I/O ring.
+	SiteEmpty SiteKind = iota
+	// SiteCLB is a logic tile.
+	SiteCLB
+	// SiteIO is a pad tile on the perimeter ring.
+	SiteIO
+)
+
+// Node is one routing resource.
+type Node struct {
+	ID   int
+	Type NodeType
+	// X, Y locate the node: block coordinates for pins/sources/sinks, the
+	// low tile coordinate for wires.
+	X, Y int
+	// Span is the number of tiles a wire covers (SegmentLength clipped at
+	// the fabric edge); 0 for non-wires.
+	Span int
+	// Track is the channel track index for wires, -1 otherwise.
+	Track int
+	// Pin is the block pin index for IPin/OPin, -1 otherwise.
+	Pin int
+	// Capacity is the legal number of nets through this node.
+	Capacity int
+	// R is the driving-point resistance of the resource, C its capacitance.
+	R, C float64
+	// Edges lists the IDs of nodes reachable from this one.
+	Edges []int
+}
+
+// Graph is the complete routing-resource graph plus site metadata.
+type Graph struct {
+	Arch  *arch.Arch
+	Nodes []*Node
+	// W is the channel width the graph was built with.
+	W int
+
+	// site lookup tables
+	kind    [][]SiteKind
+	source  [][]int
+	sink    [][]int
+	opins   [][][]int // [x][y][localOutputPin] -> node id
+	ipins   [][][]int
+	chanxID map[chanKey]int
+	chanyID map[chanKey]int
+	edges   int
+}
+
+type chanKey struct{ x, y, track int }
+
+// Kind returns the site kind at grid location (x, y); the full grid spans
+// x in [0, Cols+1], y in [0, Rows+1].
+func (g *Graph) Kind(x, y int) SiteKind { return g.kind[x][y] }
+
+// SourceAt returns the source node ID of the block at (x, y), or -1.
+func (g *Graph) SourceAt(x, y int) int { return g.source[x][y] }
+
+// SinkAt returns the sink node ID of the block at (x, y), or -1.
+func (g *Graph) SinkAt(x, y int) int { return g.sink[x][y] }
+
+// OPins returns the output-pin node IDs of the block at (x, y).
+func (g *Graph) OPins(x, y int) []int { return g.opins[x][y] }
+
+// IPins returns the input-pin node IDs of the block at (x, y).
+func (g *Graph) IPins(x, y int) []int { return g.ipins[x][y] }
+
+// NumEdges returns the total directed edge count.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// GridWidth and GridHeight return the full grid extent including I/O ring.
+func (g *Graph) GridWidth() int  { return g.Arch.Cols + 2 }
+func (g *Graph) GridHeight() int { return g.Arch.Rows + 2 }
+
+// Build constructs the routing-resource graph for the architecture.
+func Build(a *arch.Arch) (*Graph, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Graph{
+		Arch:    a,
+		W:       a.Routing.ChannelWidth,
+		chanxID: make(map[chanKey]int),
+		chanyID: make(map[chanKey]int),
+	}
+	cols, rows := a.Cols, a.Rows
+	gw, gh := cols+2, rows+2
+	g.kind = make([][]SiteKind, gw)
+	g.source = make([][]int, gw)
+	g.sink = make([][]int, gw)
+	g.opins = make([][][]int, gw)
+	g.ipins = make([][][]int, gw)
+	for x := 0; x < gw; x++ {
+		g.kind[x] = make([]SiteKind, gh)
+		g.source[x] = make([]int, gh)
+		g.sink[x] = make([]int, gh)
+		g.opins[x] = make([][]int, gh)
+		g.ipins[x] = make([][]int, gh)
+		for y := 0; y < gh; y++ {
+			g.source[x][y], g.sink[x][y] = -1, -1
+			switch {
+			case x >= 1 && x <= cols && y >= 1 && y <= rows:
+				g.kind[x][y] = SiteCLB
+			case (x == 0 || x == cols+1) != (y == 0 || y == rows+1):
+				g.kind[x][y] = SiteIO
+			default:
+				g.kind[x][y] = SiteEmpty
+			}
+		}
+	}
+
+	g.buildBlockNodes()
+	g.buildWires()
+	g.buildConnectionBoxes()
+	g.buildSwitchBoxes()
+	for _, n := range g.Nodes {
+		g.edges += len(n.Edges)
+	}
+	return g, nil
+}
+
+func (g *Graph) newNode(t NodeType, x, y int) *Node {
+	n := &Node{ID: len(g.Nodes), Type: t, X: x, Y: y, Track: -1, Pin: -1, Capacity: 1}
+	g.Nodes = append(g.Nodes, n)
+	return n
+}
+
+func (g *Graph) addEdge(from, to int) {
+	g.Nodes[from].Edges = append(g.Nodes[from].Edges, to)
+}
+
+// buildBlockNodes creates source/sink/pin nodes for every CLB and IO site.
+func (g *Graph) buildBlockNodes() {
+	a := g.Arch
+	tech := a.Tech
+	for x := 0; x < g.GridWidth(); x++ {
+		for y := 0; y < g.GridHeight(); y++ {
+			switch g.kind[x][y] {
+			case SiteCLB:
+				src := g.newNode(Source, x, y)
+				src.Capacity = a.CLB.Outputs()
+				g.source[x][y] = src.ID
+				snk := g.newNode(Sink, x, y)
+				snk.Capacity = a.CLB.I
+				g.sink[x][y] = snk.ID
+				for p := 0; p < a.CLB.Outputs(); p++ {
+					op := g.newNode(OPin, x, y)
+					op.Pin = a.CLB.I + p
+					op.R = tech.RonMin // output buffer drive
+					op.C = tech.CDiffMin
+					g.opins[x][y] = append(g.opins[x][y], op.ID)
+					g.addEdge(src.ID, op.ID)
+				}
+				for p := 0; p < a.CLB.I; p++ {
+					ip := g.newNode(IPin, x, y)
+					ip.Pin = p
+					ip.C = tech.CGateMin * 4 // input buffer + local mux load
+					g.ipins[x][y] = append(g.ipins[x][y], ip.ID)
+					g.addEdge(ip.ID, snk.ID)
+				}
+			case SiteIO:
+				src := g.newNode(Source, x, y)
+				src.Capacity = a.IORate
+				g.source[x][y] = src.ID
+				snk := g.newNode(Sink, x, y)
+				snk.Capacity = a.IORate
+				g.sink[x][y] = snk.ID
+				// One OPin/IPin pair per pad sub-slot so the bitstream can
+				// attribute each routed net to a specific pad.
+				for s := 0; s < a.IORate; s++ {
+					op := g.newNode(OPin, x, y)
+					op.Pin = s
+					op.R = tech.RonMin
+					op.C = tech.CDiffMin
+					g.opins[x][y] = append(g.opins[x][y], op.ID)
+					g.addEdge(src.ID, op.ID)
+					ip := g.newNode(IPin, x, y)
+					ip.Pin = s
+					ip.C = tech.CGateMin * 4
+					g.ipins[x][y] = append(g.ipins[x][y], ip.ID)
+					g.addEdge(ip.ID, snk.ID)
+				}
+			}
+		}
+	}
+}
+
+// buildWires creates the channel segments with staggered starts.
+func (g *Graph) buildWires() {
+	a := g.Arch
+	L := a.Routing.SegmentLength
+	wm, sm := a.Routing.WireWidthMult, a.Routing.WireSpacingMult
+	// Horizontal channels: y in 0..Rows, tiles x in 1..Cols.
+	for y := 0; y <= a.Rows; y++ {
+		for t := 0; t < g.W; t++ {
+			start := 1
+			if L > 1 {
+				// Stagger so wire boundaries differ per track.
+				off := t % L
+				start = 1 - off
+			}
+			for x0 := start; x0 <= a.Cols; x0 += L {
+				lo := x0
+				if lo < 1 {
+					lo = 1
+				}
+				hi := x0 + L - 1
+				if hi > a.Cols {
+					hi = a.Cols
+				}
+				if lo > hi {
+					continue
+				}
+				n := g.newNode(ChanX, lo, y)
+				n.Span = hi - lo + 1
+				n.Track = t
+				n.R = a.Tech.WireRes(float64(n.Span), wm)
+				n.C = a.Tech.WireCap(float64(n.Span), wm, sm)
+				for x := lo; x <= hi; x++ {
+					g.chanxID[chanKey{x, y, t}] = n.ID
+				}
+			}
+		}
+	}
+	// Vertical channels: x in 0..Cols, tiles y in 1..Rows.
+	for x := 0; x <= a.Cols; x++ {
+		for t := 0; t < g.W; t++ {
+			start := 1
+			if L > 1 {
+				off := t % L
+				start = 1 - off
+			}
+			for y0 := start; y0 <= a.Rows; y0 += L {
+				lo := y0
+				if lo < 1 {
+					lo = 1
+				}
+				hi := y0 + L - 1
+				if hi > a.Rows {
+					hi = a.Rows
+				}
+				if lo > hi {
+					continue
+				}
+				n := g.newNode(ChanY, x, lo)
+				n.Span = hi - lo + 1
+				n.Track = t
+				n.R = a.Tech.WireRes(float64(n.Span), wm)
+				n.C = a.Tech.WireCap(float64(n.Span), wm, sm)
+				for y := lo; y <= hi; y++ {
+					g.chanyID[chanKey{x, y, t}] = n.ID
+				}
+			}
+		}
+	}
+}
+
+// fcTracks returns the track indices a pin connects to given flexibility fc,
+// spreading the choices with a per-pin offset.
+func (g *Graph) fcTracks(fc float64, pin int) []int {
+	n := int(fc*float64(g.W) + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	if n > g.W {
+		n = g.W
+	}
+	tracks := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		tracks = append(tracks, (pin+i*g.W/n)%g.W)
+	}
+	return tracks
+}
+
+// channelsAdjacent lists the (isX, x, y) channel coordinates bordering the
+// block at (x, y).
+func (g *Graph) channelsAdjacent(x, y int) [][3]int {
+	a := g.Arch
+	var out [][3]int
+	// chanx below (y-1) and above (y); chanx spans tiles x in 1..Cols.
+	if x >= 1 && x <= a.Cols {
+		if y-1 >= 0 && y-1 <= a.Rows {
+			out = append(out, [3]int{1, x, y - 1})
+		}
+		if y >= 0 && y <= a.Rows {
+			out = append(out, [3]int{1, x, y})
+		}
+	}
+	// chany left (x-1) and right (x); chany spans tiles y in 1..Rows.
+	if y >= 1 && y <= a.Rows {
+		if x-1 >= 0 && x-1 <= a.Cols {
+			out = append(out, [3]int{0, x - 1, y})
+		}
+		if x >= 0 && x <= a.Cols {
+			out = append(out, [3]int{0, x, y})
+		}
+	}
+	return out
+}
+
+func (g *Graph) wireAt(isX int, x, y, track int) (int, bool) {
+	if isX == 1 {
+		id, ok := g.chanxID[chanKey{x, y, track}]
+		return id, ok
+	}
+	id, ok := g.chanyID[chanKey{x, y, track}]
+	return id, ok
+}
+
+// buildConnectionBoxes wires OPins onto tracks and tracks onto IPins.
+// Pins are distributed round-robin over the block's adjacent channels.
+func (g *Graph) buildConnectionBoxes() {
+	a := g.Arch
+	for x := 0; x < g.GridWidth(); x++ {
+		for y := 0; y < g.GridHeight(); y++ {
+			if g.kind[x][y] == SiteEmpty {
+				continue
+			}
+			chans := g.channelsAdjacent(x, y)
+			if len(chans) == 0 {
+				continue
+			}
+			for pi, opID := range g.opins[x][y] {
+				op := g.Nodes[opID]
+				ch := chans[pi%len(chans)]
+				for _, t := range g.fcTracks(a.Routing.FcOut, op.Pin) {
+					if wid, ok := g.wireAt(ch[0], ch[1], ch[2], t); ok {
+						g.addEdge(opID, wid)
+					}
+				}
+			}
+			for pi, ipID := range g.ipins[x][y] {
+				ip := g.Nodes[ipID]
+				ch := chans[pi%len(chans)]
+				for _, t := range g.fcTracks(a.Routing.FcIn, ip.Pin) {
+					if wid, ok := g.wireAt(ch[0], ch[1], ch[2], t); ok {
+						g.addEdge(wid, ipID)
+					}
+				}
+			}
+		}
+	}
+}
+
+// buildSwitchBoxes connects wires through the disjoint switch pattern: at
+// every switch point, all incident wires with the same track index
+// interconnect bidirectionally (pass-transistor switches conduct both ways).
+func (g *Graph) buildSwitchBoxes() {
+	type pt struct{ x, y, t int }
+	incident := make(map[pt][]int)
+	add := func(x, y, t, id int) {
+		p := pt{x, y, t}
+		for _, e := range incident[p] {
+			if e == id {
+				return
+			}
+		}
+		incident[p] = append(incident[p], id)
+	}
+	// A chanx wire spanning tiles [lo,hi] at height y touches switch points
+	// (lo-1, y) .. (hi, y). A chany wire spanning [lo,hi] at column x
+	// touches (x, lo-1) .. (x, hi).
+	seen := make(map[int]bool)
+	for _, key := range sortedChanKeys(g.chanxID) {
+		id := g.chanxID[key]
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		n := g.Nodes[id]
+		for sx := n.X - 1; sx <= n.X+n.Span-1; sx++ {
+			add(sx, n.Y, n.Track, id)
+		}
+	}
+	for _, key := range sortedChanKeys(g.chanyID) {
+		id := g.chanyID[key]
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		n := g.Nodes[id]
+		for sy := n.Y - 1; sy <= n.Y+n.Span-1; sy++ {
+			add(n.X, sy, n.Track, id)
+		}
+	}
+	// Iterate switch points in sorted order: the edge lists (and therefore
+	// the bitstream's canonical configuration-bit enumeration) must be
+	// identical across builds of the same architecture.
+	points := make([]pt, 0, len(incident))
+	for p := range incident {
+		points = append(points, p)
+	}
+	sort.Slice(points, func(i, j int) bool {
+		a, b := points[i], points[j]
+		if a.x != b.x {
+			return a.x < b.x
+		}
+		if a.y != b.y {
+			return a.y < b.y
+		}
+		return a.t < b.t
+	})
+	connected := make(map[[2]int]bool)
+	for _, p := range points {
+		ids := incident[p]
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				a, b := ids[i], ids[j]
+				if a > b {
+					a, b = b, a
+				}
+				k := [2]int{a, b}
+				if connected[k] {
+					continue
+				}
+				connected[k] = true
+				g.addEdge(a, b)
+				g.addEdge(b, a)
+			}
+		}
+	}
+}
+
+func sortedChanKeys(m map[chanKey]int) []chanKey {
+	keys := make([]chanKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.x != b.x {
+			return a.x < b.x
+		}
+		if a.y != b.y {
+			return a.y < b.y
+		}
+		return a.track < b.track
+	})
+	return keys
+}

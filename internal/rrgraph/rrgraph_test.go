@@ -1,0 +1,345 @@
+package rrgraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fpgaflow/internal/arch"
+)
+
+func smallArch() *arch.Arch {
+	a := arch.Paper()
+	a.Rows, a.Cols = 3, 3
+	a.Routing.ChannelWidth = 4
+	return a
+}
+
+func TestBuildSmallGrid(t *testing.T) {
+	g, err := Build(smallArch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) == 0 || g.NumEdges() == 0 {
+		t.Fatal("empty graph")
+	}
+	// Site classification: corners empty, borders IO, inside CLB.
+	if g.Kind(0, 0) != SiteEmpty || g.Kind(4, 4) != SiteEmpty {
+		t.Error("corners not empty")
+	}
+	if g.Kind(0, 1) != SiteIO || g.Kind(2, 0) != SiteIO || g.Kind(4, 2) != SiteIO {
+		t.Error("borders not IO")
+	}
+	if g.Kind(2, 2) != SiteCLB {
+		t.Error("center not CLB")
+	}
+}
+
+func TestBlockNodeWiring(t *testing.T) {
+	a := smallArch()
+	g, err := Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := 2, 2
+	src, snk := g.SourceAt(x, y), g.SinkAt(x, y)
+	if src < 0 || snk < 0 {
+		t.Fatal("missing source/sink at CLB")
+	}
+	if got := g.Nodes[src].Capacity; got != a.CLB.Outputs() {
+		t.Errorf("source capacity = %d, want %d", got, a.CLB.Outputs())
+	}
+	if got := g.Nodes[snk].Capacity; got != a.CLB.I {
+		t.Errorf("sink capacity = %d, want %d", got, a.CLB.I)
+	}
+	if len(g.OPins(x, y)) != a.CLB.Outputs() || len(g.IPins(x, y)) != a.CLB.I {
+		t.Fatalf("pin counts: %d opins, %d ipins", len(g.OPins(x, y)), len(g.IPins(x, y)))
+	}
+	// Source feeds exactly its OPins.
+	if len(g.Nodes[src].Edges) != a.CLB.Outputs() {
+		t.Errorf("source fanout = %d", len(g.Nodes[src].Edges))
+	}
+	// Every IPin feeds the sink.
+	for _, ip := range g.IPins(x, y) {
+		found := false
+		for _, e := range g.Nodes[ip].Edges {
+			if e == snk {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("ipin %d does not reach sink", ip)
+		}
+	}
+}
+
+func TestOPinsReachTracks(t *testing.T) {
+	g, err := Build(smallArch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range g.OPins(2, 2) {
+		n := g.Nodes[op]
+		wires := 0
+		for _, e := range n.Edges {
+			et := g.Nodes[e].Type
+			if et == ChanX || et == ChanY {
+				wires++
+			}
+		}
+		// Fc_out = 1: every OPin connects to all W tracks of its channel.
+		if wires != g.W {
+			t.Errorf("opin %d connects to %d wires, want %d", op, wires, g.W)
+		}
+	}
+}
+
+func TestWiresReachIPins(t *testing.T) {
+	g, err := Build(smallArch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each IPin must be reachable from at least one wire.
+	incoming := make(map[int]int)
+	for _, n := range g.Nodes {
+		if n.Type != ChanX && n.Type != ChanY {
+			continue
+		}
+		for _, e := range n.Edges {
+			if g.Nodes[e].Type == IPin {
+				incoming[e]++
+			}
+		}
+	}
+	for _, ip := range g.IPins(2, 2) {
+		if incoming[ip] == 0 {
+			t.Errorf("ipin %d unreachable from any wire", ip)
+		}
+	}
+}
+
+func TestDisjointSwitchBox(t *testing.T) {
+	g, err := Build(smallArch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wire-to-wire edges must stay on the same track (disjoint pattern) and
+	// be symmetric (pass transistors are bidirectional).
+	edgeSet := make(map[[2]int]bool)
+	for _, n := range g.Nodes {
+		if n.Type != ChanX && n.Type != ChanY {
+			continue
+		}
+		for _, e := range n.Edges {
+			to := g.Nodes[e]
+			if to.Type != ChanX && to.Type != ChanY {
+				continue
+			}
+			if to.Track != n.Track {
+				t.Fatalf("edge %d->%d crosses tracks %d->%d", n.ID, to.ID, n.Track, to.Track)
+			}
+			edgeSet[[2]int{n.ID, e}] = true
+		}
+	}
+	for e := range edgeSet {
+		if !edgeSet[[2]int{e[1], e[0]}] {
+			t.Fatalf("switch edge %v not symmetric", e)
+		}
+	}
+	if len(edgeSet) == 0 {
+		t.Fatal("no switch-box edges")
+	}
+}
+
+func TestFullConnectivitySourceToAnySink(t *testing.T) {
+	g, err := Build(smallArch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BFS from a corner-ish IO source must reach every sink in the fabric.
+	src := g.SourceAt(0, 1)
+	if src < 0 {
+		t.Fatal("no IO source at (0,1)")
+	}
+	reach := make([]bool, len(g.Nodes))
+	reach[src] = true
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range g.Nodes[u].Edges {
+			if !reach[e] {
+				reach[e] = true
+				queue = append(queue, e)
+			}
+		}
+	}
+	for x := 0; x < g.GridWidth(); x++ {
+		for y := 0; y < g.GridHeight(); y++ {
+			if g.Kind(x, y) == SiteEmpty {
+				continue
+			}
+			if snk := g.SinkAt(x, y); !reach[snk] {
+				t.Errorf("sink at (%d,%d) unreachable", x, y)
+			}
+		}
+	}
+}
+
+func TestFcFractional(t *testing.T) {
+	a := smallArch()
+	a.Routing.ChannelWidth = 8
+	a.Routing.FcIn = 0.5
+	a.Routing.FcOut = 0.25
+	g, err := Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range g.OPins(2, 2) {
+		wires := 0
+		for _, e := range g.Nodes[op].Edges {
+			if t := g.Nodes[e].Type; t == ChanX || t == ChanY {
+				wires++
+			}
+		}
+		if wires != 2 { // 0.25 * 8
+			t.Errorf("opin wires = %d, want 2", wires)
+		}
+	}
+}
+
+func TestSegmentLength2(t *testing.T) {
+	a := smallArch()
+	a.Routing.SegmentLength = 2
+	g, err := Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := map[int]int{}
+	long := 0
+	for _, n := range g.Nodes {
+		if n.Type == ChanX || n.Type == ChanY {
+			spans[n.Span]++
+			if n.Span == 2 {
+				long++
+			}
+			if n.Span < 1 || n.Span > 2 {
+				t.Fatalf("wire span %d", n.Span)
+			}
+		}
+	}
+	if long == 0 {
+		t.Fatal("no length-2 wires built")
+	}
+	// Longer wires have higher R and C than length-1.
+	var r1, r2 float64
+	for _, n := range g.Nodes {
+		if n.Type == ChanX && n.Span == 1 {
+			r1 = n.R
+		}
+		if n.Type == ChanX && n.Span == 2 {
+			r2 = n.R
+		}
+	}
+	if r2 <= r1 {
+		t.Errorf("R(len2)=%g <= R(len1)=%g", r2, r1)
+	}
+}
+
+func TestWireElectricalValues(t *testing.T) {
+	a := smallArch()
+	g, err := Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range g.Nodes {
+		if n.Type == ChanX || n.Type == ChanY {
+			if n.R <= 0 || n.C <= 0 {
+				t.Fatalf("wire %d has R=%g C=%g", n.ID, n.R, n.C)
+			}
+		}
+	}
+}
+
+func TestIOSiteHasSingleChannel(t *testing.T) {
+	g, err := Build(smallArch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An IO pad on the left border can only reach the chany at x=0.
+	for _, op := range g.OPins(0, 2) {
+		for _, e := range g.Nodes[op].Edges {
+			n := g.Nodes[e]
+			if n.Type != ChanY || n.X != 0 {
+				t.Errorf("left IO opin reaches %s at (%d,%d)", n.Type, n.X, n.Y)
+			}
+		}
+	}
+}
+
+// TestGraphInvariantsProperty checks structural invariants across random
+// architecture parameters.
+func TestGraphInvariantsProperty(t *testing.T) {
+	f := func(rowsRaw, colsRaw, wRaw, segRaw, fcRaw uint8) bool {
+		a := arch.Paper()
+		a.Rows = 1 + int(rowsRaw)%5
+		a.Cols = 1 + int(colsRaw)%5
+		a.Routing.ChannelWidth = 1 + int(wRaw)%12
+		a.Routing.SegmentLength = 1 + int(segRaw)%4
+		a.Routing.FcIn = 0.25 + float64(fcRaw%4)*0.25
+		a.Routing.FcOut = a.Routing.FcIn
+		g, err := Build(a)
+		if err != nil {
+			t.Logf("build: %v", err)
+			return false
+		}
+		for _, n := range g.Nodes {
+			if n.Capacity < 1 {
+				t.Logf("node %d capacity %d", n.ID, n.Capacity)
+				return false
+			}
+			for _, e := range n.Edges {
+				if e < 0 || e >= len(g.Nodes) {
+					t.Logf("node %d edge %d out of range", n.ID, e)
+					return false
+				}
+			}
+			switch n.Type {
+			case ChanX, ChanY:
+				if n.Track < 0 || n.Track >= g.W {
+					t.Logf("wire %d track %d", n.ID, n.Track)
+					return false
+				}
+				if n.Span < 1 || n.Span > a.Routing.SegmentLength {
+					t.Logf("wire %d span %d", n.ID, n.Span)
+					return false
+				}
+			case Sink:
+				if len(n.Edges) != 0 {
+					t.Logf("sink %d has out-edges", n.ID)
+					return false
+				}
+			}
+		}
+		// Every CLB sink reachable from every CLB source (full connectivity
+		// under any Fc >= 0.25 with the disjoint box at these sizes).
+		src := g.SourceAt(1, 1)
+		reach := make([]bool, len(g.Nodes))
+		reach[src] = true
+		queue := []int{src}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, e := range g.Nodes[u].Edges {
+				if !reach[e] {
+					reach[e] = true
+					queue = append(queue, e)
+				}
+			}
+		}
+		return reach[g.SinkAt(a.Cols, a.Rows)]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(12))}); err != nil {
+		t.Fatal(err)
+	}
+}

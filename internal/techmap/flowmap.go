@@ -1,0 +1,379 @@
+// Package techmap maps a fanin-bounded logic network onto K-input LUTs.
+// The primary mapper is FlowMap (Cong & Ding, 1994): depth-optimal K-LUT
+// covering via max-flow K-feasible cut computation. A greedy
+// maximum-fanout-free-cone mapper is provided as the area-oriented baseline.
+// This is the "SIS LUT mapping" stage of the paper's flow.
+package techmap
+
+import (
+	"fmt"
+	"sort"
+
+	"fpgaflow/internal/logic"
+	"fpgaflow/internal/netlist"
+)
+
+// Result describes a mapping.
+type Result struct {
+	Netlist *netlist.Netlist
+	// Depth is the maximum LUT depth of the mapped network.
+	Depth int
+	// LUTs is the number of LUTs created.
+	LUTs int
+}
+
+// FlowMap maps nl onto K-input LUTs with optimal depth. The input network's
+// logic nodes must have fanin <= K (run logic.Decompose first for K >= 2).
+func FlowMap(nl *netlist.Netlist, k int) (*Result, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("techmap: K must be >= 2, got %d", k)
+	}
+	if mf := logic.MaxFanin(nl); mf > k {
+		return nil, fmt.Errorf("techmap: network has %d-input node, exceeds K=%d; decompose first", mf, k)
+	}
+	topo, err := nl.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+
+	label := make(map[*netlist.Node]int, nl.NumNodes())
+	cut := make(map[*netlist.Node][]*netlist.Node, nl.NumNodes())
+	for _, n := range topo {
+		if n.Kind != netlist.KindLogic {
+			label[n] = 0
+			continue
+		}
+		if len(n.Fanin) == 0 { // constant: a zero-input LUT at depth 0
+			label[n] = 0
+			cut[n] = nil
+			continue
+		}
+		p := 0
+		for _, f := range n.Fanin {
+			if label[f] > p {
+				p = label[f]
+			}
+		}
+		cone := collectCone(n)
+		label[n] = p // tentative: t always joins the sink cluster
+		cutNodes, feasible := kFeasibleCut(n, cone, label, p, k)
+		if feasible {
+			label[n] = p
+			cut[n] = cutNodes
+		} else {
+			label[n] = p + 1
+			cut[n] = append([]*netlist.Node(nil), n.Fanin...)
+		}
+	}
+	return buildMapped(nl, k, cut, label)
+}
+
+// collectCone returns the combinational transitive fanin of t including t.
+// Inputs and latches are not cone members (they are cut candidates).
+func collectCone(t *netlist.Node) map[*netlist.Node]bool {
+	cone := make(map[*netlist.Node]bool)
+	var walk func(n *netlist.Node)
+	walk = func(n *netlist.Node) {
+		if cone[n] || n.Kind != netlist.KindLogic {
+			return
+		}
+		cone[n] = true
+		for _, f := range n.Fanin {
+			walk(f)
+		}
+	}
+	walk(t)
+	return cone
+}
+
+// kFeasibleCut tests whether cone(t) has a K-feasible cut of height p-1 and
+// returns the cut node set (the LUT inputs) if so. Following FlowMap, nodes
+// in the cone with label == p are collapsed into the sink; unit node
+// capacities make max-flow <= K equivalent to a K-feasible node cut.
+func kFeasibleCut(t *netlist.Node, cone map[*netlist.Node]bool, label map[*netlist.Node]int, p, k int) ([]*netlist.Node, bool) {
+	// Flow network: source -> each cone input (node outside cone feeding a
+	// cone node); internal cone nodes (label < p) split in/out with cap 1;
+	// nodes with label == p merge into the sink.
+	type arc struct {
+		to  int
+		cap int
+		rev int // index of reverse arc in adj[to]
+	}
+	var adj [][]arc
+	addNode := func() int {
+		adj = append(adj, nil)
+		return len(adj) - 1
+	}
+	addArc := func(u, v, c int) {
+		adj[u] = append(adj[u], arc{to: v, cap: c, rev: len(adj[v])})
+		adj[v] = append(adj[v], arc{to: u, cap: 0, rev: len(adj[u]) - 1})
+	}
+	// A cone input already at height p (e.g. a primary input when p == 0)
+	// would have to sit on the sink side of any height-(p-1) cut, which is
+	// impossible: no such cut exists.
+	for n := range cone {
+		for _, f := range n.Fanin {
+			if label[f] == p && !cone[f] {
+				return nil, false
+			}
+		}
+	}
+
+	src := addNode()
+	sink := addNode()
+
+	inV := make(map[*netlist.Node]int)  // entry vertex of a cut-candidate node
+	outV := make(map[*netlist.Node]int) // exit vertex
+	vertexOf := func(n *netlist.Node, out bool) int {
+		if label[n] == p {
+			// Nodes at the current height can never be cut nodes: a cut
+			// through them would give height p, not p-1. They merge into
+			// the sink (cone inputs at height p make the cut infeasible).
+			return sink
+		}
+		if out {
+			if v, ok := outV[n]; ok {
+				return v
+			}
+		} else {
+			if v, ok := inV[n]; ok {
+				return v
+			}
+		}
+		vin, vout := addNode(), addNode()
+		inV[n], outV[n] = vin, vout
+		addArc(vin, vout, 1)
+		if !cone[n] { // cone input: unlimited supply from source
+			addArc(src, vin, k+1)
+		}
+		if out {
+			return vout
+		}
+		return vin
+	}
+	for n := range cone {
+		if label[n] == p {
+			// Collapsed into sink; its fanins feed the sink directly.
+			for _, f := range n.Fanin {
+				if label[f] == p {
+					continue
+				}
+				addArc(vertexOf(f, true), sink, k+1)
+			}
+			continue
+		}
+		nv := vertexOf(n, false)
+		for _, f := range n.Fanin {
+			// Labels are monotone along edges, so a fanin at height p of a
+			// node below p cannot occur; guard anyway.
+			if label[f] == p {
+				continue
+			}
+			addArc(vertexOf(f, true), nv, k+1)
+		}
+	}
+	_ = t
+
+	// BFS max-flow, stop once flow exceeds k.
+	flow := 0
+	for flow <= k {
+		parent := make([]int, len(adj))
+		parentArc := make([]int, len(adj))
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[src] = src
+		queue := []int{src}
+		for len(queue) > 0 && parent[sink] < 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for ai, a := range adj[u] {
+				if a.cap > 0 && parent[a.to] < 0 {
+					parent[a.to] = u
+					parentArc[a.to] = ai
+					queue = append(queue, a.to)
+				}
+			}
+		}
+		if parent[sink] < 0 {
+			break
+		}
+		// Unit augmentation (all bottleneck capacities along node-splitting
+		// arcs are 1; source/sink arcs are wide).
+		v := sink
+		for v != src {
+			u := parent[v]
+			a := &adj[u][parentArc[v]]
+			a.cap--
+			adj[v][a.rev].cap++
+			v = u
+		}
+		flow++
+	}
+	if flow > k {
+		return nil, false
+	}
+	// Min cut: nodes whose in-vertex is reachable from src in the residual
+	// graph but out-vertex is not.
+	reach := make([]bool, len(adj))
+	reach[src] = true
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, a := range adj[u] {
+			if a.cap > 0 && !reach[a.to] {
+				reach[a.to] = true
+				queue = append(queue, a.to)
+			}
+		}
+	}
+	var cutNodes []*netlist.Node
+	for n, vin := range inV {
+		if reach[vin] && !reach[outV[n]] {
+			cutNodes = append(cutNodes, n)
+		}
+	}
+	sort.Slice(cutNodes, func(i, j int) bool { return cutNodes[i].Name < cutNodes[j].Name })
+	if len(cutNodes) > k {
+		// Defensive: should not happen when flow <= k.
+		return nil, false
+	}
+	return cutNodes, true
+}
+
+// buildMapped constructs the LUT netlist from the chosen cuts.
+func buildMapped(nl *netlist.Netlist, k int, cut map[*netlist.Node][]*netlist.Node, label map[*netlist.Node]int) (*Result, error) {
+	out := netlist.New(nl.Name)
+	made := make(map[*netlist.Node]*netlist.Node, nl.NumNodes())
+
+	for _, in := range nl.Inputs {
+		n, err := out.AddInput(in.Name)
+		if err != nil {
+			return nil, err
+		}
+		made[in] = n
+	}
+	// Latches first (as placeholders) so feedback resolves; D fanin fixed later.
+	for _, n := range nl.Nodes() {
+		if n.Kind == netlist.KindLatch {
+			q, err := out.AddLatch(n.Name, nil, n.Init, n.Clock)
+			if err != nil {
+				return nil, err
+			}
+			q.Fanin = nil
+			made[n] = q
+		}
+	}
+
+	var emit func(n *netlist.Node) (*netlist.Node, error)
+	emit = func(n *netlist.Node) (*netlist.Node, error) {
+		if m, ok := made[n]; ok {
+			return m, nil
+		}
+		if n.Kind != netlist.KindLogic {
+			return nil, fmt.Errorf("techmap: unexpected %s node %q during emission", n.Kind, n.Name)
+		}
+		inputs := cut[n]
+		mappedIn := make([]*netlist.Node, len(inputs))
+		for i, f := range inputs {
+			m, err := emit(f)
+			if err != nil {
+				return nil, err
+			}
+			mappedIn[i] = m
+		}
+		tt, err := coneTruthTable(n, inputs)
+		if err != nil {
+			return nil, err
+		}
+		cover := logic.MinimizeTruthTable(tt, len(inputs))
+		lut, err := out.AddLogic(n.Name, mappedIn, cover)
+		if err != nil {
+			return nil, err
+		}
+		made[n] = lut
+		return lut, nil
+	}
+
+	// Required roots: primary outputs and latch D inputs.
+	for _, o := range nl.Outputs {
+		n := nl.Node(o)
+		if n == nil {
+			return nil, fmt.Errorf("techmap: output %q missing", o)
+		}
+		if _, err := emit(n); err != nil {
+			return nil, err
+		}
+		out.MarkOutput(o)
+	}
+	for _, n := range nl.Nodes() {
+		if n.Kind != netlist.KindLatch {
+			continue
+		}
+		d, err := emit(n.Fanin[0])
+		if err != nil {
+			return nil, err
+		}
+		made[n].Fanin = []*netlist.Node{d}
+	}
+	out.Sweep()
+	// Area recovery: overlapping cuts duplicate cone logic; structurally
+	// identical LUTs merge back into one.
+	logic.MergeDuplicates(out)
+	if err := out.Check(); err != nil {
+		return nil, err
+	}
+	st := out.Stats()
+	return &Result{Netlist: out, Depth: st.Depth, LUTs: st.Logic}, nil
+}
+
+// coneTruthTable evaluates the function of node t over the given cut inputs
+// by simulating the cone for every input assignment.
+func coneTruthTable(t *netlist.Node, inputs []*netlist.Node) ([]bool, error) {
+	k := len(inputs)
+	if k > 16 {
+		return nil, fmt.Errorf("techmap: cut of %d inputs too wide", k)
+	}
+	isInput := make(map[*netlist.Node]int, k)
+	for i, in := range inputs {
+		isInput[in] = i
+	}
+	rows := 1 << uint(k)
+	tt := make([]bool, rows)
+	val := make(map[*netlist.Node]bool)
+	var eval func(n *netlist.Node) (bool, error)
+	eval = func(n *netlist.Node) (bool, error) {
+		if v, ok := val[n]; ok {
+			return v, nil
+		}
+		if n.Kind != netlist.KindLogic {
+			return false, fmt.Errorf("techmap: cone of %q escapes cut at %q", t.Name, n.Name)
+		}
+		in := make([]bool, len(n.Fanin))
+		for i, f := range n.Fanin {
+			v, err := eval(f)
+			if err != nil {
+				return false, err
+			}
+			in[i] = v
+		}
+		v := netlist.EvalCover(n.Cover, in)
+		val[n] = v
+		return v, nil
+	}
+	for m := 0; m < rows; m++ {
+		for n := range val {
+			delete(val, n)
+		}
+		for i, in := range inputs {
+			val[in] = m&(1<<uint(i)) != 0
+		}
+		v, err := eval(t)
+		if err != nil {
+			return nil, err
+		}
+		tt[m] = v
+	}
+	return tt, nil
+}

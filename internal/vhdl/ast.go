@@ -1,0 +1,292 @@
+package vhdl
+
+// AST for the supported VHDL subset.
+
+// Design is a parsed source file: entities and architectures.
+type Design struct {
+	Entities      []*Entity
+	Architectures []*Architecture
+}
+
+// PortDir is a port direction.
+type PortDir int
+
+const (
+	DirIn PortDir = iota
+	DirOut
+)
+
+func (d PortDir) String() string {
+	if d == DirOut {
+		return "out"
+	}
+	return "in"
+}
+
+// Type is a (possibly vector) signal type.
+type Type struct {
+	// Vector is true for std_logic_vector / bit_vector.
+	Vector bool
+	// Hi, Lo are the resolved bounds; Downto records the direction. For
+	// scalars all are zero. HiE/LoE hold unresolved bound expressions
+	// (generic-dependent); elaboration resolves them per instance.
+	Hi, Lo   int
+	HiE, LoE Expr
+	Downto   bool
+}
+
+// Resolved reports whether the bounds are concrete integers.
+func (t Type) Resolved() bool { return t.HiE == nil && t.LoE == nil }
+
+// Width returns the number of bits (resolved types only).
+func (t Type) Width() int {
+	if !t.Vector {
+		return 1
+	}
+	if t.Hi >= t.Lo {
+		return t.Hi - t.Lo + 1
+	}
+	return t.Lo - t.Hi + 1
+}
+
+// Port is one entity port.
+type Port struct {
+	Name string
+	Dir  PortDir
+	Type Type
+	Line int
+}
+
+// Generic is one entity generic (integer-valued).
+type Generic struct {
+	Name string
+	// Default is nil when the generic has no default value.
+	Default Expr
+	Line    int
+}
+
+// Entity is an entity declaration.
+type Entity struct {
+	Name     string
+	Generics []*Generic
+	Ports    []*Port
+	Line     int
+}
+
+// Signal is an architecture-level signal declaration.
+type Signal struct {
+	Name string
+	Type Type
+	Line int
+}
+
+// Architecture is an architecture body.
+type Architecture struct {
+	Name    string
+	Of      string
+	Signals []*Signal
+	Stmts   []Stmt
+	Line    int
+}
+
+// Stmt is a concurrent statement.
+type Stmt interface{ stmtNode() }
+
+// Assign is a concurrent signal assignment, possibly conditional:
+// target <= Values[0] when Conds[0] else Values[1] when ... else Values[n].
+type Assign struct {
+	Target *Target
+	// Values has one more entry than Conds for the trailing else; a plain
+	// assignment has one value and no conds.
+	Values []Expr
+	Conds  []Expr
+	Line   int
+}
+
+// Selected is "with Sel select target <= v1 when c1, ... vD when others;".
+type Selected struct {
+	Target  *Target
+	Sel     Expr
+	Values  []Expr
+	Choices [][]Expr // literal choices per value; nil = others
+	Line    int
+}
+
+// Process is a process statement.
+type Process struct {
+	Label       string
+	Sensitivity []string
+	Body        []SeqStmt
+	Line        int
+}
+
+// Instance is a direct entity instantiation.
+type Instance struct {
+	Label  string
+	Entity string
+	// GenericFormals/GenericActuals carry the generic map associations.
+	GenericFormals []string
+	GenericActuals []Expr
+	// Formals/Actuals are the port map associations (named form); for
+	// positional maps Formals entries are empty.
+	Formals []string
+	Actuals []Expr
+	Line    int
+}
+
+// GenerateFor is "label: for i in A to B generate stmts end generate;".
+type GenerateFor struct {
+	Label    string
+	Var      string
+	From, To Expr
+	Body     []Stmt
+	Line     int
+}
+
+func (*Assign) stmtNode()      {}
+func (*Selected) stmtNode()    {}
+func (*Process) stmtNode()     {}
+func (*Instance) stmtNode()    {}
+func (*GenerateFor) stmtNode() {}
+
+// SeqStmt is a sequential (process body) statement.
+type SeqStmt interface{ seqNode() }
+
+// SeqAssign is "target <= expr;".
+type SeqAssign struct {
+	Target *Target
+	Value  Expr
+	Line   int
+}
+
+// If is if/elsif/else.
+type If struct {
+	Cond Expr
+	Then []SeqStmt
+	Else []SeqStmt // may contain a single If for elsif chains
+	Line int
+}
+
+// Case is case/when.
+type Case struct {
+	Sel  Expr
+	Arms []CaseArm
+	Line int
+}
+
+// CaseArm is one "when choices => stmts" arm; nil Choices = others.
+type CaseArm struct {
+	Choices []Expr
+	Body    []SeqStmt
+}
+
+// Null is the null statement.
+type Null struct{}
+
+func (*SeqAssign) seqNode() {}
+func (*If) seqNode()        {}
+func (*Case) seqNode()      {}
+func (*Null) seqNode()      {}
+
+// Target is an assignment destination: a signal, an indexed element or a
+// slice.
+type Target struct {
+	Name string
+	// Index is non-nil for x(i) targets.
+	Index Expr
+	// SliceHi/SliceLo are the bound expressions of x(h downto l) targets.
+	HasSlice         bool
+	SliceHi, SliceLo Expr
+	SliceDownto      bool
+	Line             int
+}
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// Name references a signal or port (whole object).
+type Name struct {
+	Ident string
+	Line  int
+}
+
+// IndexExpr is x(i) with a constant or computed index.
+type IndexExpr struct {
+	Base  Expr
+	Index Expr
+	Line  int
+}
+
+// SliceExpr is x(h downto l); the bounds are constant expressions.
+type SliceExpr struct {
+	Base   Expr
+	Hi, Lo Expr
+	Downto bool
+	Line   int
+}
+
+// CharLit is '0' or '1'.
+type CharLit struct {
+	Value byte
+	Line  int
+}
+
+// StrLit is a bit-string literal "0101".
+type StrLit struct {
+	Value string
+	Line  int
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value int
+	Line  int
+}
+
+// Unary is "not x" or "- x".
+type Unary struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+// Binary is a binary operation: and or nand nor xor xnor & + - = /= < <= >
+// >= .
+type Binary struct {
+	Op   string
+	X, Y Expr
+	Line int
+}
+
+// Call is a function call / conversion: rising_edge(clk), unsigned(x),
+// std_logic_vector(x), to_unsigned(v, w), conv_std_logic_vector(v, w).
+type Call struct {
+	Func string
+	Args []Expr
+	Line int
+}
+
+// Attribute is x'event etc.
+type Attribute struct {
+	Base Expr
+	Attr string
+	Line int
+}
+
+// Aggregate is (others => expr).
+type Aggregate struct {
+	Others Expr
+	Line   int
+}
+
+func (*Name) exprNode()      {}
+func (*IndexExpr) exprNode() {}
+func (*SliceExpr) exprNode() {}
+func (*CharLit) exprNode()   {}
+func (*StrLit) exprNode()    {}
+func (*IntLit) exprNode()    {}
+func (*Unary) exprNode()     {}
+func (*Binary) exprNode()    {}
+func (*Call) exprNode()      {}
+func (*Attribute) exprNode() {}
+func (*Aggregate) exprNode() {}

@@ -1,0 +1,776 @@
+package vhdl
+
+import (
+	"fmt"
+	"sort"
+
+	"fpgaflow/internal/netlist"
+)
+
+// Elaborate synthesizes the design into a gate-level netlist (the DIVINER
+// tool). top names the top-level entity; pass "" to auto-select (the only
+// entity, or the only one never instantiated).
+func Elaborate(d *Design, top string) (*netlist.Netlist, error) {
+	e := &elaborator{
+		design: d,
+		entOf:  make(map[string]*Entity),
+		archOf: make(map[string]*Architecture),
+	}
+	for _, ent := range d.Entities {
+		if _, dup := e.entOf[ent.Name]; dup {
+			return nil, fmt.Errorf("vhdl: line %d: duplicate entity %q", ent.Line, ent.Name)
+		}
+		e.entOf[ent.Name] = ent
+	}
+	for _, a := range d.Architectures {
+		if e.entOf[a.Of] == nil {
+			return nil, fmt.Errorf("vhdl: line %d: architecture %q of unknown entity %q", a.Line, a.Name, a.Of)
+		}
+		if _, dup := e.archOf[a.Of]; dup {
+			return nil, fmt.Errorf("vhdl: line %d: entity %q has multiple architectures", a.Line, a.Of)
+		}
+		e.archOf[a.Of] = a
+	}
+	if top == "" {
+		var err error
+		top, err = e.pickTop()
+		if err != nil {
+			return nil, err
+		}
+	}
+	ent := e.entOf[top]
+	if ent == nil {
+		return nil, fmt.Errorf("vhdl: no entity %q", top)
+	}
+	e.nl = netlist.New(top)
+
+	// Top-level generics take their default values.
+	generics := make(map[string]int)
+	for _, g := range ent.Generics {
+		if g.Default == nil {
+			return nil, fmt.Errorf("vhdl: line %d: top-level generic %q has no default value", g.Line, g.Name)
+		}
+		v, err := evalConstExpr(g.Default, generics)
+		if err != nil {
+			return nil, err
+		}
+		generics[g.Name] = v
+	}
+	// Top-level ports become primary inputs / outputs.
+	bindings := make(map[string][]*netlist.Node)
+	for _, port := range ent.Ports {
+		if port.Dir != DirIn {
+			continue
+		}
+		t, err := resolveType(port.Type, generics, port.Line)
+		if err != nil {
+			return nil, err
+		}
+		w := t.Width()
+		bits := make([]*netlist.Node, w)
+		for j := 0; j < w; j++ {
+			n, err := e.nl.AddInput(bitName("", port.Name, t, j))
+			if err != nil {
+				return nil, err
+			}
+			bits[j] = n
+		}
+		bindings[port.Name] = bits
+	}
+	outBits, err := e.instantiate("", ent, bindings, generics)
+	if err != nil {
+		return nil, err
+	}
+	for _, port := range ent.Ports {
+		if port.Dir != DirOut {
+			continue
+		}
+		for _, b := range outBits[port.Name] {
+			e.nl.MarkOutput(b.Name)
+		}
+	}
+	e.nl.Sweep()
+	if err := e.nl.Check(); err != nil {
+		return nil, fmt.Errorf("vhdl: elaborated netlist invalid (combinational loop or inferred latch?): %w", err)
+	}
+	return e.nl, nil
+}
+
+// CheckSource is the "VHDL Parser" tool: parse and semantically check a
+// source file, returning the first error or nil.
+func CheckSource(src string) error {
+	d, err := Parse(src)
+	if err != nil {
+		return err
+	}
+	_, err = Elaborate(d, "")
+	return err
+}
+
+type elaborator struct {
+	design *Design
+	entOf  map[string]*Entity
+	archOf map[string]*Architecture
+	nl     *netlist.Netlist
+	consts [2]*netlist.Node
+	depth  int
+}
+
+func (e *elaborator) pickTop() (string, error) {
+	instantiated := make(map[string]bool)
+	var mark func(stmts []Stmt)
+	mark = func(stmts []Stmt) {
+		for _, s := range stmts {
+			switch st := s.(type) {
+			case *Instance:
+				instantiated[st.Entity] = true
+			case *GenerateFor:
+				mark(st.Body)
+			}
+		}
+	}
+	for _, a := range e.design.Architectures {
+		mark(a.Stmts)
+	}
+	var tops []string
+	for name := range e.entOf {
+		if !instantiated[name] {
+			tops = append(tops, name)
+		}
+	}
+	sort.Strings(tops)
+	if len(tops) == 1 {
+		return tops[0], nil
+	}
+	if len(e.entOf) == 1 {
+		for name := range e.entOf {
+			return name, nil
+		}
+	}
+	return "", fmt.Errorf("vhdl: cannot determine top entity (candidates %v)", tops)
+}
+
+// bitName returns the node name of numeric bit j (LSB-first) of a signal.
+func bitName(prefix, sig string, t Type, j int) string {
+	if !t.Vector {
+		return prefix + sig
+	}
+	var idx int
+	if t.Downto {
+		idx = t.Lo + j
+	} else {
+		// Declared "(L to H)" stores Hi=L (left bound), Lo=H (right bound);
+		// the rightmost index H is the LSB.
+		idx = t.Lo - j
+	}
+	return fmt.Sprintf("%s%s[%d]", prefix, sig, idx)
+}
+
+// scope holds one instance's signal environment.
+type scope struct {
+	e         *elaborator
+	prefix    string
+	generics  map[string]int
+	genSuffix string
+	types     map[string]Type
+	dirs      map[string]PortDir // ports only
+	isPort    map[string]bool
+	// bits maps each signal to its node per numeric bit. Driven bits hold
+	// placeholder nodes filled during statement elaboration.
+	bits map[string][]*netlist.Node
+	// driverLine records which line drives each bit (multi-driver check).
+	driverLine map[string][]int
+	// latchBit marks bits driven by clocked processes.
+	latchBit map[string][]bool
+}
+
+// instantiate elaborates one entity/architecture instance. bindings provides
+// the nodes driving each IN port; the returned map gives the nodes of each
+// OUT port.
+func (e *elaborator) instantiate(prefix string, ent *Entity, bindings map[string][]*netlist.Node, generics map[string]int) (map[string][]*netlist.Node, error) {
+	e.depth++
+	defer func() { e.depth-- }()
+	if e.depth > 64 {
+		return nil, fmt.Errorf("vhdl: instantiation depth exceeded (recursive entities?)")
+	}
+	arch := e.archOf[ent.Name]
+	if arch == nil {
+		return nil, fmt.Errorf("vhdl: entity %q has no architecture", ent.Name)
+	}
+	if generics == nil {
+		generics = make(map[string]int)
+	}
+	sc := &scope{
+		e: e, prefix: prefix, generics: generics,
+		types:      make(map[string]Type),
+		dirs:       make(map[string]PortDir),
+		isPort:     make(map[string]bool),
+		bits:       make(map[string][]*netlist.Node),
+		driverLine: make(map[string][]int),
+		latchBit:   make(map[string][]bool),
+	}
+	declare := func(name string, t Type, line int) error {
+		if _, dup := sc.types[name]; dup {
+			return fmt.Errorf("vhdl: line %d: duplicate declaration of %q", line, name)
+		}
+		if _, isGen := sc.generics[name]; isGen {
+			return fmt.Errorf("vhdl: line %d: %q shadows a generic", line, name)
+		}
+		rt, err := resolveType(t, sc.generics, line)
+		if err != nil {
+			return err
+		}
+		t = rt
+		sc.types[name] = t
+		sc.driverLine[name] = make([]int, t.Width())
+		sc.latchBit[name] = make([]bool, t.Width())
+		return nil
+	}
+	for _, p := range ent.Ports {
+		if err := declare(p.Name, p.Type, p.Line); err != nil {
+			return nil, err
+		}
+		sc.dirs[p.Name] = p.Dir
+		sc.isPort[p.Name] = true
+	}
+	for _, s := range arch.Signals {
+		if err := declare(s.Name, s.Type, s.Line); err != nil {
+			return nil, err
+		}
+	}
+
+	// IN ports: bind the provided nodes.
+	for _, p := range ent.Ports {
+		if p.Dir != DirIn {
+			continue
+		}
+		b := bindings[p.Name]
+		if len(b) != sc.types[p.Name].Width() {
+			return nil, fmt.Errorf("vhdl: instance %q port %q: width %d bound to %d bits",
+				prefix, p.Name, sc.types[p.Name].Width(), len(b))
+		}
+		sc.bits[p.Name] = b
+	}
+
+	// Expand generate statements into per-iteration bound statements, then
+	// pre-scan drivers: which bits does each statement drive, and how.
+	bound, err := sc.expandStmts(arch.Stmts, nil, "")
+	if err != nil {
+		return nil, err
+	}
+	for _, bs := range bound {
+		if err := sc.withVars(bs.vars, bs.suffix, func() error { return sc.scanDrivers(bs.s) }); err != nil {
+			return nil, err
+		}
+	}
+	// Create placeholder nodes for every driven bit; report undriven out
+	// ports later.
+	for name, t := range sc.types {
+		if sc.dirs[name] == DirIn && sc.isPort[name] {
+			continue
+		}
+		w := t.Width()
+		nodes := make([]*netlist.Node, w)
+		for j := 0; j < w; j++ {
+			if sc.driverLine[name][j] == 0 {
+				continue // undriven: error only if read or an out port
+			}
+			nn := bitName(prefix, name, t, j)
+			var node *netlist.Node
+			var err error
+			if sc.latchBit[name][j] {
+				node, err = e.nl.AddLatch(nn, nil, '0', "")
+			} else {
+				node, err = e.nl.AddLogic(nn, nil, netlist.Cover{Value: netlist.LitOne})
+			}
+			if err != nil {
+				return nil, err
+			}
+			nodes[j] = node
+		}
+		sc.bits[name] = nodes
+	}
+
+	// Elaborate statements.
+	for _, bs := range bound {
+		if err := sc.withVars(bs.vars, bs.suffix, func() error { return sc.elabStmt(bs.s) }); err != nil {
+			return nil, err
+		}
+	}
+
+	// Collect OUT ports.
+	out := make(map[string][]*netlist.Node)
+	for _, p := range ent.Ports {
+		if p.Dir != DirOut {
+			continue
+		}
+		bits := sc.bits[p.Name]
+		for j := 0; j < sc.types[p.Name].Width(); j++ {
+			if j >= len(bits) || bits[j] == nil {
+				return nil, fmt.Errorf("vhdl: line %d: output port %q bit %d of %q is never driven",
+					p.Line, p.Name, j, ent.Name)
+			}
+		}
+		out[p.Name] = bits
+	}
+	return out, nil
+}
+
+// boundStmt is a concurrent statement with generate-loop variable bindings.
+type boundStmt struct {
+	s      Stmt
+	vars   map[string]int
+	suffix string // label disambiguation for instances inside generates
+}
+
+// expandStmts flattens generate loops into bound statement instances.
+func (sc *scope) expandStmts(stmts []Stmt, vars map[string]int, suffix string) ([]boundStmt, error) {
+	var out []boundStmt
+	for _, s := range stmts {
+		g, isGen := s.(*GenerateFor)
+		if !isGen {
+			out = append(out, boundStmt{s, vars, suffix})
+			continue
+		}
+		// Bounds may reference generics and enclosing generate variables.
+		env := make(map[string]int, len(sc.generics)+len(vars))
+		for k, v := range sc.generics {
+			env[k] = v
+		}
+		for k, v := range vars {
+			env[k] = v
+		}
+		from, err := evalConstExpr(g.From, env)
+		if err != nil {
+			return nil, fmt.Errorf("vhdl: line %d: generate bound: %v", g.Line, err)
+		}
+		to, err := evalConstExpr(g.To, env)
+		if err != nil {
+			return nil, fmt.Errorf("vhdl: line %d: generate bound: %v", g.Line, err)
+		}
+		if to-from > 4096 {
+			return nil, fmt.Errorf("vhdl: line %d: generate range %d..%d too large", g.Line, from, to)
+		}
+		if _, dup := env[g.Var]; dup {
+			return nil, fmt.Errorf("vhdl: line %d: generate variable %q shadows a generic", g.Line, g.Var)
+		}
+		for v := from; v <= to; v++ {
+			iterVars := make(map[string]int, len(vars)+1)
+			for k, x := range vars {
+				iterVars[k] = x
+			}
+			iterVars[g.Var] = v
+			inner, err := sc.expandStmts(g.Body, iterVars, fmt.Sprintf("%s%s_%d.", suffix, g.Label, v))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, inner...)
+		}
+	}
+	return out, nil
+}
+
+// withVars runs fn with the generate-loop variables visible as generics and
+// the instance-label suffix applied.
+func (sc *scope) withVars(vars map[string]int, suffix string, fn func() error) error {
+	if len(vars) == 0 && suffix == "" {
+		return fn()
+	}
+	savedSuffix := sc.genSuffix
+	sc.genSuffix = suffix
+	var saved []func()
+	for k, v := range vars {
+		if old, had := sc.generics[k]; had {
+			k, old := k, old
+			saved = append(saved, func() { sc.generics[k] = old })
+		} else {
+			k := k
+			saved = append(saved, func() { delete(sc.generics, k) })
+		}
+		sc.generics[k] = v
+	}
+	err := fn()
+	for _, restore := range saved {
+		restore()
+	}
+	sc.genSuffix = savedSuffix
+	return err
+}
+
+// targetBits resolves a target to (signal, numeric bit range).
+func (sc *scope) targetBits(t *Target) (string, []int, error) {
+	ty, ok := sc.types[t.Name]
+	if !ok {
+		return "", nil, fmt.Errorf("vhdl: line %d: assignment to undeclared signal %q", t.Line, t.Name)
+	}
+	if sc.isPort[t.Name] && sc.dirs[t.Name] == DirIn {
+		return "", nil, fmt.Errorf("vhdl: line %d: assignment to input port %q", t.Line, t.Name)
+	}
+	switch {
+	case t.Index != nil:
+		idx, err := evalConstExpr(t.Index, sc.generics)
+		if err != nil {
+			return "", nil, fmt.Errorf("vhdl: line %d: target index of %q must be constant: %v", t.Line, t.Name, err)
+		}
+		j, err := numericBit(ty, idx)
+		if err != nil {
+			return "", nil, fmt.Errorf("vhdl: line %d: %v", t.Line, err)
+		}
+		return t.Name, []int{j}, nil
+	case t.HasSlice:
+		hi, err := evalConstExpr(t.SliceHi, sc.generics)
+		if err != nil {
+			return "", nil, fmt.Errorf("vhdl: line %d: %v", t.Line, err)
+		}
+		lo, err := evalConstExpr(t.SliceLo, sc.generics)
+		if err != nil {
+			return "", nil, fmt.Errorf("vhdl: line %d: %v", t.Line, err)
+		}
+		j1, err := numericBit(ty, hi)
+		if err != nil {
+			return "", nil, fmt.Errorf("vhdl: line %d: %v", t.Line, err)
+		}
+		j2, err := numericBit(ty, lo)
+		if err != nil {
+			return "", nil, fmt.Errorf("vhdl: line %d: %v", t.Line, err)
+		}
+		jlo, jhi := j1, j2
+		if jlo > jhi {
+			jlo, jhi = jhi, jlo
+		}
+		var out []int
+		for j := jlo; j <= jhi; j++ {
+			out = append(out, j)
+		}
+		return t.Name, out, nil
+	default:
+		w := ty.Width()
+		out := make([]int, w)
+		for j := range out {
+			out[j] = j
+		}
+		return t.Name, out, nil
+	}
+}
+
+// numericBit converts a declared index to the LSB-first position.
+func numericBit(t Type, idx int) (int, error) {
+	if !t.Vector {
+		return 0, fmt.Errorf("indexing a scalar signal")
+	}
+	lo, hi := t.Lo, t.Hi
+	if !t.Downto {
+		lo, hi = t.Hi, t.Lo // declared (L to H): numeric range [L..H]
+	}
+	min, max := lo, hi
+	if min > max {
+		min, max = max, min
+	}
+	if idx < min || idx > max {
+		return 0, fmt.Errorf("index %d outside range", idx)
+	}
+	if t.Downto {
+		return idx - t.Lo, nil
+	}
+	return t.Lo - idx, nil
+}
+
+// evalConstExpr evaluates an elaboration-time integer expression over the
+// instance's generics.
+func evalConstExpr(e Expr, generics map[string]int) (int, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		return x.Value, nil
+	case *Name:
+		if v, ok := generics[x.Ident]; ok {
+			return v, nil
+		}
+		return 0, fmt.Errorf("vhdl: line %d: %q is not a generic or integer constant", x.Line, x.Ident)
+	case *Unary:
+		if x.Op == "-" {
+			v, err := evalConstExpr(x.X, generics)
+			return -v, err
+		}
+	case *Binary:
+		a, err := evalConstExpr(x.X, generics)
+		if err != nil {
+			return 0, err
+		}
+		b, err := evalConstExpr(x.Y, generics)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case "+":
+			return a + b, nil
+		case "-":
+			return a - b, nil
+		case "*":
+			return a * b, nil
+		case "/":
+			if b == 0 {
+				return 0, fmt.Errorf("vhdl: division by zero in constant expression")
+			}
+			return a / b, nil
+		}
+	}
+	return 0, fmt.Errorf("vhdl: expression is not an integer constant")
+}
+
+// resolveType evaluates generic-dependent bounds to a concrete Type.
+func resolveType(t Type, generics map[string]int, line int) (Type, error) {
+	if t.Resolved() {
+		return t, nil
+	}
+	hi, err := evalConstExpr(t.HiE, generics)
+	if err != nil {
+		return Type{}, fmt.Errorf("vhdl: line %d: %v", line, err)
+	}
+	lo, err := evalConstExpr(t.LoE, generics)
+	if err != nil {
+		return Type{}, fmt.Errorf("vhdl: line %d: %v", line, err)
+	}
+	if t.Downto && hi < lo {
+		return Type{}, fmt.Errorf("vhdl: line %d: downto range (%d downto %d) ascends", line, hi, lo)
+	}
+	if !t.Downto && hi > lo {
+		return Type{}, fmt.Errorf("vhdl: line %d: to range (%d to %d) descends", line, hi, lo)
+	}
+	return Type{Vector: t.Vector, Hi: hi, Lo: lo, Downto: t.Downto}, nil
+}
+
+// scanDrivers records drivers and latch classification for one statement.
+func (sc *scope) scanDrivers(s Stmt) error {
+	mark := func(t *Target, line int, latch bool) error {
+		name, bits, err := sc.targetBits(t)
+		if err != nil {
+			return err
+		}
+		for _, j := range bits {
+			if prev := sc.driverLine[name][j]; prev != 0 {
+				return fmt.Errorf("vhdl: line %d: signal %q bit %d already driven at line %d",
+					line, name, j, prev)
+			}
+			sc.driverLine[name][j] = line
+			sc.latchBit[name][j] = latch
+		}
+		return nil
+	}
+	switch st := s.(type) {
+	case *Assign:
+		return mark(st.Target, st.Line, false)
+	case *Selected:
+		return mark(st.Target, st.Line, false)
+	case *Process:
+		clocked, _, _, err := classifyProcess(st)
+		if err != nil {
+			return err
+		}
+		targets, err := collectTargets(st.Body)
+		if err != nil {
+			return err
+		}
+		// A process may assign overlapping targets (e.g. a full-vector
+		// reset plus per-bit updates); union the bits before marking.
+		bitsOf := make(map[string]map[int]bool)
+		for _, t := range targets {
+			name, bits, err := sc.targetBits(t)
+			if err != nil {
+				return err
+			}
+			if bitsOf[name] == nil {
+				bitsOf[name] = make(map[int]bool)
+			}
+			for _, j := range bits {
+				bitsOf[name][j] = true
+			}
+		}
+		for name, set := range bitsOf {
+			for j := range set {
+				if prev := sc.driverLine[name][j]; prev != 0 {
+					return fmt.Errorf("vhdl: line %d: signal %q bit %d already driven at line %d",
+						st.Line, name, j, prev)
+				}
+				sc.driverLine[name][j] = st.Line
+				sc.latchBit[name][j] = clocked
+			}
+		}
+		return nil
+	case *Instance:
+		ent := sc.e.entOf[st.Entity]
+		if ent == nil {
+			return fmt.Errorf("vhdl: line %d: instantiation of unknown entity %q", st.Line, st.Entity)
+		}
+		assoc, err := associate(ent, st)
+		if err != nil {
+			return err
+		}
+		for pi, actual := range assoc {
+			if ent.Ports[pi].Dir != DirOut || actual == nil {
+				continue
+			}
+			t, err := actualAsTarget(actual)
+			if err != nil {
+				return fmt.Errorf("vhdl: line %d: %v", st.Line, err)
+			}
+			if err := mark(t, st.Line, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("vhdl: unknown statement type %T", s)
+}
+
+// collectTargets gathers all assignment targets in a statement list.
+func collectTargets(body []SeqStmt) ([]*Target, error) {
+	seen := make(map[string]*Target)
+	var order []string
+	var walk func(list []SeqStmt) error
+	walk = func(list []SeqStmt) error {
+		for _, s := range list {
+			switch st := s.(type) {
+			case *SeqAssign:
+				key := targetKey(st.Target)
+				if _, dup := seen[key]; !dup {
+					seen[key] = st.Target
+					order = append(order, key)
+				}
+			case *If:
+				if err := walk(st.Then); err != nil {
+					return err
+				}
+				if err := walk(st.Else); err != nil {
+					return err
+				}
+			case *Case:
+				for _, arm := range st.Arms {
+					if err := walk(arm.Body); err != nil {
+						return err
+					}
+				}
+			case *Null:
+			default:
+				return fmt.Errorf("vhdl: unknown sequential statement %T", s)
+			}
+		}
+		return nil
+	}
+	if err := walk(body); err != nil {
+		return nil, err
+	}
+	out := make([]*Target, len(order))
+	for i, k := range order {
+		out[i] = seen[k]
+	}
+	return out, nil
+}
+
+func targetKey(t *Target) string {
+	switch {
+	case t.Index != nil:
+		return fmt.Sprintf("%s[%s]", t.Name, exprKey(t.Index))
+	case t.HasSlice:
+		return fmt.Sprintf("%s[%s:%s]", t.Name, exprKey(t.SliceHi), exprKey(t.SliceLo))
+	default:
+		return t.Name
+	}
+}
+
+// exprKey renders a constant expression for deduplication keys.
+func exprKey(e Expr) string {
+	switch x := e.(type) {
+	case *IntLit:
+		return fmt.Sprintf("%d", x.Value)
+	case *Name:
+		return x.Ident
+	case *Unary:
+		return x.Op + exprKey(x.X)
+	case *Binary:
+		return "(" + exprKey(x.X) + x.Op + exprKey(x.Y) + ")"
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}
+
+// associate resolves an instance's port map to per-port actuals.
+func associate(ent *Entity, st *Instance) ([]Expr, error) {
+	out := make([]Expr, len(ent.Ports))
+	named := false
+	for i := range st.Actuals {
+		if st.Formals[i] != "" {
+			named = true
+		}
+	}
+	if named {
+		idx := make(map[string]int, len(ent.Ports))
+		for i, p := range ent.Ports {
+			idx[p.Name] = i
+		}
+		for i, f := range st.Formals {
+			if f == "" {
+				return nil, fmt.Errorf("vhdl: line %d: mixing named and positional association", st.Line)
+			}
+			pi, ok := idx[f]
+			if !ok {
+				return nil, fmt.Errorf("vhdl: line %d: entity %q has no port %q", st.Line, ent.Name, f)
+			}
+			if out[pi] != nil {
+				return nil, fmt.Errorf("vhdl: line %d: port %q associated twice", st.Line, f)
+			}
+			out[pi] = st.Actuals[i]
+		}
+	} else {
+		if len(st.Actuals) > len(ent.Ports) {
+			return nil, fmt.Errorf("vhdl: line %d: too many port map actuals", st.Line)
+		}
+		copy(out, st.Actuals)
+	}
+	for i, p := range ent.Ports {
+		if out[i] == nil && p.Dir == DirIn {
+			return nil, fmt.Errorf("vhdl: line %d: input port %q not associated", st.Line, p.Name)
+		}
+	}
+	return out, nil
+}
+
+// actualAsTarget converts an out-port actual into a Target.
+func actualAsTarget(e Expr) (*Target, error) {
+	switch x := e.(type) {
+	case *Name:
+		return &Target{Name: x.Ident, Line: x.Line}, nil
+	case *IndexExpr:
+		base, ok := x.Base.(*Name)
+		if !ok {
+			return nil, fmt.Errorf("output port actual must be a signal")
+		}
+		return &Target{Name: base.Ident, Index: x.Index, Line: x.Line}, nil
+	case *SliceExpr:
+		base, ok := x.Base.(*Name)
+		if !ok {
+			return nil, fmt.Errorf("output port actual must be a signal")
+		}
+		return &Target{Name: base.Ident, HasSlice: true, SliceHi: x.Hi, SliceLo: x.Lo,
+			SliceDownto: x.Downto, Line: x.Line}, nil
+	default:
+		return nil, fmt.Errorf("output port actual must be a signal, index or slice")
+	}
+}
+
+// setDriver fills a placeholder bit with its final value.
+func (sc *scope) setDriver(name string, j int, value *netlist.Node) error {
+	node := sc.bits[name][j]
+	if node == nil {
+		return fmt.Errorf("vhdl: internal: no placeholder for %s bit %d", name, j)
+	}
+	switch node.Kind {
+	case netlist.KindLatch:
+		node.Fanin = []*netlist.Node{value}
+	case netlist.KindLogic:
+		node.Fanin = []*netlist.Node{value}
+		node.Cover = netlist.Cover{Cubes: []netlist.Cube{{netlist.LitOne}}, Value: netlist.LitOne}
+	default:
+		return fmt.Errorf("vhdl: internal: driving %s node", node.Kind)
+	}
+	return nil
+}

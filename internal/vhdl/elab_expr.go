@@ -1,0 +1,507 @@
+package vhdl
+
+import (
+	"fmt"
+
+	"fpgaflow/internal/netlist"
+)
+
+// Gate construction helpers. Every synthesized gate gets a fresh name under
+// the instance prefix.
+
+func (sc *scope) newGate(hint string, fanin []*netlist.Node, cubes ...string) (*netlist.Node, error) {
+	var c netlist.Cover
+	c.Value = netlist.LitOne
+	for _, s := range cubes {
+		c.Cubes = append(c.Cubes, netlist.Cube(s))
+	}
+	return sc.e.nl.AddLogic(sc.e.nl.FreshName(sc.prefix+hint), fanin, c)
+}
+
+func (sc *scope) constBit(v bool) (*netlist.Node, error) {
+	i := 0
+	if v {
+		i = 1
+	}
+	if sc.e.consts[i] != nil {
+		return sc.e.consts[i], nil
+	}
+	var cover netlist.Cover
+	cover.Value = netlist.LitOne
+	name := "const0"
+	if v {
+		cover.Cubes = []netlist.Cube{{}}
+		name = "const1"
+	}
+	n, err := sc.e.nl.AddLogic(sc.e.nl.FreshName(name), nil, cover)
+	if err != nil {
+		return nil, err
+	}
+	sc.e.consts[i] = n
+	return n, nil
+}
+
+func (sc *scope) notGate(x *netlist.Node) (*netlist.Node, error) {
+	return sc.newGate("not", []*netlist.Node{x}, "0")
+}
+
+func (sc *scope) binGate(op string, x, y *netlist.Node) (*netlist.Node, error) {
+	switch op {
+	case "and":
+		return sc.newGate("and", []*netlist.Node{x, y}, "11")
+	case "or":
+		return sc.newGate("or", []*netlist.Node{x, y}, "1-", "-1")
+	case "nand":
+		return sc.newGate("nand", []*netlist.Node{x, y}, "0-", "-0")
+	case "nor":
+		return sc.newGate("nor", []*netlist.Node{x, y}, "00")
+	case "xor":
+		return sc.newGate("xor", []*netlist.Node{x, y}, "10", "01")
+	case "xnor":
+		return sc.newGate("xnor", []*netlist.Node{x, y}, "00", "11")
+	}
+	return nil, fmt.Errorf("vhdl: internal: gate op %q", op)
+}
+
+// mux returns sel ? a : b.
+func (sc *scope) mux(sel, a, b *netlist.Node) (*netlist.Node, error) {
+	return sc.newGate("mux", []*netlist.Node{sel, a, b}, "11-", "0-1")
+}
+
+func (sc *scope) muxVec(sel *netlist.Node, a, b []*netlist.Node) ([]*netlist.Node, error) {
+	if len(a) != len(b) {
+		return nil, fmt.Errorf("vhdl: mux arms have widths %d and %d", len(a), len(b))
+	}
+	out := make([]*netlist.Node, len(a))
+	for i := range a {
+		m, err := sc.mux(sel, a[i], b[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+// env is the symbolic signal environment during process interpretation.
+type env map[string][]*netlist.Node
+
+func (v env) clone() env {
+	c := make(env, len(v))
+	for k, bits := range v {
+		c[k] = append([]*netlist.Node(nil), bits...)
+	}
+	return c
+}
+
+// readSignal returns the current bits of a signal: the process-local value
+// if assigned earlier in the process, otherwise the global nodes.
+func (sc *scope) readSignal(name string, ev env, line int) ([]*netlist.Node, error) {
+	if ev != nil {
+		if bits, ok := ev[name]; ok {
+			return bits, nil
+		}
+	}
+	t, ok := sc.types[name]
+	if !ok {
+		return nil, fmt.Errorf("vhdl: line %d: reference to undeclared signal %q", line, name)
+	}
+	bits, ok := sc.bits[name]
+	if !ok || bits == nil {
+		return nil, fmt.Errorf("vhdl: line %d: signal %q is read but never driven", line, name)
+	}
+	for j := 0; j < t.Width(); j++ {
+		if bits[j] == nil {
+			return nil, fmt.Errorf("vhdl: line %d: signal %q bit %d is read but never driven", line, name, j)
+		}
+	}
+	return bits, nil
+}
+
+// evalExpr synthesizes an expression to a bit vector (LSB first). want is
+// the expected width for integer literals and aggregates (0 = unknown).
+func (sc *scope) evalExpr(ex Expr, ev env, want int) ([]*netlist.Node, error) {
+	switch x := ex.(type) {
+	case *Name:
+		if v, isGen := sc.generics[x.Ident]; isGen {
+			if want <= 0 {
+				return nil, fmt.Errorf("vhdl: line %d: generic %q needs a width context", x.Line, x.Ident)
+			}
+			return sc.constVector(v, want, x.Line)
+		}
+		return sc.readSignal(x.Ident, ev, x.Line)
+	case *CharLit:
+		n, err := sc.constBit(x.Value == '1')
+		if err != nil {
+			return nil, err
+		}
+		return []*netlist.Node{n}, nil
+	case *StrLit:
+		w := len(x.Value)
+		out := make([]*netlist.Node, w)
+		for j := 0; j < w; j++ {
+			// Leftmost literal character is the MSB.
+			n, err := sc.constBit(x.Value[w-1-j] == '1')
+			if err != nil {
+				return nil, err
+			}
+			out[j] = n
+		}
+		return out, nil
+	case *IntLit:
+		if want <= 0 {
+			return nil, fmt.Errorf("vhdl: line %d: integer literal %d needs a width context", x.Line, x.Value)
+		}
+		return sc.constVector(x.Value, want, x.Line)
+	case *Aggregate:
+		if want <= 0 {
+			return nil, fmt.Errorf("vhdl: line %d: aggregate needs a width context", x.Line)
+		}
+		bit, err := sc.evalExpr(x.Others, ev, 1)
+		if err != nil {
+			return nil, err
+		}
+		if len(bit) != 1 {
+			return nil, fmt.Errorf("vhdl: line %d: aggregate element must be one bit", x.Line)
+		}
+		out := make([]*netlist.Node, want)
+		for j := range out {
+			out[j] = bit[0]
+		}
+		return out, nil
+	case *IndexExpr:
+		base, ok := x.Base.(*Name)
+		if !ok {
+			return nil, fmt.Errorf("vhdl: line %d: indexing is only supported on signals", x.Line)
+		}
+		idx, err := evalConstExpr(x.Index, sc.generics)
+		if err != nil {
+			return nil, fmt.Errorf("vhdl: line %d: dynamic indexing is not supported; use a case statement (%v)", x.Line, err)
+		}
+		t, declared := sc.types[base.Ident]
+		if !declared {
+			return nil, fmt.Errorf("vhdl: line %d: reference to undeclared signal %q", x.Line, base.Ident)
+		}
+		j, err := numericBit(t, idx)
+		if err != nil {
+			return nil, fmt.Errorf("vhdl: line %d: %v", x.Line, err)
+		}
+		bits, err := sc.readSignal(base.Ident, ev, x.Line)
+		if err != nil {
+			return nil, err
+		}
+		return []*netlist.Node{bits[j]}, nil
+	case *SliceExpr:
+		base, ok := x.Base.(*Name)
+		if !ok {
+			return nil, fmt.Errorf("vhdl: line %d: slicing is only supported on signals", x.Line)
+		}
+		t, declared := sc.types[base.Ident]
+		if !declared {
+			return nil, fmt.Errorf("vhdl: line %d: reference to undeclared signal %q", x.Line, base.Ident)
+		}
+		hiV, err := evalConstExpr(x.Hi, sc.generics)
+		if err != nil {
+			return nil, fmt.Errorf("vhdl: line %d: %v", x.Line, err)
+		}
+		loV, err := evalConstExpr(x.Lo, sc.generics)
+		if err != nil {
+			return nil, fmt.Errorf("vhdl: line %d: %v", x.Line, err)
+		}
+		j1, err := numericBit(t, hiV)
+		if err != nil {
+			return nil, fmt.Errorf("vhdl: line %d: %v", x.Line, err)
+		}
+		j2, err := numericBit(t, loV)
+		if err != nil {
+			return nil, fmt.Errorf("vhdl: line %d: %v", x.Line, err)
+		}
+		lo, hi := j1, j2
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		bits, err := sc.readSignal(base.Ident, ev, x.Line)
+		if err != nil {
+			return nil, err
+		}
+		return append([]*netlist.Node(nil), bits[lo:hi+1]...), nil
+	case *Unary:
+		switch x.Op {
+		case "not":
+			v, err := sc.evalExpr(x.X, ev, want)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]*netlist.Node, len(v))
+			for i, b := range v {
+				n, err := sc.notGate(b)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = n
+			}
+			return out, nil
+		case "-":
+			v, err := sc.evalExpr(x.X, ev, want)
+			if err != nil {
+				return nil, err
+			}
+			zero, err := sc.constVector(0, len(v), x.Line)
+			if err != nil {
+				return nil, err
+			}
+			diff, _, err := sc.addSub(zero, v, true)
+			return diff, err
+		}
+		return nil, fmt.Errorf("vhdl: line %d: unsupported unary %q", x.Line, x.Op)
+	case *Binary:
+		if v, err := evalConstExpr(x, sc.generics); err == nil {
+			if want <= 0 {
+				return nil, fmt.Errorf("vhdl: line %d: constant expression needs a width context", x.Line)
+			}
+			return sc.constVector(v, want, x.Line)
+		}
+		return sc.evalBinary(x, ev, want)
+	case *Call:
+		return sc.evalCall(x, ev, want)
+	case *Attribute:
+		return nil, fmt.Errorf("vhdl: line %d: attribute '%s outside a clock condition", x.Line, x.Attr)
+	}
+	return nil, fmt.Errorf("vhdl: unsupported expression %T", ex)
+}
+
+// isConstExpr reports whether the expression folds to an integer constant
+// (an integer literal, a generic, or arithmetic over them).
+func (sc *scope) isConstExpr(e Expr) bool {
+	switch e.(type) {
+	case *CharLit, *StrLit, *Aggregate:
+		return false
+	}
+	_, err := evalConstExpr(e, sc.generics)
+	return err == nil
+}
+
+func (sc *scope) constVector(v, w, line int) ([]*netlist.Node, error) {
+	if v < 0 || (w < 63 && v >= 1<<uint(w)) {
+		return nil, fmt.Errorf("vhdl: line %d: integer %d does not fit in %d bits", line, v, w)
+	}
+	out := make([]*netlist.Node, w)
+	for j := 0; j < w; j++ {
+		n, err := sc.constBit(v&(1<<uint(j)) != 0)
+		if err != nil {
+			return nil, err
+		}
+		out[j] = n
+	}
+	return out, nil
+}
+
+// pairWidths evaluates both operands, resolving integer-literal widths from
+// the other side.
+func (sc *scope) pairWidths(x, y Expr, ev env, want int) ([]*netlist.Node, []*netlist.Node, error) {
+	xInt := sc.isConstExpr(x)
+	yInt := sc.isConstExpr(y)
+	if xInt && yInt {
+		return nil, nil, fmt.Errorf("vhdl: constant-only binary expression; fold it manually")
+	}
+	if xInt {
+		b, err := sc.evalExpr(y, ev, want)
+		if err != nil {
+			return nil, nil, err
+		}
+		a, err := sc.evalExpr(x, ev, len(b))
+		return a, b, err
+	}
+	a, err := sc.evalExpr(x, ev, want)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := sc.evalExpr(y, ev, len(a))
+	return a, b, err
+}
+
+func (sc *scope) evalBinary(x *Binary, ev env, want int) ([]*netlist.Node, error) {
+	switch x.Op {
+	case "and", "or", "nand", "nor", "xor", "xnor":
+		a, b, err := sc.pairWidths(x.X, x.Y, ev, want)
+		if err != nil {
+			return nil, err
+		}
+		if len(a) != len(b) {
+			return nil, fmt.Errorf("vhdl: line %d: operands of %q have widths %d and %d",
+				x.Line, x.Op, len(a), len(b))
+		}
+		out := make([]*netlist.Node, len(a))
+		for i := range a {
+			g, err := sc.binGate(x.Op, a[i], b[i])
+			if err != nil {
+				return nil, err
+			}
+			out[i] = g
+		}
+		return out, nil
+	case "&":
+		// Concatenation: left operand supplies the MSBs.
+		b, err := sc.evalExpr(x.Y, ev, 0)
+		if err != nil {
+			return nil, err
+		}
+		a, err := sc.evalExpr(x.X, ev, 0)
+		if err != nil {
+			return nil, err
+		}
+		return append(append([]*netlist.Node(nil), b...), a...), nil
+	case "+", "-":
+		a, b, err := sc.pairWidths(x.X, x.Y, ev, want)
+		if err != nil {
+			return nil, err
+		}
+		if len(a) != len(b) {
+			return nil, fmt.Errorf("vhdl: line %d: operands of %q have widths %d and %d",
+				x.Line, x.Op, len(a), len(b))
+		}
+		sum, _, err := sc.addSub(a, b, x.Op == "-")
+		return sum, err
+	case "=", "/=", "<", "<=", ">", ">=":
+		a, b, err := sc.pairWidths(x.X, x.Y, ev, 0)
+		if err != nil {
+			return nil, err
+		}
+		if len(a) != len(b) {
+			return nil, fmt.Errorf("vhdl: line %d: comparison operands have widths %d and %d",
+				x.Line, len(a), len(b))
+		}
+		bit, err := sc.compare(x.Op, a, b)
+		if err != nil {
+			return nil, err
+		}
+		return []*netlist.Node{bit}, nil
+	}
+	return nil, fmt.Errorf("vhdl: line %d: unsupported operator %q", x.Line, x.Op)
+}
+
+// addSub builds a ripple-carry adder/subtractor; returns (result, carryOut).
+func (sc *scope) addSub(a, b []*netlist.Node, sub bool) ([]*netlist.Node, *netlist.Node, error) {
+	carry, err := sc.constBit(sub)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]*netlist.Node, len(a))
+	for i := range a {
+		bi := b[i]
+		if sub {
+			if bi, err = sc.notGate(b[i]); err != nil {
+				return nil, nil, err
+			}
+		}
+		// sum = a ^ b ^ c; carry = majority(a, b, c).
+		s, err := sc.newGate("sum", []*netlist.Node{a[i], bi, carry},
+			"100", "010", "001", "111")
+		if err != nil {
+			return nil, nil, err
+		}
+		c, err := sc.newGate("carry", []*netlist.Node{a[i], bi, carry},
+			"11-", "1-1", "-11")
+		if err != nil {
+			return nil, nil, err
+		}
+		out[i] = s
+		carry = c
+	}
+	return out, carry, nil
+}
+
+// compare builds an unsigned comparator.
+func (sc *scope) compare(op string, a, b []*netlist.Node) (*netlist.Node, error) {
+	switch op {
+	case "=", "/=":
+		var eq *netlist.Node
+		for i := range a {
+			bitEq, err := sc.binGate("xnor", a[i], b[i])
+			if err != nil {
+				return nil, err
+			}
+			if eq == nil {
+				eq = bitEq
+			} else if eq, err = sc.binGate("and", eq, bitEq); err != nil {
+				return nil, err
+			}
+		}
+		if eq == nil {
+			return sc.constBit(true)
+		}
+		if op == "/=" {
+			return sc.notGate(eq)
+		}
+		return eq, nil
+	case "<", ">=", ">", "<=":
+		// a < b, MSB down: lt = (!a & b) | (eq & ltBelow).
+		lt, err := sc.constBit(false)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < len(a); i++ { // LSB to MSB; rebuild as we go up
+			bitLt, err := sc.newGate("lt", []*netlist.Node{a[i], b[i]}, "01")
+			if err != nil {
+				return nil, err
+			}
+			bitEq, err := sc.binGate("xnor", a[i], b[i])
+			if err != nil {
+				return nil, err
+			}
+			keep, err := sc.binGate("and", bitEq, lt)
+			if err != nil {
+				return nil, err
+			}
+			if lt, err = sc.binGate("or", bitLt, keep); err != nil {
+				return nil, err
+			}
+		}
+		switch op {
+		case "<":
+			return lt, nil
+		case ">=":
+			return sc.notGate(lt)
+		case ">":
+			// a > b == b < a: recompute with swapped operands.
+			return sc.compare("<", b, a)
+		case "<=":
+			gt, err := sc.compare("<", b, a)
+			if err != nil {
+				return nil, err
+			}
+			return sc.notGate(gt)
+		}
+	}
+	return nil, fmt.Errorf("vhdl: internal: comparator op %q", op)
+}
+
+func (sc *scope) evalCall(x *Call, ev env, want int) ([]*netlist.Node, error) {
+	switch x.Func {
+	case "unsigned", "signed", "std_logic_vector":
+		if len(x.Args) != 1 {
+			return nil, fmt.Errorf("vhdl: line %d: %s takes one argument", x.Line, x.Func)
+		}
+		return sc.evalExpr(x.Args[0], ev, want)
+	case "to_unsigned", "conv_std_logic_vector":
+		if len(x.Args) != 2 {
+			return nil, fmt.Errorf("vhdl: line %d: %s takes (value, width)", x.Line, x.Func)
+		}
+		w, err := evalConstExpr(x.Args[1], sc.generics)
+		if err != nil {
+			return nil, fmt.Errorf("vhdl: line %d: %s width must be constant: %v", x.Line, x.Func, err)
+		}
+		if v, cerr := evalConstExpr(x.Args[0], sc.generics); cerr == nil {
+			return sc.constVector(v, w, x.Line)
+		}
+		return sc.evalExpr(x.Args[0], ev, w)
+	case "to_integer", "conv_integer":
+		if len(x.Args) != 1 {
+			return nil, fmt.Errorf("vhdl: line %d: %s takes one argument", x.Line, x.Func)
+		}
+		return sc.evalExpr(x.Args[0], ev, want)
+	case "rising_edge", "falling_edge":
+		return nil, fmt.Errorf("vhdl: line %d: %s may only appear as a process clock condition", x.Line, x.Func)
+	}
+	return nil, fmt.Errorf("vhdl: line %d: unsupported function %q", x.Line, x.Func)
+}

@@ -1,0 +1,638 @@
+package vhdl
+
+import (
+	"fmt"
+	"sort"
+
+	"fpgaflow/internal/netlist"
+)
+
+// elabStmt elaborates one concurrent statement.
+func (sc *scope) elabStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *Assign:
+		return sc.elabAssign(st)
+	case *Selected:
+		return sc.elabSelected(st)
+	case *Process:
+		return sc.elabProcess(st)
+	case *Instance:
+		return sc.elabInstance(st)
+	}
+	return fmt.Errorf("vhdl: unknown statement %T", s)
+}
+
+func (sc *scope) elabAssign(st *Assign) error {
+	name, idxs, err := sc.targetBits(st.Target)
+	if err != nil {
+		return err
+	}
+	w := len(idxs)
+	val, err := sc.evalExpr(st.Values[len(st.Values)-1], nil, w)
+	if err != nil {
+		return err
+	}
+	for i := len(st.Conds) - 1; i >= 0; i-- {
+		cond, err := sc.evalCond(st.Conds[i], nil)
+		if err != nil {
+			return err
+		}
+		alt, err := sc.evalExpr(st.Values[i], nil, w)
+		if err != nil {
+			return err
+		}
+		if len(alt) != len(val) {
+			return fmt.Errorf("vhdl: line %d: conditional arms have widths %d and %d", st.Line, len(alt), len(val))
+		}
+		if val, err = sc.muxVec(cond, alt, val); err != nil {
+			return err
+		}
+	}
+	if len(val) != w {
+		return fmt.Errorf("vhdl: line %d: assigning %d bits to %d-bit target", st.Line, len(val), w)
+	}
+	for i, j := range idxs {
+		if err := sc.setDriver(name, j, val[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (sc *scope) elabSelected(st *Selected) error {
+	name, idxs, err := sc.targetBits(st.Target)
+	if err != nil {
+		return err
+	}
+	w := len(idxs)
+	sel, err := sc.evalExpr(st.Sel, nil, 0)
+	if err != nil {
+		return err
+	}
+	// Find the others arm as the default.
+	defIdx := -1
+	for i, ch := range st.Choices {
+		if ch == nil {
+			defIdx = i
+		}
+	}
+	if defIdx < 0 {
+		return fmt.Errorf("vhdl: line %d: selected assignment needs a \"when others\" arm", st.Line)
+	}
+	val, err := sc.evalExpr(st.Values[defIdx], nil, w)
+	if err != nil {
+		return err
+	}
+	for i := len(st.Values) - 1; i >= 0; i-- {
+		if st.Choices[i] == nil {
+			continue
+		}
+		var cond *netlist.Node
+		for _, choice := range st.Choices[i] {
+			cb, err := sc.evalExpr(choice, nil, len(sel))
+			if err != nil {
+				return err
+			}
+			if len(cb) != len(sel) {
+				return fmt.Errorf("vhdl: line %d: choice width %d != selector width %d", st.Line, len(cb), len(sel))
+			}
+			eq, err := sc.compare("=", sel, cb)
+			if err != nil {
+				return err
+			}
+			if cond == nil {
+				cond = eq
+			} else if cond, err = sc.binGate("or", cond, eq); err != nil {
+				return err
+			}
+		}
+		arm, err := sc.evalExpr(st.Values[i], nil, w)
+		if err != nil {
+			return err
+		}
+		if len(arm) != len(val) {
+			return fmt.Errorf("vhdl: line %d: selected arms have widths %d and %d", st.Line, len(arm), len(val))
+		}
+		if val, err = sc.muxVec(cond, arm, val); err != nil {
+			return err
+		}
+	}
+	if len(val) != w {
+		return fmt.Errorf("vhdl: line %d: assigning %d bits to %d-bit target", st.Line, len(val), w)
+	}
+	for i, j := range idxs {
+		if err := sc.setDriver(name, j, val[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalCond evaluates a 1-bit condition.
+func (sc *scope) evalCond(ex Expr, ev env) (*netlist.Node, error) {
+	bits, err := sc.evalExpr(ex, ev, 1)
+	if err != nil {
+		return nil, err
+	}
+	if len(bits) != 1 {
+		return nil, fmt.Errorf("vhdl: condition is %d bits wide", len(bits))
+	}
+	return bits[0], nil
+}
+
+// edgeCond reports whether an expression is a clock-edge condition.
+func edgeCond(ex Expr) (clock string, rising, ok bool) {
+	switch x := ex.(type) {
+	case *Call:
+		if (x.Func == "rising_edge" || x.Func == "falling_edge") && len(x.Args) == 1 {
+			if nm, isName := x.Args[0].(*Name); isName {
+				return nm.Ident, x.Func == "rising_edge", true
+			}
+		}
+	case *Binary:
+		if x.Op != "and" {
+			return "", false, false
+		}
+		// clk'event and clk='1' (either operand order).
+		if c, r, ok := eventAndLevel(x.X, x.Y); ok {
+			return c, r, true
+		}
+		return eventAndLevel(x.Y, x.X)
+	}
+	return "", false, false
+}
+
+func eventAndLevel(a, b Expr) (string, bool, bool) {
+	attr, ok := a.(*Attribute)
+	if !ok || attr.Attr != "event" {
+		return "", false, false
+	}
+	base, ok := attr.Base.(*Name)
+	if !ok {
+		return "", false, false
+	}
+	cmp, ok := b.(*Binary)
+	if !ok || cmp.Op != "=" {
+		return "", false, false
+	}
+	nm, ok := cmp.X.(*Name)
+	if !ok || nm.Ident != base.Ident {
+		return "", false, false
+	}
+	lit, ok := cmp.Y.(*CharLit)
+	if !ok {
+		return "", false, false
+	}
+	return base.Ident, lit.Value == '1', true
+}
+
+// classifyProcess decides whether a process is clocked and extracts its
+// structure: plain clocked (if edge then body), or reset form
+// (if rst then resetBody elsif edge then body).
+func classifyProcess(p *Process) (clocked bool, clock string, body []SeqStmt, err error) {
+	stmts := withoutNulls(p.Body)
+	if len(stmts) != 1 {
+		return false, "", p.Body, nil // combinational
+	}
+	ifStmt, ok := stmts[0].(*If)
+	if !ok {
+		return false, "", p.Body, nil
+	}
+	if c, _, isEdge := edgeCond(ifStmt.Cond); isEdge {
+		if len(withoutNulls(ifStmt.Else)) != 0 {
+			return false, "", nil, fmt.Errorf("vhdl: line %d: else branch on a clock-edge condition", ifStmt.Line)
+		}
+		return true, c, nil, nil
+	}
+	// Reset form: else must be a single if on an edge.
+	els := withoutNulls(ifStmt.Else)
+	if len(els) == 1 {
+		if inner, ok := els[0].(*If); ok {
+			if c, _, isEdge := edgeCond(inner.Cond); isEdge {
+				if len(withoutNulls(inner.Else)) != 0 {
+					return false, "", nil, fmt.Errorf("vhdl: line %d: else branch on a clock-edge condition", inner.Line)
+				}
+				return true, c, nil, nil
+			}
+		}
+	}
+	return false, "", p.Body, nil
+}
+
+func withoutNulls(list []SeqStmt) []SeqStmt {
+	var out []SeqStmt
+	for _, s := range list {
+		if _, isNull := s.(*Null); !isNull {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func (sc *scope) elabProcess(p *Process) error {
+	clocked, clock, _, err := classifyProcess(p)
+	if err != nil {
+		return err
+	}
+	targets, err := collectTargets(p.Body)
+	if err != nil {
+		return err
+	}
+	if !clocked {
+		ev := make(env)
+		if err := sc.interpSeq(p.Body, ev, false); err != nil {
+			return err
+		}
+		return sc.commitTargets(targets, ev, p.Line)
+	}
+
+	// Clocked: unwrap the structure validated by classifyProcess.
+	ifStmt := withoutNulls(p.Body)[0].(*If)
+	var dEnv env
+	if _, _, isEdge := edgeCond(ifStmt.Cond); isEdge {
+		dEnv = make(env)
+		if err := sc.interpSeq(ifStmt.Then, dEnv, true); err != nil {
+			return err
+		}
+	} else {
+		// Reset form: D = rst ? resetVal : clockedVal (synchronous reset;
+		// the fabric's asynchronous Clear is a global CLB signal).
+		rst, err := sc.evalCond(ifStmt.Cond, nil)
+		if err != nil {
+			return err
+		}
+		evR := make(env)
+		if err := sc.interpSeq(ifStmt.Then, evR, true); err != nil {
+			return err
+		}
+		inner := withoutNulls(ifStmt.Else)[0].(*If)
+		evC := make(env)
+		if err := sc.interpSeq(inner.Then, evC, true); err != nil {
+			return err
+		}
+		dEnv = make(env)
+		if err := sc.mergeEnvs(dEnv, rst, evR, evC, nil); err != nil {
+			return err
+		}
+	}
+	// Install D inputs and clock on the latch placeholders.
+	for _, t := range targets {
+		name, idxs, err := sc.targetBits(t)
+		if err != nil {
+			return err
+		}
+		bits, ok := dEnv[name]
+		if !ok {
+			continue // assigned only in an untaken region; keep Q (hold)
+		}
+		for _, j := range idxs {
+			if bits[j] == nil {
+				continue
+			}
+			latch := sc.bits[name][j]
+			if latch == nil || latch.Kind != netlist.KindLatch {
+				return fmt.Errorf("vhdl: line %d: internal: %s bit %d is not a latch", p.Line, name, j)
+			}
+			latch.Fanin = []*netlist.Node{bits[j]}
+			latch.Clock = clock
+		}
+	}
+	// Hold-only bits: D = Q.
+	for _, t := range targets {
+		name, idxs, err := sc.targetBits(t)
+		if err != nil {
+			return err
+		}
+		for _, j := range idxs {
+			latch := sc.bits[name][j]
+			if latch != nil && latch.Kind == netlist.KindLatch && len(latch.Fanin) == 0 {
+				latch.Fanin = []*netlist.Node{latch}
+				latch.Clock = clock
+			}
+		}
+	}
+	return nil
+}
+
+// commitTargets writes a combinational process's final environment into the
+// placeholder nodes.
+func (sc *scope) commitTargets(targets []*Target, ev env, line int) error {
+	for _, t := range targets {
+		name, idxs, err := sc.targetBits(t)
+		if err != nil {
+			return err
+		}
+		bits, ok := ev[name]
+		if !ok {
+			return fmt.Errorf("vhdl: line %d: signal %q driven by process but never assigned", line, name)
+		}
+		for _, j := range idxs {
+			if bits[j] == nil {
+				return fmt.Errorf("vhdl: line %d: signal %q bit %d is not assigned on every path (latch inferred)",
+					line, name, j)
+			}
+			if bits[j] == sc.bits[name][j] {
+				return fmt.Errorf("vhdl: line %d: signal %q bit %d is not assigned on every path (latch inferred)",
+					line, name, j)
+			}
+			if err := sc.setDriver(name, j, bits[j]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// interpSeq symbolically executes a statement list, updating ev.
+// In nonblocking mode (clocked processes) expression reads see the
+// pre-process signal values (VHDL signal semantics: signals update after
+// the process suspends); in blocking mode (combinational processes) reads
+// see earlier assignments of the same run, matching the re-execution
+// fixpoint a sensitivity-complete process converges to.
+func (sc *scope) interpSeq(list []SeqStmt, ev env, nonblocking bool) error {
+	readEnv := func() env {
+		if nonblocking {
+			return nil
+		}
+		return ev
+	}
+	for _, s := range list {
+		switch st := s.(type) {
+		case *Null:
+		case *SeqAssign:
+			name, idxs, err := sc.targetBits(st.Target)
+			if err != nil {
+				return err
+			}
+			val, err := sc.evalExpr(st.Value, readEnv(), len(idxs))
+			if err != nil {
+				return err
+			}
+			if len(val) != len(idxs) {
+				return fmt.Errorf("vhdl: line %d: assigning %d bits to %d-bit target", st.Line, len(val), len(idxs))
+			}
+			sc.assignEnv(ev, name, idxs, val)
+		case *If:
+			cond, err := sc.evalCond(st.Cond, readEnv())
+			if err != nil {
+				return err
+			}
+			evT := ev.clone()
+			if err := sc.interpSeq(st.Then, evT, nonblocking); err != nil {
+				return err
+			}
+			evE := ev.clone()
+			if err := sc.interpSeq(st.Else, evE, nonblocking); err != nil {
+				return err
+			}
+			if err := sc.mergeEnvs(ev, cond, evT, evE, ev); err != nil {
+				return err
+			}
+		case *Case:
+			if err := sc.interpCase(st, ev, nonblocking); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("vhdl: unknown sequential statement %T", s)
+		}
+	}
+	return nil
+}
+
+// assignEnv updates the environment for a (possibly partial) assignment.
+func (sc *scope) assignEnv(ev env, name string, idxs []int, val []*netlist.Node) {
+	cur, ok := ev[name]
+	if !ok {
+		// Start from the global bits (nil entries stay nil until assigned).
+		global := sc.bits[name]
+		cur = make([]*netlist.Node, sc.types[name].Width())
+		copy(cur, global)
+	} else {
+		cur = append([]*netlist.Node(nil), cur...)
+	}
+	for i, j := range idxs {
+		cur[j] = val[i]
+	}
+	ev[name] = cur
+}
+
+// mergeEnvs writes mux(cond, evT, evE) into dst for every signal either
+// branch touched. outer provides fallback values ("" entries fall back to
+// the signal's global nodes, which for latches means hold).
+func (sc *scope) mergeEnvs(dst env, cond *netlist.Node, evT, evE, outer env) error {
+	nameSet := map[string]bool{}
+	for n := range evT {
+		nameSet[n] = true
+	}
+	for n := range evE {
+		nameSet[n] = true
+	}
+	// Sorted iteration: gate creation order (and with it every generated
+	// name downstream) must not depend on map order.
+	names := make([]string, 0, len(nameSet))
+	for n := range nameSet {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		w := sc.types[name].Width()
+		fallback := make([]*netlist.Node, w)
+		if outer != nil && outer[name] != nil {
+			copy(fallback, outer[name])
+		} else {
+			copy(fallback, sc.bits[name])
+		}
+		tb, eb := evT[name], evE[name]
+		if tb == nil {
+			tb = fallback
+		}
+		if eb == nil {
+			eb = fallback
+		}
+		merged := make([]*netlist.Node, w)
+		for j := 0; j < w; j++ {
+			switch {
+			case tb[j] == eb[j]:
+				merged[j] = tb[j]
+			case tb[j] == nil || eb[j] == nil:
+				return fmt.Errorf("vhdl: signal %q bit %d assigned on only one branch with no prior value", name, j)
+			default:
+				m, err := sc.mux(cond, tb[j], eb[j])
+				if err != nil {
+					return err
+				}
+				merged[j] = m
+			}
+		}
+		dst[name] = merged
+	}
+	return nil
+}
+
+// interpCase lowers a case statement to an if-else chain over equality
+// comparisons.
+func (sc *scope) interpCase(st *Case, ev env, nonblocking bool) error {
+	readEnv := ev
+	if nonblocking {
+		readEnv = nil
+	}
+	sel, err := sc.evalExpr(st.Sel, readEnv, 0)
+	if err != nil {
+		return err
+	}
+	var othersBody []SeqStmt
+	type arm struct {
+		cond *netlist.Node
+		body []SeqStmt
+	}
+	var arms []arm
+	seenOthers := false
+	for _, a := range st.Arms {
+		if a.Choices == nil {
+			if seenOthers {
+				return fmt.Errorf("vhdl: line %d: multiple others arms", st.Line)
+			}
+			seenOthers = true
+			othersBody = a.Body
+			continue
+		}
+		var cond *netlist.Node
+		for _, choice := range a.Choices {
+			cb, err := sc.evalExpr(choice, readEnv, len(sel))
+			if err != nil {
+				return err
+			}
+			if len(cb) != len(sel) {
+				return fmt.Errorf("vhdl: line %d: case choice width %d != selector width %d",
+					st.Line, len(cb), len(sel))
+			}
+			eq, err := sc.compare("=", sel, cb)
+			if err != nil {
+				return err
+			}
+			if cond == nil {
+				cond = eq
+			} else if cond, err = sc.binGate("or", cond, eq); err != nil {
+				return err
+			}
+		}
+		arms = append(arms, arm{cond, a.Body})
+	}
+	// Build nested if: arms[0] cond ? body : (arms[1] ...) : others.
+	var build func(i int, ev env) error
+	build = func(i int, ev env) error {
+		if i >= len(arms) {
+			return sc.interpSeq(othersBody, ev, nonblocking)
+		}
+		evT := ev.clone()
+		if err := sc.interpSeq(arms[i].body, evT, nonblocking); err != nil {
+			return err
+		}
+		evE := ev.clone()
+		if err := build(i+1, evE); err != nil {
+			return err
+		}
+		return sc.mergeEnvs(ev, arms[i].cond, evT, evE, ev)
+	}
+	return build(0, ev)
+}
+
+func (sc *scope) elabInstance(st *Instance) error {
+	ent := sc.e.entOf[st.Entity]
+	if ent == nil {
+		return fmt.Errorf("vhdl: line %d: unknown entity %q", st.Line, st.Entity)
+	}
+	assoc, err := associate(ent, st)
+	if err != nil {
+		return err
+	}
+	label := sc.genSuffix + st.Label
+	if st.Label == "" {
+		label = sc.e.nl.FreshName(sc.prefix + sc.genSuffix + "u")
+	}
+	// Resolve the instance's generics: explicit map entries override
+	// defaults; actuals are constant expressions in the OUTER scope.
+	childGenerics := make(map[string]int)
+	if len(st.GenericActuals) > 0 {
+		idx := make(map[string]int, len(ent.Generics))
+		for i, g := range ent.Generics {
+			idx[g.Name] = i
+		}
+		for i, actual := range st.GenericActuals {
+			name := st.GenericFormals[i]
+			if name == "" {
+				if i >= len(ent.Generics) {
+					return fmt.Errorf("vhdl: line %d: too many generic map actuals", st.Line)
+				}
+				name = ent.Generics[i].Name
+			} else if _, ok := idx[name]; !ok {
+				return fmt.Errorf("vhdl: line %d: entity %q has no generic %q", st.Line, ent.Name, name)
+			}
+			v, err := evalConstExpr(actual, sc.generics)
+			if err != nil {
+				return fmt.Errorf("vhdl: line %d: generic %q: %v", st.Line, name, err)
+			}
+			childGenerics[name] = v
+		}
+	}
+	for _, g := range ent.Generics {
+		if _, bound := childGenerics[g.Name]; bound {
+			continue
+		}
+		if g.Default == nil {
+			return fmt.Errorf("vhdl: line %d: generic %q of %q has no value", st.Line, g.Name, ent.Name)
+		}
+		v, err := evalConstExpr(g.Default, childGenerics)
+		if err != nil {
+			return err
+		}
+		childGenerics[g.Name] = v
+	}
+	bindings := make(map[string][]*netlist.Node)
+	for pi, p := range ent.Ports {
+		if p.Dir != DirIn || assoc[pi] == nil {
+			continue
+		}
+		pt, err := resolveType(p.Type, childGenerics, p.Line)
+		if err != nil {
+			return err
+		}
+		bits, err := sc.evalExpr(assoc[pi], nil, pt.Width())
+		if err != nil {
+			return err
+		}
+		if len(bits) != pt.Width() {
+			return fmt.Errorf("vhdl: line %d: port %q expects %d bits, actual has %d",
+				st.Line, p.Name, pt.Width(), len(bits))
+		}
+		bindings[p.Name] = bits
+	}
+	outBits, err := sc.e.instantiate(sc.prefix+label+".", ent, bindings, childGenerics)
+	if err != nil {
+		return err
+	}
+	for pi, p := range ent.Ports {
+		if p.Dir != DirOut || assoc[pi] == nil {
+			continue
+		}
+		t, err := actualAsTarget(assoc[pi])
+		if err != nil {
+			return fmt.Errorf("vhdl: line %d: %v", st.Line, err)
+		}
+		name, idxs, err := sc.targetBits(t)
+		if err != nil {
+			return err
+		}
+		inner := outBits[p.Name]
+		if len(inner) != len(idxs) {
+			return fmt.Errorf("vhdl: line %d: port %q width %d bound to %d-bit target",
+				st.Line, p.Name, len(inner), len(idxs))
+		}
+		for i, j := range idxs {
+			if err := sc.setDriver(name, j, inner[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

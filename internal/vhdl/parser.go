@@ -1,0 +1,1086 @@
+package vhdl
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ParseError is a syntax or semantic error with source position.
+type ParseError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("vhdl: line %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse lexes and parses a VHDL source file (the "VHDL Parser" tool's
+// syntax-check stage). Semantic checking is a separate step (Check).
+func Parse(src string) (*Design, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	d := &Design{}
+	for !p.at(tokEOF, "") {
+		switch {
+		case p.atKw("library"), p.atKw("use"):
+			// Consume through the terminating semicolon.
+			for !p.at(tokSymbol, ";") && !p.at(tokEOF, "") {
+				p.next()
+			}
+			if _, err := p.expectSym(";"); err != nil {
+				return nil, err
+			}
+		case p.atKw("entity"):
+			e, err := p.parseEntity()
+			if err != nil {
+				return nil, err
+			}
+			d.Entities = append(d.Entities, e)
+		case p.atKw("architecture"):
+			a, err := p.parseArchitecture()
+			if err != nil {
+				return nil, err
+			}
+			d.Architectures = append(d.Architectures, a)
+		default:
+			return nil, p.errHere("expected entity, architecture, library or use")
+		}
+	}
+	return d, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+func (p *parser) atKw(kw string) bool { return p.at(tokKeyword, kw) }
+func (p *parser) atSym(s string) bool { return p.at(tokSymbol, s) }
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) (token, error) {
+	if !p.atKw(kw) {
+		return token{}, p.errHere("expected %q, found %s", kw, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) expectSym(s string) (token, error) {
+	if !p.atSym(s) {
+		return token{}, p.errHere("expected %q, found %s", s, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) expectIdent() (token, error) {
+	if !p.at(tokIdent, "") {
+		return token{}, p.errHere("expected identifier, found %s", p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errHere(format string, args ...interface{}) error {
+	t := p.cur()
+	return &ParseError{t.line, t.col, fmt.Sprintf(format, args...)}
+}
+
+// parseEntity parses "entity NAME is [port (...);] end [entity] [NAME];".
+func (p *parser) parseEntity() (*Entity, error) {
+	kw, err := p.expectKw("entity")
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKw("is"); err != nil {
+		return nil, err
+	}
+	e := &Entity{Name: name.text, Line: kw.line}
+	if p.atKw("generic") {
+		p.next()
+		if _, err := p.expectSym("("); err != nil {
+			return nil, err
+		}
+		for {
+			id, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expectSym(":"); err != nil {
+				return nil, err
+			}
+			ty, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if ty.text != "integer" && ty.text != "natural" && ty.text != "positive" {
+				return nil, &ParseError{ty.line, ty.col, "only integer generics are supported"}
+			}
+			g := &Generic{Name: id.text, Line: id.line}
+			if p.accept(tokSymbol, ":=") {
+				def, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				g.Default = def
+			}
+			e.Generics = append(e.Generics, g)
+			if p.accept(tokSymbol, ";") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expectSym(";"); err != nil {
+			return nil, err
+		}
+	}
+	if p.atKw("port") {
+		p.next()
+		if _, err := p.expectSym("("); err != nil {
+			return nil, err
+		}
+		for {
+			group, err := p.parsePortGroup()
+			if err != nil {
+				return nil, err
+			}
+			e.Ports = append(e.Ports, group...)
+			if p.accept(tokSymbol, ";") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expectSym(";"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expectKw("end"); err != nil {
+		return nil, err
+	}
+	p.accept(tokKeyword, "entity")
+	p.accept(tokIdent, e.Name)
+	if _, err := p.expectSym(";"); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// parsePortGroup parses "a, b, c : in std_logic_vector(3 downto 0)".
+func (p *parser) parsePortGroup() ([]*Port, error) {
+	var names []token
+	for {
+		id, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, id)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expectSym(":"); err != nil {
+		return nil, err
+	}
+	dir := DirIn
+	switch {
+	case p.accept(tokKeyword, "in"):
+	case p.accept(tokKeyword, "out"):
+		dir = DirOut
+	case p.atKw("inout") || p.atKw("buffer"):
+		return nil, p.errHere("inout/buffer ports are not supported by this subset")
+	}
+	ty, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	ports := make([]*Port, len(names))
+	for i, nm := range names {
+		ports[i] = &Port{Name: nm.text, Dir: dir, Type: ty, Line: nm.line}
+	}
+	return ports, nil
+}
+
+// parseType parses std_logic, bit, std_logic_vector(H downto L), etc.
+func (p *parser) parseType() (Type, error) {
+	id, err := p.expectIdent()
+	if err != nil {
+		return Type{}, err
+	}
+	switch id.text {
+	case "std_logic", "std_ulogic", "bit":
+		return Type{}, nil
+	case "std_logic_vector", "std_ulogic_vector", "bit_vector", "unsigned", "signed":
+		if _, err := p.expectSym("("); err != nil {
+			return Type{}, err
+		}
+		a, err := p.parseExpr()
+		if err != nil {
+			return Type{}, err
+		}
+		downto := false
+		switch {
+		case p.accept(tokKeyword, "downto"):
+			downto = true
+		case p.accept(tokKeyword, "to"):
+		default:
+			return Type{}, p.errHere("expected downto or to")
+		}
+		b, err := p.parseExpr()
+		if err != nil {
+			return Type{}, err
+		}
+		if _, err := p.expectSym(")"); err != nil {
+			return Type{}, err
+		}
+		t := Type{Vector: true, HiE: a, LoE: b, Downto: downto}
+		// Fold literal bounds immediately so generic-free code keeps its
+		// early range diagnostics.
+		av, aok := a.(*IntLit)
+		bv, bok := b.(*IntLit)
+		if aok && bok {
+			if downto && av.Value < bv.Value {
+				return Type{}, &ParseError{id.line, id.col, "downto range with ascending bounds"}
+			}
+			if !downto && av.Value > bv.Value {
+				return Type{}, &ParseError{id.line, id.col, "to range with descending bounds"}
+			}
+			t.Hi, t.Lo, t.HiE, t.LoE = av.Value, bv.Value, nil, nil
+		}
+		return t, nil
+	default:
+		return Type{}, &ParseError{id.line, id.col, fmt.Sprintf("unsupported type %q", id.text)}
+	}
+}
+
+// parseArchitecture parses an architecture body.
+func (p *parser) parseArchitecture() (*Architecture, error) {
+	kw, err := p.expectKw("architecture")
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKw("of"); err != nil {
+		return nil, err
+	}
+	of, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKw("is"); err != nil {
+		return nil, err
+	}
+	a := &Architecture{Name: name.text, Of: of.text, Line: kw.line}
+	// Declarations.
+	for {
+		if p.atKw("signal") {
+			p.next()
+			var names []token
+			for {
+				id, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				names = append(names, id)
+				if !p.accept(tokSymbol, ",") {
+					break
+				}
+			}
+			if _, err := p.expectSym(":"); err != nil {
+				return nil, err
+			}
+			ty, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			// Optional default value is ignored for synthesis.
+			if p.accept(tokSymbol, ":=") {
+				if _, err := p.parseExpr(); err != nil {
+					return nil, err
+				}
+			}
+			if _, err := p.expectSym(";"); err != nil {
+				return nil, err
+			}
+			for _, nm := range names {
+				a.Signals = append(a.Signals, &Signal{Name: nm.text, Type: ty, Line: nm.line})
+			}
+			continue
+		}
+		if p.atKw("constant") || p.atKw("component") || p.atKw("type") || p.atKw("attribute") {
+			return nil, p.errHere("%s declarations are not supported by this subset", p.cur().text)
+		}
+		break
+	}
+	if _, err := p.expectKw("begin"); err != nil {
+		return nil, err
+	}
+	for !p.atKw("end") {
+		s, err := p.parseConcurrent()
+		if err != nil {
+			return nil, err
+		}
+		a.Stmts = append(a.Stmts, s)
+	}
+	p.next() // end
+	p.accept(tokKeyword, "architecture")
+	p.accept(tokIdent, a.Name)
+	if _, err := p.expectSym(";"); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// parseConcurrent parses one concurrent statement.
+func (p *parser) parseConcurrent() (Stmt, error) {
+	// with ... select
+	if p.atKw("with") {
+		return p.parseSelected()
+	}
+	// Optional label.
+	label := ""
+	if p.at(tokIdent, "") && p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == ":" {
+		label = p.next().text
+		p.next() // :
+	}
+	if p.atKw("process") {
+		return p.parseProcess(label)
+	}
+	if p.atKw("entity") {
+		return p.parseInstance(label)
+	}
+	if p.atKw("for") {
+		if label == "" {
+			return nil, p.errHere("generate statements require a label")
+		}
+		return p.parseGenerate(label)
+	}
+	if label != "" {
+		return nil, p.errHere("only process, entity instantiation and generate may be labelled here")
+	}
+	return p.parseAssign()
+}
+
+// parseTarget parses an assignment destination.
+func (p *parser) parseTarget() (*Target, error) {
+	id, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	t := &Target{Name: id.text, Line: id.line}
+	if p.accept(tokSymbol, "(") {
+		first, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.atKw("downto") || p.atKw("to") {
+			downto := p.next().text == "downto"
+			lo, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			t.HasSlice, t.SliceHi, t.SliceLo, t.SliceDownto = true, first, lo, downto
+		} else {
+			t.Index = first
+		}
+		if _, err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// parseAssign parses "target <= e [when c else e2 ...];".
+func (p *parser) parseAssign() (Stmt, error) {
+	tgt, err := p.parseTarget()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectSym("<="); err != nil {
+		return nil, err
+	}
+	a := &Assign{Target: tgt, Line: tgt.Line}
+	for {
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		a.Values = append(a.Values, v)
+		if p.accept(tokKeyword, "when") {
+			c, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			a.Conds = append(a.Conds, c)
+			if _, err := p.expectKw("else"); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if len(a.Values) != len(a.Conds)+1 {
+		return nil, p.errHere("conditional assignment missing final else value")
+	}
+	if _, err := p.expectSym(";"); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// parseSelected parses "with sel select target <= v when c, ...;".
+func (p *parser) parseSelected() (Stmt, error) {
+	kw, _ := p.expectKw("with")
+	sel, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKw("select"); err != nil {
+		return nil, err
+	}
+	tgt, err := p.parseTarget()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectSym("<="); err != nil {
+		return nil, err
+	}
+	s := &Selected{Target: tgt, Sel: sel, Line: kw.line}
+	for {
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectKw("when"); err != nil {
+			return nil, err
+		}
+		if p.accept(tokKeyword, "others") {
+			s.Values = append(s.Values, v)
+			s.Choices = append(s.Choices, nil)
+		} else {
+			var choices []Expr
+			for {
+				c, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				choices = append(choices, c)
+				if !p.accept(tokSymbol, "|") {
+					break
+				}
+			}
+			s.Values = append(s.Values, v)
+			s.Choices = append(s.Choices, choices)
+		}
+		if p.accept(tokSymbol, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expectSym(";"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// parseProcess parses a process statement.
+func (p *parser) parseProcess(label string) (Stmt, error) {
+	kw, _ := p.expectKw("process")
+	pr := &Process{Label: label, Line: kw.line}
+	if p.accept(tokSymbol, "(") {
+		for {
+			id, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			pr.Sensitivity = append(pr.Sensitivity, id.text)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+	}
+	p.accept(tokKeyword, "is")
+	if p.atKw("variable") {
+		return nil, p.errHere("process variables are not supported by this subset")
+	}
+	if _, err := p.expectKw("begin"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseSeqList("end")
+	if err != nil {
+		return nil, err
+	}
+	pr.Body = body
+	if _, err := p.expectKw("end"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKw("process"); err != nil {
+		return nil, err
+	}
+	if label != "" {
+		p.accept(tokIdent, label)
+	}
+	if _, err := p.expectSym(";"); err != nil {
+		return nil, err
+	}
+	return pr, nil
+}
+
+// parseInstance parses "label: entity work.name port map (...);".
+func (p *parser) parseInstance(label string) (Stmt, error) {
+	kw, _ := p.expectKw("entity")
+	lib, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	entName := lib.text
+	if p.accept(tokSymbol, ".") {
+		id, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		entName = id.text
+	}
+	inst := &Instance{Label: label, Entity: entName, Line: kw.line}
+	if p.atKw("generic") {
+		p.next()
+		if _, err := p.expectKw("map"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expectSym("("); err != nil {
+			return nil, err
+		}
+		for {
+			formal := ""
+			if p.at(tokIdent, "") && p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "=>" {
+				formal = p.next().text
+				p.next() // =>
+			}
+			actual, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			inst.GenericFormals = append(inst.GenericFormals, formal)
+			inst.GenericActuals = append(inst.GenericActuals, actual)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expectKw("port"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKw("map"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	for {
+		// Named association "formal => actual" or positional "actual".
+		formal := ""
+		if p.at(tokIdent, "") && p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "=>" {
+			formal = p.next().text
+			p.next() // =>
+		}
+		actual, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		inst.Formals = append(inst.Formals, formal)
+		inst.Actuals = append(inst.Actuals, actual)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expectSym(";"); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+// parseGenerate parses "label: for i in A to B generate ... end generate;".
+func (p *parser) parseGenerate(label string) (Stmt, error) {
+	kw, _ := p.expectKw("for")
+	v, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKw("in"); err != nil {
+		return nil, err
+	}
+	from, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKw("to"); err != nil {
+		return nil, err
+	}
+	to, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKw("generate"); err != nil {
+		return nil, err
+	}
+	g := &GenerateFor{Label: label, Var: v.text, From: from, To: to, Line: kw.line}
+	for !p.atKw("end") {
+		st, err := p.parseConcurrent()
+		if err != nil {
+			return nil, err
+		}
+		g.Body = append(g.Body, st)
+	}
+	p.next() // end
+	if _, err := p.expectKw("generate"); err != nil {
+		return nil, err
+	}
+	p.accept(tokIdent, label)
+	if _, err := p.expectSym(";"); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// parseSeqList parses sequential statements until one of the stop keywords.
+func (p *parser) parseSeqList(stops ...string) ([]SeqStmt, error) {
+	stopSet := make(map[string]bool, len(stops))
+	for _, s := range stops {
+		stopSet[s] = true
+	}
+	var out []SeqStmt
+	for {
+		t := p.cur()
+		if t.kind == tokKeyword && stopSet[t.text] {
+			return out, nil
+		}
+		if t.kind == tokEOF {
+			return nil, p.errHere("unexpected end of file in statement list")
+		}
+		s, err := p.parseSeq()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+}
+
+func (p *parser) parseSeq() (SeqStmt, error) {
+	switch {
+	case p.atKw("if"):
+		return p.parseIf()
+	case p.atKw("case"):
+		return p.parseCase()
+	case p.atKw("null"):
+		p.next()
+		if _, err := p.expectSym(";"); err != nil {
+			return nil, err
+		}
+		return &Null{}, nil
+	case p.atKw("wait"), p.atKw("for"), p.atKw("while"), p.atKw("loop"):
+		return nil, p.errHere("%s statements are not supported by this subset", p.cur().text)
+	default:
+		tgt, err := p.parseTarget()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectSym("<="); err != nil {
+			return nil, err
+		}
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectSym(";"); err != nil {
+			return nil, err
+		}
+		return &SeqAssign{Target: tgt, Value: v, Line: tgt.Line}, nil
+	}
+}
+
+func (p *parser) parseIf() (SeqStmt, error) {
+	kw, _ := p.expectKw("if")
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKw("then"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseSeqList("elsif", "else", "end")
+	if err != nil {
+		return nil, err
+	}
+	node := &If{Cond: cond, Then: then, Line: kw.line}
+	switch {
+	case p.atKw("elsif"):
+		// Rewrite elsif as nested if; reuse parseIf by substituting the
+		// keyword.
+		p.toks[p.pos].text = "if"
+		inner, err := p.parseIf()
+		if err != nil {
+			return nil, err
+		}
+		node.Else = []SeqStmt{inner}
+		return node, nil
+	case p.atKw("else"):
+		p.next()
+		els, err := p.parseSeqList("end")
+		if err != nil {
+			return nil, err
+		}
+		node.Else = els
+	}
+	if _, err := p.expectKw("end"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKw("if"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expectSym(";"); err != nil {
+		return nil, err
+	}
+	return node, nil
+}
+
+// parseIf for the elsif branch consumes through "end if ;" inside the inner
+// call, so the outer must not expect them again.
+func (p *parser) parseCase() (SeqStmt, error) {
+	kw, _ := p.expectKw("case")
+	sel, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKw("is"); err != nil {
+		return nil, err
+	}
+	c := &Case{Sel: sel, Line: kw.line}
+	for p.atKw("when") {
+		p.next()
+		var choices []Expr
+		if p.accept(tokKeyword, "others") {
+			choices = nil
+		} else {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				choices = append(choices, e)
+				if !p.accept(tokSymbol, "|") {
+					break
+				}
+			}
+		}
+		if _, err := p.expectSym("=>"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseSeqList("when", "end")
+		if err != nil {
+			return nil, err
+		}
+		c.Arms = append(c.Arms, CaseArm{Choices: choices, Body: body})
+	}
+	if _, err := p.expectKw("end"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKw("case"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expectSym(";"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Expression parsing with precedence:
+//
+//	logical (and or nand nor xor xnor)  [lowest]
+//	relational (= /= < <= > >=)
+//	additive (+ - &)
+//	unary (not, -)
+//	primary
+func (p *parser) parseExpr() (Expr, error) { return p.parseLogical() }
+
+func (p *parser) parseLogical() (Expr, error) {
+	x, err := p.parseRelational()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokKeyword {
+			return x, nil
+		}
+		switch t.text {
+		case "and", "or", "nand", "nor", "xor", "xnor":
+			p.next()
+			y, err := p.parseRelational()
+			if err != nil {
+				return nil, err
+			}
+			x = &Binary{Op: t.text, X: x, Y: y, Line: t.line}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parseRelational() (Expr, error) {
+	x, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.kind == tokSymbol {
+		switch t.text {
+		case "=", "/=", "<", "<=", ">", ">=":
+			p.next()
+			y, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &Binary{Op: t.text, X: x, Y: y, Line: t.line}, nil
+		}
+	}
+	return x, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	x, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokSymbol {
+			return x, nil
+		}
+		switch t.text {
+		case "+", "-", "&":
+			p.next()
+			y, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			x = &Binary{Op: t.text, X: x, Y: y, Line: t.line}
+		default:
+			return x, nil
+		}
+	}
+}
+
+// parseMultiplicative parses * and / (constant-expression contexts only;
+// elaboration rejects them on signals).
+func (p *parser) parseMultiplicative() (Expr, error) {
+	x, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokSymbol || (t.text != "*" && t.text != "/") {
+			return x, nil
+		}
+		p.next()
+		y, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{Op: t.text, X: x, Y: y, Line: t.line}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	if t.kind == tokKeyword && t.text == "not" {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "not", X: x, Line: t.line}, nil
+	}
+	if t.kind == tokSymbol && t.text == "-" {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", X: x, Line: t.line}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.atSym("'"):
+			p.next()
+			attr, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			x = &Attribute{Base: x, Attr: attr.text, Line: attr.line}
+		case p.atSym("("):
+			// Index, slice or call on a name.
+			open := p.cur()
+			p.next()
+			if nm, isName := x.(*Name); isName && isFunc(nm.Ident) {
+				call := &Call{Func: nm.Ident, Line: nm.Line}
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(tokSymbol, ",") {
+						break
+					}
+				}
+				if _, err := p.expectSym(")"); err != nil {
+					return nil, err
+				}
+				x = call
+				continue
+			}
+			first, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if p.atKw("downto") || p.atKw("to") {
+				downto := p.next().text == "downto"
+				lo, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expectSym(")"); err != nil {
+					return nil, err
+				}
+				x = &SliceExpr{Base: x, Hi: first, Lo: lo, Downto: downto, Line: open.line}
+				continue
+			}
+			if _, err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{Base: x, Index: first, Line: open.line}
+		default:
+			return x, nil
+		}
+	}
+}
+
+// isFunc recognises supported function/conversion names.
+func isFunc(name string) bool {
+	switch name {
+	case "rising_edge", "falling_edge", "unsigned", "signed", "std_logic_vector",
+		"to_unsigned", "to_integer", "conv_std_logic_vector", "conv_integer":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokIdent:
+		p.next()
+		return &Name{Ident: t.text, Line: t.line}, nil
+	case tokCharLit:
+		p.next()
+		if t.text != "0" && t.text != "1" {
+			return nil, &ParseError{t.line, t.col, fmt.Sprintf("unsupported std_logic value '%s' (only '0'/'1')", t.text)}
+		}
+		return &CharLit{Value: t.text[0], Line: t.line}, nil
+	case tokStrLit:
+		p.next()
+		for _, ch := range t.text {
+			if ch != '0' && ch != '1' {
+				return nil, &ParseError{t.line, t.col, fmt.Sprintf("unsupported bit value %q in string literal", ch)}
+			}
+		}
+		return &StrLit{Value: t.text, Line: t.line}, nil
+	case tokNumber:
+		p.next()
+		v, err := strconv.Atoi(t.text)
+		if err != nil {
+			return nil, &ParseError{t.line, t.col, "bad integer"}
+		}
+		return &IntLit{Value: v, Line: t.line}, nil
+	case tokSymbol:
+		if t.text == "(" {
+			p.next()
+			// Aggregate (others => e) or parenthesised expression.
+			if p.atKw("others") {
+				p.next()
+				if _, err := p.expectSym("=>"); err != nil {
+					return nil, err
+				}
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expectSym(")"); err != nil {
+					return nil, err
+				}
+				return &Aggregate{Others: e, Line: t.line}, nil
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errHere("unexpected token %s in expression", p.cur())
+}

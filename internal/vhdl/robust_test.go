@@ -1,0 +1,84 @@
+package vhdl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParserNeverPanics drives the front end with mutated sources: every
+// outcome must be a clean error or success, never a panic or hang.
+func TestParserNeverPanics(t *testing.T) {
+	seeds := []string{
+		adderVHDL,
+		counterVHDL,
+		genericAdderVHDL,
+		"entity e is port (a : in std_logic); end e;",
+	}
+	rng := rand.New(rand.NewSource(99))
+	mutate := func(s string) string {
+		b := []byte(s)
+		if len(b) == 0 {
+			return s
+		}
+		switch rng.Intn(4) {
+		case 0: // truncate
+			return s[:rng.Intn(len(b))]
+		case 1: // flip a byte
+			b[rng.Intn(len(b))] = byte(rng.Intn(128))
+			return string(b)
+		case 2: // duplicate a slice
+			i := rng.Intn(len(b))
+			j := i + rng.Intn(len(b)-i)
+			return s[:j] + s[i:j] + s[j:]
+		default: // delete a slice
+			i := rng.Intn(len(b))
+			j := i + rng.Intn(len(b)-i)
+			return s[:i] + s[j:]
+		}
+	}
+	run := func(src string) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on input %q: %v", src, r)
+			}
+		}()
+		_ = CheckSource(src)
+	}
+	for _, seed := range seeds {
+		src := seed
+		for i := 0; i < 150; i++ {
+			run(src)
+			src = mutate(src)
+			if len(src) > 4*len(seed) {
+				src = seed
+			}
+		}
+	}
+	// Pathological token streams.
+	for _, src := range []string{
+		strings.Repeat("(", 500),
+		strings.Repeat("entity e is ", 100),
+		"\"" + strings.Repeat("a", 1000),
+		"'" + strings.Repeat("'", 99),
+		"-- comment only\n",
+		"",
+	} {
+		run(src)
+	}
+}
+
+// TestDeepNestingBounded guards the recursive-descent parser against
+// stack abuse from deeply nested expressions.
+func TestDeepNestingBounded(t *testing.T) {
+	depth := 2000
+	expr := strings.Repeat("(", depth) + "a" + strings.Repeat(")", depth)
+	src := "entity e is port (a : in std_logic; y : out std_logic); end e;\n" +
+		"architecture r of e is begin y <= " + expr + "; end r;"
+	done := make(chan struct{})
+	go func() {
+		defer func() { recover(); close(done) }()
+		_ = CheckSource(src)
+	}()
+	<-done
+}

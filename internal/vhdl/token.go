@@ -1,0 +1,193 @@
+// Package vhdl implements the front end of the paper's flow: the VHDL
+// Parser tool (lexing, parsing and semantic checking of a synthesizable
+// VHDL-93 subset) and the DIVINER behavioural synthesizer (elaboration of
+// the checked design into a gate-level netlist).
+//
+// Supported subset: entity/architecture pairs; std_logic, std_logic_vector,
+// bit and bit_vector ports and signals; concurrent, conditional ("when
+// else") and selected ("with select") signal assignments; processes with
+// if/elsif/case control flow, rising_edge/falling_edge clocked processes
+// with optional synchronous reset; logic operators, comparisons, unsigned
+// +/- arithmetic, concatenation, indexing, slicing, aggregates
+// ((others => '0')) and entity instantiation.
+package vhdl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokCharLit // '0'
+	tokStrLit  // "0101"
+	tokSymbol  // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords and identifiers are lowercased
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of file"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+var keywords = map[string]bool{
+	"abs": true, "access": true, "after": true, "alias": true, "all": true,
+	"and": true, "architecture": true, "array": true, "assert": true,
+	"attribute": true, "begin": true, "block": true, "body": true,
+	"buffer": true, "bus": true, "case": true, "component": true,
+	"configuration": true, "constant": true, "disconnect": true,
+	"downto": true, "else": true, "elsif": true, "end": true, "entity": true,
+	"exit": true, "file": true, "for": true, "function": true,
+	"generate": true, "generic": true, "group": true, "guarded": true,
+	"if": true, "impure": true, "in": true, "inertial": true, "inout": true,
+	"is": true, "label": true, "library": true, "linkage": true,
+	"literal": true, "loop": true, "map": true, "mod": true, "nand": true,
+	"new": true, "next": true, "nor": true, "not": true, "null": true,
+	"of": true, "on": true, "open": true, "or": true, "others": true,
+	"out": true, "package": true, "port": true, "postponed": true,
+	"procedure": true, "process": true, "pure": true, "range": true,
+	"record": true, "register": true, "reject": true, "rem": true,
+	"report": true, "return": true, "rol": true, "ror": true, "select": true,
+	"severity": true, "signal": true, "shared": true, "sla": true,
+	"sll": true, "sra": true, "srl": true, "subtype": true, "then": true,
+	"to": true, "transport": true, "type": true, "unaffected": true,
+	"units": true, "until": true, "use": true, "variable": true, "wait": true,
+	"when": true, "while": true, "with": true, "xnor": true, "xor": true,
+}
+
+// lexError is a lexical error with position.
+type lexError struct {
+	line, col int
+	msg       string
+}
+
+func (e *lexError) Error() string {
+	return fmt.Sprintf("vhdl: line %d:%d: %s", e.line, e.col, e.msg)
+}
+
+// lex tokenizes VHDL source.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	advance := func(k int) {
+		for j := 0; j < k; j++ {
+			if src[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '-' && i+1 < n && src[i+1] == '-':
+			// Comment to end of line.
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case unicode.IsLetter(rune(c)):
+			start := i
+			sl, sc := line, col
+			for i < n && (isIdentChar(src[i])) {
+				advance(1)
+			}
+			word := strings.ToLower(src[start:i])
+			kind := tokIdent
+			if keywords[word] {
+				kind = tokKeyword
+			}
+			toks = append(toks, token{kind, word, sl, sc})
+		case unicode.IsDigit(rune(c)):
+			start := i
+			sl, sc := line, col
+			for i < n && (unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				advance(1)
+			}
+			toks = append(toks, token{tokNumber, strings.ReplaceAll(src[start:i], "_", ""), sl, sc})
+		case c == '\'':
+			// Character literal or attribute tick. 'x' only when a single
+			// char followed by closing quote AND the previous token is not
+			// an identifier/closing paren (which would be an attribute).
+			if i+2 < n && src[i+2] == '\'' && !prevIsValue(toks) {
+				toks = append(toks, token{tokCharLit, string(src[i+1]), line, col})
+				advance(3)
+			} else {
+				toks = append(toks, token{tokSymbol, "'", line, col})
+				advance(1)
+			}
+		case c == '"':
+			sl, sc := line, col
+			advance(1)
+			start := i
+			for i < n && src[i] != '"' {
+				if src[i] == '\n' {
+					return nil, &lexError{sl, sc, "unterminated string literal"}
+				}
+				advance(1)
+			}
+			if i >= n {
+				return nil, &lexError{sl, sc, "unterminated string literal"}
+			}
+			toks = append(toks, token{tokStrLit, src[start:i], sl, sc})
+			advance(1)
+		default:
+			sl, sc := line, col
+			// Multi-char symbols first.
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "<=", ">=", "=>", ":=", "/=", "**", "<>":
+				toks = append(toks, token{tokSymbol, two, sl, sc})
+				advance(2)
+				continue
+			}
+			switch c {
+			case '(', ')', ';', ':', ',', '.', '&', '+', '-', '*', '/', '=', '<', '>', '|':
+				toks = append(toks, token{tokSymbol, string(c), sl, sc})
+				advance(1)
+			default:
+				return nil, &lexError{sl, sc, fmt.Sprintf("unexpected character %q", c)}
+			}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line, col})
+	return toks, nil
+}
+
+func isIdentChar(c byte) bool {
+	return unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) || c == '_'
+}
+
+// prevIsValue reports whether the previous token could end a value
+// expression (so a following tick is an attribute, as in clk'event).
+func prevIsValue(toks []token) bool {
+	if len(toks) == 0 {
+		return false
+	}
+	t := toks[len(toks)-1]
+	return t.kind == tokIdent || (t.kind == tokSymbol && t.text == ")")
+}
