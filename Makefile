@@ -2,9 +2,23 @@
 
 GO ?= go
 
-.PHONY: all build test short bench race cover tools experiments clean
+.PHONY: all build test short bench race cover tools experiments clean lint bench-gate baseline
 
 all: build test
+
+lint:
+	@fmtout="$$(gofmt -l .)"; if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+	$(GO) vet ./...
+
+# bench-gate reruns the small suite and fails on tier-1 QoR drift vs the
+# committed baseline (the same gate CI runs).
+bench-gate:
+	$(GO) run ./cmd/benchgate -emit BENCH_ci.json -baseline bench_baseline.json -tol 0.05
+
+# baseline refreshes bench_baseline.json after an intentional QoR change.
+baseline:
+	$(GO) run ./cmd/benchgate -update bench_baseline.json
 
 build:
 	$(GO) build ./...

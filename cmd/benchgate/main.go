@@ -1,0 +1,202 @@
+// Command benchgate is the CI quality gate on the flow's tier-1 metrics.
+// It runs the small benchmark suite through the complete flow with the
+// observability layer enabled, emits a machine-readable report (one obs
+// summary per design), and compares the tier-1 QoR metrics — LUTs, CLBs,
+// minimum channel width, bitstream bits — against a committed baseline,
+// failing (exit 1) on drift beyond the tolerance.
+//
+// Usage:
+//
+//	benchgate -emit BENCH_ci.json -baseline bench_baseline.json -tol 0.05
+//	benchgate -update bench_baseline.json     # refresh the baseline
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"fpgaflow/internal/circuits"
+	"fpgaflow/internal/core"
+	"fpgaflow/internal/obs"
+)
+
+// DesignReport is the per-design gate record. The tier-1 metrics are
+// pulled from the run's obs counters (the same numbers fpgaflow -metrics
+// reports), so the gate exercises the observability layer end to end.
+type DesignReport struct {
+	Name          string  `json:"name"`
+	LUTs          int64   `json:"luts"`
+	CLBs          int64   `json:"clbs"`
+	ChannelWidth  int64   `json:"channel_width"`
+	BitstreamBits int64   `json:"bitstream_bits"`
+	WallMS        float64 `json:"wall_ms"`
+	// Metrics is the full obs summary for the run (informational; not
+	// compared by the gate).
+	Metrics *obs.Summary `json:"metrics,omitempty"`
+}
+
+// Report is the whole gate document.
+type Report struct {
+	GoVersion string         `json:"go_version"`
+	Seed      int64          `json:"seed"`
+	Designs   []DesignReport `json:"designs"`
+}
+
+func main() {
+	emit := flag.String("emit", "", "write the current run's report to this JSON file")
+	baseline := flag.String("baseline", "", "compare against this committed baseline report")
+	update := flag.String("update", "", "run the suite and (over)write this baseline file")
+	tol := flag.Float64("tol", 0.05, "allowed relative drift per tier-1 metric")
+	seed := flag.Int64("seed", 1, "flow seed (must match the baseline's)")
+	full := flag.Bool("summaries", false, "embed full obs summaries in the emitted report")
+	flag.Parse()
+
+	rep, err := run(*seed, *full)
+	if err != nil {
+		fatal(err)
+	}
+	if *update != "" {
+		if err := writeJSON(*update, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchgate: wrote baseline %s (%d designs)\n", *update, len(rep.Designs))
+		return
+	}
+	if *emit != "" {
+		if err := writeJSON(*emit, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchgate: wrote %s (%d designs)\n", *emit, len(rep.Designs))
+	}
+	if *baseline == "" {
+		return
+	}
+	base, err := readReport(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	if err := compare(base, rep, *tol); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: OK — %d designs within %.0f%% of %s\n",
+		len(rep.Designs), *tol*100, *baseline)
+}
+
+// run pushes the small suite through the flow, one obs trace per design.
+func run(seed int64, embedSummaries bool) (*Report, error) {
+	rep := &Report{GoVersion: runtime.Version(), Seed: seed}
+	for _, bench := range circuits.SmallSuite() {
+		tr := obs.New(bench.Name)
+		start := time.Now()
+		_, err := core.RunVHDL(bench.VHDL, core.Options{
+			Seed:            seed,
+			SkipVerify:      true,
+			MinChannelWidth: true,
+			ClockHz:         100e6,
+			Obs:             tr,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("benchgate: %s: %w", bench.Name, err)
+		}
+		counters := tr.Counters()
+		d := DesignReport{
+			Name:          bench.Name,
+			LUTs:          counters["flow.luts"],
+			CLBs:          counters["flow.clbs"],
+			ChannelWidth:  counters["flow.channel_width"],
+			BitstreamBits: counters["flow.bitstream_bits"],
+			WallMS:        float64(time.Since(start).Microseconds()) / 1000,
+		}
+		if embedSummaries {
+			d.Metrics = tr.Summary()
+		}
+		rep.Designs = append(rep.Designs, d)
+	}
+	return rep, nil
+}
+
+// compare checks every tier-1 metric of every design against the baseline.
+// All drifts are reported, not just the first.
+func compare(base, cur *Report, tol float64) error {
+	baseBy := make(map[string]DesignReport, len(base.Designs))
+	for _, d := range base.Designs {
+		baseBy[d.Name] = d
+	}
+	var failures []string
+	for _, d := range cur.Designs {
+		b, ok := baseBy[d.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from baseline (refresh it)", d.Name))
+			continue
+		}
+		delete(baseBy, d.Name)
+		check := func(metric string, baseV, curV int64) {
+			if drift := relDrift(baseV, curV); drift > tol {
+				failures = append(failures, fmt.Sprintf("%s: %s drifted %.1f%% (baseline %d, current %d)",
+					d.Name, metric, drift*100, baseV, curV))
+			}
+		}
+		check("luts", b.LUTs, d.LUTs)
+		check("clbs", b.CLBs, d.CLBs)
+		check("channel_width", b.ChannelWidth, d.ChannelWidth)
+		check("bitstream_bits", b.BitstreamBits, d.BitstreamBits)
+	}
+	for name := range baseBy {
+		failures = append(failures, fmt.Sprintf("%s: in baseline but not in current run", name))
+	}
+	if len(failures) > 0 {
+		msg := failures[0]
+		for _, f := range failures[1:] {
+			msg += "; " + f
+		}
+		return fmt.Errorf("%s", msg)
+	}
+	return nil
+}
+
+func relDrift(base, cur int64) float64 {
+	if base == cur {
+		return 0
+	}
+	if base == 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(float64(cur)-float64(base)) / math.Abs(float64(base))
+}
+
+func writeJSON(path string, v interface{}) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func readReport(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("benchgate: bad report %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -9,13 +9,16 @@ import (
 
 	"fpgaflow/internal/circuits"
 	"fpgaflow/internal/experiments"
+	"fpgaflow/internal/obs"
 )
 
 func main() {
 	run := flag.String("run", "all", "experiment: table1|table2|table3|fig8|fig9|fig10|tristate|lutsize|clustersize|segment|headline|inputs|flow|all")
 	small := flag.Bool("small", false, "use the small benchmark suite for flow sweeps")
 	seed := flag.Int64("seed", 1, "seed")
+	obsFlags := obs.RegisterCLIFlags(flag.CommandLine)
 	flag.Parse()
+	_, finishObs := obsFlags.Start("experiments")
 	w := os.Stdout
 	suite := circuits.Suite()
 	if *small {
@@ -92,4 +95,5 @@ func main() {
 		_, err := experiments.FullFlow(w, suite, *seed, true)
 		fail(err)
 	}
+	fail(finishObs())
 }

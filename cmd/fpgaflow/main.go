@@ -11,6 +11,7 @@ import (
 
 	"fpgaflow/internal/arch"
 	"fpgaflow/internal/core"
+	"fpgaflow/internal/obs"
 )
 
 func main() {
@@ -24,6 +25,7 @@ func main() {
 	seeds := flag.Int("place-seeds", 1, "parallel placement seeds (keep the best)")
 	clock := flag.Float64("clock", 0, "power-estimation clock in MHz (0 = fmax)")
 	archFile := flag.String("arch", "", "DUTYS architecture file")
+	obsFlags := obs.RegisterCLIFlags(flag.CommandLine)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: fpgaflow [options] design.vhd|design.blif\nRuns VHDL->bitstream with all paper tools; prints the stage report.\n")
 		flag.PrintDefaults()
@@ -33,11 +35,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	tr, finishObs := obsFlags.Start("fpgaflow")
 	opts := core.Options{
 		Top: *top, Seed: *seed, MinChannelWidth: *minW,
 		SkipVerify: *noVerify, ClockHz: *clock * 1e6,
 		TimingDrivenPlace: *timing, TimingDrivenRoute: *timing,
-		PlaceSeeds: *seeds,
+		PlaceSeeds: *seeds, Obs: tr,
 	}
 	if *greedy {
 		opts.Mapper = core.MapGreedy
@@ -60,8 +63,12 @@ func main() {
 	if res != nil {
 		fmt.Print(res.Summary())
 	}
+	ferr := finishObs()
 	if err != nil {
 		fatal(err)
+	}
+	if ferr != nil {
+		fatal(fmt.Errorf("observability: %w", ferr))
 	}
 	if *out != "" {
 		if err := os.WriteFile(*out, res.Encoded, 0o644); err != nil {

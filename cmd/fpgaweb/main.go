@@ -15,6 +15,7 @@ func main() {
 	flag.Parse()
 	s := gui.NewServer()
 	fmt.Printf("FPGA design framework GUI on http://%s\n", *addr)
+	fmt.Printf("machine-readable run metrics on http://%s/metrics\n", *addr)
 	if err := s.ListenAndServe(*addr); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

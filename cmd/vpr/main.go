@@ -10,6 +10,7 @@ import (
 
 	"fpgaflow/internal/arch"
 	"fpgaflow/internal/netlist"
+	"fpgaflow/internal/obs"
 	"fpgaflow/internal/pack"
 	"fpgaflow/internal/place"
 	"fpgaflow/internal/route"
@@ -22,6 +23,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "placement seed")
 	effort := flag.Float64("effort", 1, "annealing effort (VPR inner_num)")
 	minW := flag.Bool("min-w", false, "binary search minimum channel width")
+	obsFlags := obs.RegisterCLIFlags(flag.CommandLine)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: vpr [-arch file] [-seed S] [-min-w] [file.blif]\nPlaces and routes a mapped netlist.\n")
 	}
@@ -30,6 +32,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	tr, finishObs := obsFlags.Start("vpr")
 	a := arch.Paper()
 	if *archFile != "" {
 		b, err := os.ReadFile(*archFile)
@@ -48,19 +51,20 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	pk.Record(tr)
 	p, err := place.NewProblem(a, pk)
 	if err != nil {
 		fatal(err)
 	}
 	p.AutoSize()
-	pl, err := place.Place(p, place.Options{Seed: *seed, InnerNum: *effort})
+	pl, err := place.Place(p, place.Options{Seed: *seed, InnerNum: *effort, Obs: tr})
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("placed %d blocks on %dx%d grid, bb cost %.2f\n", len(p.Blocks), a.Cols, a.Rows, pl.Cost)
 	var r *route.Result
 	if *minW {
-		w, rr, err := route.MinChannelWidth(p, pl, 1, a.Routing.ChannelWidth, route.Options{})
+		w, rr, err := route.MinChannelWidth(p, pl, 1, a.Routing.ChannelWidth, route.Options{Obs: tr})
 		if err != nil {
 			fatal(err)
 		}
@@ -71,7 +75,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if r, err = route.Route(p, pl, g, route.Options{}); err != nil {
+		if r, err = route.Route(p, pl, g, route.Options{Obs: tr}); err != nil {
 			fatal(err)
 		}
 		if !r.Success {
@@ -91,6 +95,10 @@ func main() {
 			fmt.Printf(" %s", n)
 		}
 		fmt.Println()
+	}
+	tr.SetGauge("timing.critical_path_ns", an.CriticalPath*1e9)
+	if err := finishObs(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"fpgaflow/internal/edif"
 	"fpgaflow/internal/logic"
 	"fpgaflow/internal/netlist"
+	"fpgaflow/internal/obs"
 	"fpgaflow/internal/pack"
 	"fpgaflow/internal/place"
 	"fpgaflow/internal/power"
@@ -87,6 +88,18 @@ type Options struct {
 	SkipVerify bool
 	// OptimizeOptions tunes the SIS stage.
 	OptimizeOptions logic.Options
+	// Obs receives per-stage spans and stage-specific counters for the run.
+	// nil falls back to the process-global trace (obs.Global), which is
+	// itself a no-op unless a main installed one.
+	Obs *obs.Trace
+}
+
+// trace resolves the effective observability trace for the run.
+func (o *Options) trace() *obs.Trace {
+	if o.Obs != nil {
+		return o.Obs
+	}
+	return obs.Global()
 }
 
 func (o *Options) fill() {
@@ -98,16 +111,27 @@ func (o *Options) fill() {
 	}
 }
 
-// Stage records one tool invocation.
+// Stage records one tool invocation. Duration is the stage's own wall
+// time, measured by its observability span (every stage records its own
+// timing; nothing is stamped at flow end).
 type Stage struct {
 	Tool     string
 	Detail   string
 	Duration time.Duration
+	// CPU is the process CPU time consumed during the stage (may exceed
+	// Duration for parallel stages); zero when unavailable.
+	CPU time.Duration
+	// AllocBytes is the heap allocated during the stage
+	// (runtime.MemStats.TotalAlloc delta).
+	AllocBytes uint64
 }
 
 // Result is the complete output of a flow run.
 type Result struct {
 	Stages []Stage
+
+	// tr is the observability trace for this run (possibly nil).
+	tr *obs.Trace
 
 	// Source is the elaborated (pre-optimization) netlist, the reference
 	// for all equivalence checks.
@@ -160,7 +184,7 @@ type Metrics struct {
 // RunVHDL executes the full flow on VHDL source.
 func RunVHDL(src string, opts Options) (*Result, error) {
 	opts.fill()
-	res := &Result{}
+	res := &Result{tr: opts.trace()}
 	var design *vhdl.Design
 
 	// Stage 1: VHDL Parser.
@@ -185,6 +209,8 @@ func RunVHDL(src string, opts Options) (*Result, error) {
 		}
 		res.Source = nl
 		st := nl.Stats()
+		res.tr.Add("synth.gates", int64(st.Logic))
+		res.tr.Add("synth.ffs", int64(st.Latches))
 		res.Stages[len(res.Stages)-1].Detail = fmt.Sprintf("%d gates, %d FFs", st.Logic, st.Latches)
 		return nil
 	})
@@ -219,7 +245,7 @@ func RunVHDL(src string, opts Options) (*Result, error) {
 // RunBLIF enters the flow at the SIS stage with a BLIF netlist.
 func RunBLIF(blifText string, opts Options) (*Result, error) {
 	opts.fill()
-	res := &Result{}
+	res := &Result{tr: opts.trace()}
 	nl, err := netlist.ParseBLIF(blifText)
 	if err != nil {
 		return res, err
@@ -274,6 +300,8 @@ func (res *Result) continueFromBLIF(blifText string, opts Options) (*Result, err
 		res.Mapped = mapped
 		res.Metrics.LUTs = mapped.LUTs
 		res.Metrics.Depth = mapped.Depth
+		res.tr.Add("flow.luts", int64(mapped.LUTs))
+		res.tr.SetGauge("lutmap.depth", float64(mapped.Depth))
 		res.Stages[len(res.Stages)-1].Detail = fmt.Sprintf("%d LUTs, depth %d", mapped.LUTs, mapped.Depth)
 		return nil
 	})
@@ -288,8 +316,10 @@ func (res *Result) continueFromBLIF(blifText string, opts Options) (*Result, err
 			return err
 		}
 		res.Packing = pk
+		pk.Record(res.tr)
 		res.Metrics.CLBs = len(pk.Clusters)
 		res.Metrics.Utilization = pk.Utilization()
+		res.tr.Add("flow.clbs", int64(len(pk.Clusters)))
 		res.Stages[len(res.Stages)-1].Detail = fmt.Sprintf("%d CLBs, %.0f%% BLE utilization",
 			len(pk.Clusters), 100*pk.Utilization())
 		return nil
@@ -326,7 +356,7 @@ func (res *Result) continueFromBLIF(blifText string, opts Options) (*Result, err
 
 	// Stage 8: VPR placement.
 	err = res.stage("VPR place", func() error {
-		popts := place.Options{Seed: opts.Seed, InnerNum: opts.PlaceEffort, Fixed: opts.FixedPads}
+		popts := place.Options{Seed: opts.Seed, InnerNum: opts.PlaceEffort, Fixed: opts.FixedPads, Obs: res.tr}
 		mode := "wirelength-driven"
 		if opts.TimingDrivenPlace {
 			popts.Weights = place.CriticalityWeights(res.Packing, res.Problem, 8)
@@ -353,7 +383,7 @@ func (res *Result) continueFromBLIF(blifText string, opts Options) (*Result, err
 
 	// Stage 9: VPR routing.
 	err = res.stage("VPR route", func() error {
-		ropts := route.Options{MaxIters: opts.RouteMaxIters, DelayDriven: opts.TimingDrivenRoute}
+		ropts := route.Options{MaxIters: opts.RouteMaxIters, DelayDriven: opts.TimingDrivenRoute, Obs: res.tr}
 		if opts.MinChannelWidth {
 			w, r, err := route.MinChannelWidth(res.Problem, res.Placed, 1, a.Routing.ChannelWidth, ropts)
 			if err != nil {
@@ -380,6 +410,8 @@ func (res *Result) continueFromBLIF(blifText string, opts Options) (*Result, err
 		}
 		res.Metrics.ChannelWidth = res.Routed.Graph.W
 		res.Metrics.WirelengthUsed = res.Routed.WirelengthUsed()
+		res.tr.Add("flow.channel_width", int64(res.Routed.Graph.W))
+		res.tr.Add("route.wirelength", int64(res.Metrics.WirelengthUsed))
 		res.Stages[len(res.Stages)-1].Detail = fmt.Sprintf("W=%d, %d wire segments",
 			res.Routed.Graph.W, res.Routed.WirelengthUsed())
 		return nil
@@ -398,6 +430,8 @@ func (res *Result) continueFromBLIF(blifText string, opts Options) (*Result, err
 		res.Metrics.CriticalPath = an.CriticalPath
 		res.Metrics.MaxClockMHz = an.MaxClockHz / 1e6
 		res.Metrics.DataRateMbps = an.MaxDataRateHz / 1e6
+		res.tr.SetGauge("timing.critical_path_ns", an.CriticalPath*1e9)
+		res.tr.SetGauge("timing.fmax_mhz", an.MaxClockHz/1e6)
 		res.Stages[len(res.Stages)-1].Detail = fmt.Sprintf("%.2f ns critical path", an.CriticalPath*1e9)
 		return nil
 	})
@@ -411,7 +445,7 @@ func (res *Result) continueFromBLIF(blifText string, opts Options) (*Result, err
 		if clock == 0 {
 			clock = res.Timing.MaxClockHz
 		}
-		act, err := sim.EstimateActivity(res.Mapped.Netlist, opts.ActivityCycles, 0.5, opts.Seed)
+		act, err := sim.EstimateActivityObs(res.Mapped.Netlist, opts.ActivityCycles, 0.5, opts.Seed, res.tr)
 		if err != nil {
 			return err
 		}
@@ -421,6 +455,7 @@ func (res *Result) continueFromBLIF(blifText string, opts Options) (*Result, err
 		}
 		res.Power = rep
 		res.Metrics.PowerTotalMW = rep.Total * 1e3
+		res.tr.SetGauge("power.total_mw", rep.Total*1e3)
 		res.Metrics.AreaUnits = power.FabricAreaMinWidthUnits(a)
 		res.Stages[len(res.Stages)-1].Detail = fmt.Sprintf("%.3f mW at %.0f MHz", rep.Total*1e3, clock/1e6)
 		return nil
@@ -441,6 +476,7 @@ func (res *Result) continueFromBLIF(blifText string, opts Options) (*Result, err
 			return err
 		}
 		res.Metrics.BitstreamBits = len(res.Encoded) * 8
+		res.tr.Add("flow.bitstream_bits", int64(res.Metrics.BitstreamBits))
 		res.Stages[len(res.Stages)-1].Detail = fmt.Sprintf("%d bytes", len(res.Encoded))
 		return nil
 	})
@@ -463,6 +499,7 @@ func (res *Result) continueFromBLIF(blifText string, opts Options) (*Result, err
 				return fmt.Errorf("core: bitstream does not implement the source design: %w", err)
 			}
 			res.Verified = true
+			res.tr.Add("verify.equivalence_checks", 1)
 			res.Stages[len(res.Stages)-1].Detail = "bitstream equivalent to source"
 			return nil
 		})
@@ -474,11 +511,24 @@ func (res *Result) continueFromBLIF(blifText string, opts Options) (*Result, err
 }
 
 func (res *Result) stage(tool string, fn func() error) error {
+	sp := res.tr.Start(tool)
 	start := time.Now()
 	res.Stages = append(res.Stages, Stage{Tool: tool})
 	err := fn()
-	res.Stages[len(res.Stages)-1].Duration = time.Since(start)
+	st := &res.Stages[len(res.Stages)-1]
+	sp.SetDetail("%s", st.Detail)
+	sp.End()
+	if sp != nil {
+		// The span is the source of truth for the stage's own timing.
+		st.Duration = sp.Wall
+		st.CPU = sp.CPU
+		st.AllocBytes = sp.AllocBytes
+	} else {
+		st.Duration = time.Since(start)
+	}
+	res.tr.Add("flow.stages", 1)
 	if err != nil {
+		res.tr.Add("flow.stage_errors", 1)
 		return fmt.Errorf("%s: %w", tool, err)
 	}
 	return nil

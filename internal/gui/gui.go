@@ -8,6 +8,7 @@ package gui
 
 import (
 	"encoding/base64"
+	"encoding/json"
 	"fmt"
 	"html/template"
 	"net/http"
@@ -18,6 +19,7 @@ import (
 	"fpgaflow/internal/core"
 	"fpgaflow/internal/edif"
 	"fpgaflow/internal/netlist"
+	"fpgaflow/internal/obs"
 	"fpgaflow/internal/vhdl"
 )
 
@@ -34,6 +36,11 @@ type Server struct {
 	Log []string
 	// Opts are the flow options edited through the form.
 	Opts core.Options
+	// LastTrace is the observability trace of the most recent full flow
+	// run, served at /metrics.
+	LastTrace *obs.Trace
+	// runs counts full flow executions since server start.
+	runs int64
 }
 
 // NewServer returns a GUI server with paper-default options.
@@ -54,6 +61,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/bitstream.bin", s.handleBitstream)
 	mux.HandleFunc("/layout", s.handleLayout)
 	mux.HandleFunc("/docs", s.handleDocs)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
 
@@ -314,6 +322,9 @@ func (s *Server) runFull(r *http.Request) error {
 		}
 	}
 	s.Opts.MinChannelWidth = r.FormValue("minw") == "on"
+	tr := obs.New("fpgaweb")
+	s.Opts.Obs = tr
+	s.runs++
 	var res *core.Result
 	var err error
 	if sourceKind(s.Source) == "BLIF" {
@@ -321,6 +332,7 @@ func (s *Server) runFull(r *http.Request) error {
 	} else {
 		res, err = core.RunVHDL(s.Source, s.Opts)
 	}
+	s.LastTrace = tr
 	if res != nil {
 		for _, st := range res.Stages {
 			s.logf("  %-12s %s", st.Tool, st.Detail)
@@ -351,6 +363,24 @@ func (s *Server) handleBitstream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Disposition", "attachment; filename=design.bit")
 	w.Write(s.Result.Encoded)
+}
+
+// handleMetrics serves the observability view of the server as JSON: the
+// run count plus the full span/counter summary of the last flow execution
+// (the same schema fpgaflow -metrics writes).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	doc := struct {
+		Runs int64        `json:"runs"`
+		Last *obs.Summary `json:"last_run,omitempty"`
+	}{Runs: s.runs, Last: s.LastTrace.Summary()}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }
 
 func min(a, b int) int {

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/pprof"
+)
+
+// CLIFlags bundles the standard observability flags every cmd tool exposes:
+//
+//	-metrics out.json   write the machine-readable run summary
+//	-trace              print the span tree + counters to stderr on exit
+//	-jsonl out.jsonl    stream span events as JSON Lines
+//	-cpuprofile out.pprof  capture a pprof CPU profile of the run
+type CLIFlags struct {
+	Metrics    string
+	TraceText  bool
+	JSONL      string
+	CPUProfile string
+}
+
+// RegisterCLIFlags declares the observability flags on fs (use
+// flag.CommandLine from a main).
+func RegisterCLIFlags(fs *flag.FlagSet) *CLIFlags {
+	c := &CLIFlags{}
+	fs.StringVar(&c.Metrics, "metrics", "", "write machine-readable run metrics to this JSON file")
+	fs.BoolVar(&c.TraceText, "trace", false, "print the span/counter trace to stderr on exit")
+	fs.StringVar(&c.JSONL, "jsonl", "", "stream span events to this JSON Lines file")
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	return c
+}
+
+// Enabled reports whether any observability output was requested.
+func (c *CLIFlags) Enabled() bool {
+	return c.Metrics != "" || c.TraceText || c.JSONL != "" || c.CPUProfile != ""
+}
+
+// Start creates the run trace (also installed as the process global so
+// library-level counters report into it), starts profiling and sinks, and
+// returns a finish func that must run before exit — it stops the profile
+// and writes every requested output. When no observability flag was given
+// it returns a nil trace (all instrumentation no-ops) and a no-op finish.
+func (c *CLIFlags) Start(name string) (*Trace, func() error) {
+	if !c.Enabled() {
+		return nil, func() error { return nil }
+	}
+	tr := New(name)
+	SetGlobal(tr)
+
+	var closers []func() error
+	fail := func(err error) (*Trace, func() error) {
+		for _, f := range closers {
+			f()
+		}
+		return nil, func() error { return err }
+	}
+	if c.CPUProfile != "" {
+		f, err := os.Create(c.CPUProfile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("obs: start cpu profile: %w", err))
+		}
+		closers = append(closers, func() error {
+			pprof.StopCPUProfile()
+			return f.Close()
+		})
+	}
+	var jsonl *JSONLSink
+	var jsonlFile *os.File
+	if c.JSONL != "" {
+		f, err := os.Create(c.JSONL)
+		if err != nil {
+			return fail(err)
+		}
+		jsonlFile = f
+		jsonl = NewJSONLSink(f)
+		tr.SetSink(jsonl)
+	}
+
+	finish := func() error {
+		tr.MemSnapshot()
+		var firstErr error
+		keep := func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		for _, f := range closers {
+			keep(f())
+		}
+		if jsonl != nil {
+			keep(jsonl.Close(tr))
+			keep(jsonlFile.Close())
+		}
+		if c.Metrics != "" {
+			f, err := os.Create(c.Metrics)
+			if err != nil {
+				keep(err)
+			} else {
+				keep(tr.WriteJSON(f))
+				keep(f.Close())
+			}
+		}
+		if c.TraceText {
+			keep(tr.WriteText(os.Stderr))
+		}
+		return firstErr
+	}
+	return tr, finish
+}

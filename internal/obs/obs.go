@@ -1,0 +1,360 @@
+// Package obs is the flow-wide observability layer: hierarchical spans with
+// wall/CPU time and allocation deltas, monotonic counters and gauges safe
+// for concurrent use, and pluggable sinks (human-readable text, JSON Lines,
+// and a single-run metrics.json summary).
+//
+// The API is nil-safe end to end: every method on a nil *Trace, *Span,
+// *Counter or *Gauge is a no-op, so instrumentation sites never need to
+// guard on whether observability is enabled. A disabled call costs one nil
+// check.
+//
+// Typical use from a command:
+//
+//	tr := obs.New("fpgaflow")
+//	obs.SetGlobal(tr) // libraries without an explicit handle report here
+//	sp := tr.Start("VPR place")
+//	tr.Counter("place.moves").Add(n)
+//	sp.End()
+//	tr.WriteJSON(f) // metrics.json
+package obs
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonic (or at least additive) integer metric. Add is safe
+// from any number of goroutines.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter; no-op on nil.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value-wins float metric, safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+	set  atomic.Bool
+}
+
+// Set records the gauge value; no-op on nil.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+	g.set.Store(true)
+}
+
+// Max raises the gauge to v if v is larger than the current value.
+func (g *Gauge) Max(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.set.Load() && math.Float64frombits(old) >= v {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			g.set.Store(true)
+			return
+		}
+	}
+}
+
+// Value returns the gauge value (0 on nil or never set).
+func (g *Gauge) Value() float64 {
+	if g == nil || !g.set.Load() {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Span is one timed region of the run. Spans nest: a span started while
+// another is open becomes its child. Spans are intended for the sequential
+// stage structure of the flow (start and end on one goroutine); concurrent
+// work inside a span reports through counters instead.
+type Span struct {
+	tr *Trace
+
+	// Name is the span label (e.g. the flow tool name).
+	Name string
+	// Path is the slash-joined ancestry, e.g. "flow/VPR place".
+	Path string
+	// Depth is 0 for root spans.
+	Depth int
+	// Detail is a free-form annotation (the stage report line).
+	Detail string
+
+	start      time.Time
+	startOff   time.Duration // offset from trace start
+	cpuStart   time.Duration
+	allocStart uint64
+	mallocs0   uint64
+
+	// Wall, CPU, AllocBytes and Mallocs are populated by End.
+	Wall       time.Duration
+	CPU        time.Duration
+	AllocBytes uint64
+	Mallocs    uint64
+
+	ended bool
+}
+
+// SetDetail annotates the span; no-op on nil.
+func (s *Span) SetDetail(format string, args ...interface{}) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.Detail = fmt.Sprintf(format, args...)
+	s.tr.mu.Unlock()
+}
+
+// End closes the span, recording wall time, process CPU time delta and
+// allocation deltas. Ending twice or on nil is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	wall := time.Since(s.start)
+	cpu := processCPUTime()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+
+	t := s.tr
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s.ended {
+		return
+	}
+	s.ended = true
+	s.Wall = wall
+	if cpu > s.cpuStart {
+		s.CPU = cpu - s.cpuStart
+	}
+	if ms.TotalAlloc > s.allocStart {
+		s.AllocBytes = ms.TotalAlloc - s.allocStart
+	}
+	if ms.Mallocs > s.mallocs0 {
+		s.Mallocs = ms.Mallocs - s.mallocs0
+	}
+	// Pop this span (and anything left dangling above it) off the stack.
+	for i := len(t.stack) - 1; i >= 0; i-- {
+		if t.stack[i] == s {
+			t.stack = t.stack[:i]
+			break
+		}
+	}
+	if t.sink != nil {
+		t.sink.SpanEnd(s)
+	}
+}
+
+// Sink receives live observability events (see JSONLSink).
+type Sink interface {
+	// SpanEnd is called under the trace lock when a span closes.
+	SpanEnd(s *Span)
+}
+
+// Trace is the root collector for one run: a tree of spans plus named
+// counters and gauges. All methods are safe for concurrent use and safe on
+// a nil receiver.
+type Trace struct {
+	name  string
+	start time.Time
+	cpu0  time.Duration
+
+	mu    sync.Mutex
+	spans []*Span // completed-or-open spans in start order
+	stack []*Span // currently open spans (innermost last)
+	sink  Sink
+
+	counters sync.Map // string -> *Counter
+	gauges   sync.Map // string -> *Gauge
+}
+
+// New creates a trace named after the run (tool or design name).
+func New(name string) *Trace {
+	return &Trace{name: name, start: time.Now(), cpu0: processCPUTime()}
+}
+
+// Name returns the trace name ("" on nil).
+func (t *Trace) Name() string {
+	if t == nil {
+		return ""
+	}
+	return t.name
+}
+
+// SetSink installs a live event sink (e.g. a JSONLSink); no-op on nil.
+func (t *Trace) SetSink(s Sink) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.sink = s
+	t.mu.Unlock()
+}
+
+// Start opens a span as a child of the innermost open span. Returns nil on
+// a nil trace (and every Span method tolerates that).
+func (t *Trace) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s := &Span{
+		tr:         t,
+		Name:       name,
+		start:      time.Now(),
+		cpuStart:   processCPUTime(),
+		allocStart: ms.TotalAlloc,
+		mallocs0:   ms.Mallocs,
+	}
+	s.startOff = s.start.Sub(t.start)
+	t.mu.Lock()
+	if n := len(t.stack); n > 0 {
+		parent := t.stack[n-1]
+		s.Path = parent.Path + "/" + name
+		s.Depth = parent.Depth + 1
+	} else {
+		s.Path = name
+	}
+	t.spans = append(t.spans, s)
+	t.stack = append(t.stack, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Counter returns (creating on first use) the named counter; nil on a nil
+// trace.
+func (t *Trace) Counter(name string) *Counter {
+	if t == nil {
+		return nil
+	}
+	if c, ok := t.counters.Load(name); ok {
+		return c.(*Counter)
+	}
+	c, _ := t.counters.LoadOrStore(name, &Counter{})
+	return c.(*Counter)
+}
+
+// Add is shorthand for Counter(name).Add(n).
+func (t *Trace) Add(name string, n int64) { t.Counter(name).Add(n) }
+
+// Gauge returns (creating on first use) the named gauge; nil on a nil
+// trace.
+func (t *Trace) Gauge(name string) *Gauge {
+	if t == nil {
+		return nil
+	}
+	if g, ok := t.gauges.Load(name); ok {
+		return g.(*Gauge)
+	}
+	g, _ := t.gauges.LoadOrStore(name, &Gauge{})
+	return g.(*Gauge)
+}
+
+// SetGauge is shorthand for Gauge(name).Set(v).
+func (t *Trace) SetGauge(name string, v float64) { t.Gauge(name).Set(v) }
+
+// Counters returns a name-sorted snapshot of all counters.
+func (t *Trace) Counters() map[string]int64 {
+	if t == nil {
+		return nil
+	}
+	out := make(map[string]int64)
+	t.counters.Range(func(k, v interface{}) bool {
+		out[k.(string)] = v.(*Counter).Value()
+		return true
+	})
+	return out
+}
+
+// Gauges returns a snapshot of all gauges that have been set.
+func (t *Trace) Gauges() map[string]float64 {
+	if t == nil {
+		return nil
+	}
+	out := make(map[string]float64)
+	t.gauges.Range(func(k, v interface{}) bool {
+		g := v.(*Gauge)
+		if g.set.Load() {
+			out[k.(string)] = g.Value()
+		}
+		return true
+	})
+	return out
+}
+
+// Spans returns the spans in start order (completed spans carry their
+// timings; open spans have zero Wall).
+func (t *Trace) Spans() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.spans...)
+}
+
+// MemSnapshot captures the current allocation state (runtime.ReadMemStats)
+// into gauges: mem.heap_alloc_bytes, mem.total_alloc_bytes, mem.sys_bytes,
+// mem.num_gc.
+func (t *Trace) MemSnapshot() {
+	if t == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	t.SetGauge("mem.heap_alloc_bytes", float64(ms.HeapAlloc))
+	t.SetGauge("mem.total_alloc_bytes", float64(ms.TotalAlloc))
+	t.SetGauge("mem.sys_bytes", float64(ms.Sys))
+	t.SetGauge("mem.num_gc", float64(ms.NumGC))
+}
+
+// sortedKeys returns map keys in sorted order (stable sink output).
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// global is the process-wide default trace used by library code that has no
+// explicit handle (e.g. the switch-level circuit simulator). It is nil — a
+// universal no-op — until a main installs one with SetGlobal.
+var global atomic.Pointer[Trace]
+
+// SetGlobal installs tr as the process default trace (nil clears it).
+func SetGlobal(tr *Trace) { global.Store(tr) }
+
+// Global returns the process default trace, possibly nil.
+func Global() *Trace { return global.Load() }
+
+// C returns the named counter on the global trace (nil-safe no-op counter
+// when no global trace is installed).
+func C(name string) *Counter { return Global().Counter(name) }

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// SpanRecord is the serialized form of one span.
+type SpanRecord struct {
+	Name       string `json:"name"`
+	Path       string `json:"path"`
+	Depth      int    `json:"depth"`
+	Detail     string `json:"detail,omitempty"`
+	StartNS    int64  `json:"start_ns"`
+	WallNS     int64  `json:"wall_ns"`
+	CPUNS      int64  `json:"cpu_ns,omitempty"`
+	AllocBytes uint64 `json:"alloc_bytes,omitempty"`
+	Mallocs    uint64 `json:"mallocs,omitempty"`
+}
+
+// Summary is the machine-readable single-run report (metrics.json schema).
+type Summary struct {
+	Name     string             `json:"name"`
+	WallNS   int64              `json:"wall_ns"`
+	CPUNS    int64              `json:"cpu_ns,omitempty"`
+	Spans    []SpanRecord       `json:"spans"`
+	Counters map[string]int64   `json:"counters"`
+	Gauges   map[string]float64 `json:"gauges"`
+}
+
+func (s *Span) record() SpanRecord {
+	return SpanRecord{
+		Name:       s.Name,
+		Path:       s.Path,
+		Depth:      s.Depth,
+		Detail:     s.Detail,
+		StartNS:    s.startOff.Nanoseconds(),
+		WallNS:     s.Wall.Nanoseconds(),
+		CPUNS:      s.CPU.Nanoseconds(),
+		AllocBytes: s.AllocBytes,
+		Mallocs:    s.Mallocs,
+	}
+}
+
+// Summary snapshots the trace into its serializable form.
+func (t *Trace) Summary() *Summary {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	spans := make([]SpanRecord, len(t.spans))
+	for i, s := range t.spans {
+		spans[i] = s.record()
+	}
+	name := t.name
+	start := t.start
+	cpu0 := t.cpu0
+	t.mu.Unlock()
+	sum := &Summary{
+		Name:     name,
+		WallNS:   time.Since(start).Nanoseconds(),
+		Spans:    spans,
+		Counters: t.Counters(),
+		Gauges:   t.Gauges(),
+	}
+	if cpu := processCPUTime(); cpu > cpu0 {
+		sum.CPUNS = (cpu - cpu0).Nanoseconds()
+	}
+	return sum
+}
+
+// WriteJSON writes the metrics.json summary document.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.Summary())
+}
+
+// WriteText renders the human-readable report: the span tree with wall/CPU
+// time and allocations, followed by sorted counters and gauges.
+func (t *Trace) WriteText(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	sum := t.Summary()
+	fmt.Fprintf(w, "trace %s: wall %.2fms cpu %.2fms\n",
+		sum.Name, float64(sum.WallNS)/1e6, float64(sum.CPUNS)/1e6)
+	for _, s := range sum.Spans {
+		indent := strings.Repeat("  ", s.Depth+1)
+		fmt.Fprintf(w, "%s%-*s %9.2fms", indent, 28-2*s.Depth, s.Name, float64(s.WallNS)/1e6)
+		if s.CPUNS > 0 {
+			fmt.Fprintf(w, " cpu %8.2fms", float64(s.CPUNS)/1e6)
+		}
+		if s.AllocBytes > 0 {
+			fmt.Fprintf(w, " alloc %8s", byteSize(s.AllocBytes))
+		}
+		if s.Detail != "" {
+			fmt.Fprintf(w, "  %s", s.Detail)
+		}
+		fmt.Fprintln(w)
+	}
+	if len(sum.Counters) > 0 {
+		fmt.Fprintln(w, "counters:")
+		for _, k := range sortedKeys(sum.Counters) {
+			fmt.Fprintf(w, "  %-32s %d\n", k, sum.Counters[k])
+		}
+	}
+	if len(sum.Gauges) > 0 {
+		fmt.Fprintln(w, "gauges:")
+		for _, k := range sortedKeys(sum.Gauges) {
+			fmt.Fprintf(w, "  %-32s %g\n", k, sum.Gauges[k])
+		}
+	}
+	return nil
+}
+
+func byteSize(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
+}
+
+// JSONLSink streams one JSON object per line as events happen: a "span"
+// event per span end, and a final "summary" event on Close. It is safe for
+// concurrent use.
+type JSONLSink struct {
+	w   io.Writer
+	enc *json.Encoder
+}
+
+// NewJSONLSink wraps w; install with Trace.SetSink.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: w, enc: json.NewEncoder(w)}
+}
+
+type jsonlEvent struct {
+	Event string      `json:"ev"`
+	Span  *SpanRecord `json:"span,omitempty"`
+	Sum   *Summary    `json:"summary,omitempty"`
+}
+
+// SpanEnd implements Sink. The trace serializes calls (span End holds the
+// trace lock), so no extra locking is needed for trace-driven events.
+func (j *JSONLSink) SpanEnd(s *Span) {
+	rec := s.record()
+	j.enc.Encode(jsonlEvent{Event: "span", Span: &rec})
+}
+
+// Close writes the closing summary event for the trace.
+func (j *JSONLSink) Close(t *Trace) error {
+	if t == nil {
+		return nil
+	}
+	return j.enc.Encode(jsonlEvent{Event: "summary", Sum: t.Summary()})
+}
+
+// ParseSummary decodes a metrics.json document (round-trip of WriteJSON).
+func ParseSummary(data []byte) (*Summary, error) {
+	var s Summary
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("obs: bad metrics JSON: %w", err)
+	}
+	return &s, nil
+}

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"fpgaflow/internal/netlist"
+	"fpgaflow/internal/obs"
 )
 
 // BLE is one basic logic element: a LUT, a flip-flop, or a LUT whose output
@@ -98,6 +99,29 @@ func (p *Packing) Utilization() float64 {
 		return 1
 	}
 	return float64(len(p.BLEs)) / float64(len(p.Clusters)*p.Params.N)
+}
+
+// Record emits the packing's cluster-fill metrics to an observability
+// trace: pack.clusters, pack.bles, pack.registered_bles,
+// pack.cluster_inputs and the pack.ble_fill gauge. nil trace is a no-op.
+func (p *Packing) Record(tr *obs.Trace) {
+	if tr == nil {
+		return
+	}
+	tr.Add("pack.clusters", int64(len(p.Clusters)))
+	tr.Add("pack.bles", int64(len(p.BLEs)))
+	var registered, inputs int64
+	for _, b := range p.BLEs {
+		if b.Registered() {
+			registered++
+		}
+	}
+	for _, c := range p.Clusters {
+		inputs += int64(len(c.Inputs))
+	}
+	tr.Add("pack.registered_bles", registered)
+	tr.Add("pack.cluster_inputs", inputs)
+	tr.Gauge("pack.ble_fill").Set(p.Utilization())
 }
 
 // Pack clusters a K-LUT netlist. Every logic node must have at most K

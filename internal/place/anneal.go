@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"fpgaflow/internal/obs"
 )
 
 // Location is a grid site plus sub-slot (pads share sites up to IORate).
@@ -38,6 +40,10 @@ type Options struct {
 	// Fixed pins blocks (by name) to locations; fixed blocks never move
 	// (pad constraint files / stable pinout across reconfigurations).
 	Fixed map[string]Location
+	// Obs receives annealer counters (place.moves, place.accepted,
+	// place.temperature_steps); nil disables reporting. Counters are
+	// atomic, so parallel multi-seed runs aggregate safely.
+	Obs *obs.Trace
 }
 
 // site is an indexable placement site.
@@ -150,6 +156,12 @@ func Place(p *Problem, opts Options) (*Placement, error) {
 		pl.Cost = cost
 		return pl, nil
 	}
+	tempSteps := 0
+	defer func() {
+		opts.Obs.Add("place.moves", int64(pl.Moves))
+		opts.Obs.Add("place.accepted", int64(pl.Accepted))
+		opts.Obs.Add("place.temperature_steps", int64(tempSteps))
+	}()
 
 	// deltaFor computes the cost delta of moving block b to site s (swapping
 	// with any occupant), without committing.
@@ -278,6 +290,7 @@ func Place(p *Problem, opts Options) (*Placement, error) {
 			pl.Moves++
 		}
 		pl.Accepted += accepted
+		tempSteps++
 		accRate := float64(accepted) / float64(movesPerT)
 		// VPR adaptive schedule.
 		var alpha float64

@@ -14,6 +14,7 @@ func PlaceBest(p *Problem, opts Options, nSeeds int) (*Placement, error) {
 	if nSeeds < 1 {
 		nSeeds = 1
 	}
+	opts.Obs.Add("place.seeds", int64(nSeeds))
 	results := make([]*Placement, nSeeds)
 	errs := make([]error, nSeeds)
 	var wg sync.WaitGroup

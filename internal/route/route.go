@@ -7,6 +7,7 @@ import (
 	"container/heap"
 	"fmt"
 
+	"fpgaflow/internal/obs"
 	"fpgaflow/internal/place"
 	"fpgaflow/internal/rrgraph"
 )
@@ -24,6 +25,9 @@ type Options struct {
 	// DelayDriven weights base costs by each resource's intrinsic RC delay
 	// so paths prefer electrically fast routes, not just few hops.
 	DelayDriven bool
+	// Obs receives PathFinder counters (route.iterations, route.nets_routed,
+	// route.overuse_sum, route.heap_pops); nil disables reporting.
+	Obs *obs.Trace
 }
 
 func (o *Options) fill() {
@@ -142,6 +146,14 @@ func Route(p *place.Problem, pl *place.Placement, g *rrgraph.Graph, opts Options
 
 	res := &Result{Graph: g, Routes: routes}
 	scratch := newScratch(nNodes)
+	var netsRouted, overuseSum int64
+	defer func() {
+		opts.Obs.Add("route.iterations", int64(res.Iterations))
+		opts.Obs.Add("route.nets_routed", netsRouted)
+		opts.Obs.Add("route.overuse_sum", overuseSum)
+		opts.Obs.Add("route.heap_pops", scratch.pops)
+		opts.Obs.Gauge("route.overused_final").Set(float64(res.Overused))
+	}()
 	for iter := 1; iter <= opts.MaxIters; iter++ {
 		res.Iterations = iter
 		for ni := range conns {
@@ -151,6 +163,7 @@ func Route(p *place.Problem, pl *place.Placement, g *rrgraph.Graph, opts Options
 				return nil, fmt.Errorf("route: net %s: %w", p.Nets[ni].Signal, err)
 			}
 			routes[ni] = nr
+			netsRouted++
 			occupy(nr, +1)
 		}
 		over := 0
@@ -161,6 +174,7 @@ func Route(p *place.Problem, pl *place.Placement, g *rrgraph.Graph, opts Options
 			}
 		}
 		res.Overused = over
+		overuseSum += int64(over)
 		if over == 0 {
 			res.Success = true
 			return res, nil
@@ -177,6 +191,8 @@ type scratch struct {
 	prev []int32
 	gen  []uint32
 	cur  uint32
+	// pops counts priority-queue pops across searches (search effort).
+	pops int64
 }
 
 func newScratch(n int) *scratch {
@@ -257,6 +273,7 @@ func dijkstra(g *rrgraph.Graph, tree []int, target, source int, sourceLocked boo
 	reached := false
 	for q.Len() > 0 {
 		it := heap.Pop(&q).(pqItem)
+		sc.pops++
 		if it.cost > sc.dist[it.node] {
 			continue
 		}
@@ -383,7 +400,10 @@ func MinChannelWidth(p *place.Problem, pl *place.Placement, lo, hi int, opts Opt
 	// Ensure hi is routable, growing if needed.
 	var best *Result
 	bestW := -1
+	trials := 0
+	defer func() { opts.Obs.Add("route.width_trials", int64(trials)) }()
 	for {
+		trials++
 		r, err := build(hi)
 		if err == nil && r.Success {
 			best, bestW = r, hi
@@ -396,6 +416,7 @@ func MinChannelWidth(p *place.Problem, pl *place.Placement, lo, hi int, opts Opt
 	}
 	for lo < bestW {
 		mid := (lo + bestW) / 2
+		trials++
 		r, err := build(mid)
 		if err == nil && r.Success {
 			best, bestW = r, mid

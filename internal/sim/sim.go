@@ -8,6 +8,7 @@ import (
 	"math/rand"
 
 	"fpgaflow/internal/netlist"
+	"fpgaflow/internal/obs"
 )
 
 // Simulator evaluates a netlist cycle by cycle. Latches follow BLIF
@@ -271,7 +272,14 @@ type Activity struct {
 // EstimateActivity runs nCycles of random inputs and returns per-signal
 // transition densities and static probabilities. Input signals toggle with
 // probability inputToggle each cycle (0.5 gives uncorrelated inputs).
+// Simulation events report to the process-global observability trace.
 func EstimateActivity(nl *netlist.Netlist, nCycles int, inputToggle float64, seed int64) (*Activity, error) {
+	return EstimateActivityObs(nl, nCycles, inputToggle, seed, obs.Global())
+}
+
+// EstimateActivityObs is EstimateActivity reporting simulation counters
+// (sim.cycles, sim.transitions, sim.signals) to an explicit trace.
+func EstimateActivityObs(nl *netlist.Netlist, nCycles int, inputToggle float64, seed int64, tr *obs.Trace) (*Activity, error) {
 	s, err := New(nl)
 	if err != nil {
 		return nil, err
@@ -300,9 +308,14 @@ func EstimateActivity(nl *netlist.Netlist, nCycles int, inputToggle float64, see
 		StaticProb: make(map[string]float64, nl.NumNodes()),
 		Cycles:     nCycles,
 	}
+	var transitions int64
 	for _, n := range nl.Nodes() {
 		act.Density[n.Name] = float64(s.Transitions[n.Name]) / float64(nCycles)
 		act.StaticProb[n.Name] = float64(ones[n.Name]) / float64(nCycles)
+		transitions += int64(s.Transitions[n.Name])
 	}
+	tr.Add("sim.cycles", int64(nCycles))
+	tr.Add("sim.transitions", transitions)
+	tr.Add("sim.signals", int64(nl.NumNodes()))
 	return act, nil
 }
