@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test short bench race cover tools experiments clean lint bench-gate baseline
+.PHONY: all build test short bench race cover tools experiments clean lint bench-gate baseline staticcheck check-examples
 
 all: build test
 
@@ -10,6 +10,24 @@ lint:
 	@fmtout="$$(gofmt -l .)"; if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 	$(GO) vet ./...
+
+# staticcheck runs the repo's custom analyzers (tools/analyzers: seededrand,
+# spanclose, droppederror) over every package via the vet driver protocol.
+staticcheck:
+	$(GO) build -o bin/fpgavet ./cmd/fpgavet
+	$(GO) vet -vettool=bin/fpgavet ./...
+
+# check-examples lints the committed example artifacts and the built-in
+# benchmark suite with the flow's stage-boundary rules (internal/check).
+check-examples:
+	$(GO) build -o bin/fpgalint ./cmd/fpgalint
+	./bin/fpgalint examples/netlists/fulladder.blif examples/netlists/count2.blif examples/netlists/fulladder.bit
+	./bin/fpgalint -suite
+	@./bin/fpgalint examples/netlists/multidriven.blif >/dev/null 2>&1; \
+		if [ $$? -ne 1 ]; then \
+			echo "check-examples: multidriven.blif should fail with exit 1"; exit 1; \
+		fi
+	@echo "check-examples: ok"
 
 # bench-gate reruns the small suite and fails on tier-1 QoR drift vs the
 # committed baseline (the same gate CI runs).

@@ -178,7 +178,7 @@ func writeJSON(path string, v interface{}) error {
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
-		f.Close()
+		_ = f.Close() // the encode error is the one worth reporting
 		return err
 	}
 	return f.Close()

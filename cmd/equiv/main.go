@@ -7,6 +7,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"fpgaflow/internal/netlist"
 	"fpgaflow/internal/sim"
@@ -17,7 +18,10 @@ func main() {
 	exhaustive := flag.Int("exhaustive", 14, "exhaustive check up to this many inputs")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: equiv a.blif b.blif\nExits 0 when the designs are functionally equivalent.\n")
+		fmt.Fprintf(os.Stderr, `usage: equiv a.blif b.blif
+Exit codes: 0 equivalent, 1 not equivalent or load failure,
+3 port lists differ (the designs are not even comparable).
+`)
 	}
 	flag.Parse()
 	if flag.NArg() != 2 {
@@ -32,11 +36,55 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Mismatched port lists get their own exit code: equivalence over
+	// different interfaces is a category error, not a counterexample, and
+	// scripts (CI, bisection) want to tell the two apart.
+	if msg := portMismatch(a, b); msg != "" {
+		fmt.Fprintln(os.Stderr, "PORT MISMATCH:", msg)
+		os.Exit(3)
+	}
 	if err := sim.CheckEquivalent(a, b, *exhaustive, *vectors, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "NOT EQUIVALENT:", err)
 		os.Exit(1)
 	}
 	fmt.Println("EQUIVALENT")
+}
+
+// portMismatch compares the primary input and output name sets of the two
+// designs, returning a description of the first difference ("" when they
+// match). Order is ignored: the flow freely reorders declarations.
+func portMismatch(a, b *netlist.Netlist) string {
+	ins := func(nl *netlist.Netlist) []string {
+		names := make([]string, len(nl.Inputs))
+		for i, n := range nl.Inputs {
+			names[i] = n.Name
+		}
+		return names
+	}
+	if msg := setDiff("input", ins(a), ins(b)); msg != "" {
+		return msg
+	}
+	return setDiff("output", a.Outputs, b.Outputs)
+}
+
+func setDiff(kind string, a, b []string) string {
+	sort.Strings(a)
+	sort.Strings(b)
+	in := func(xs []string, s string) bool {
+		i := sort.SearchStrings(xs, s)
+		return i < len(xs) && xs[i] == s
+	}
+	for _, s := range a {
+		if !in(b, s) {
+			return fmt.Sprintf("%s %q only in the first design", kind, s)
+		}
+	}
+	for _, s := range b {
+		if !in(a, s) {
+			return fmt.Sprintf("%s %q only in the second design", kind, s)
+		}
+	}
+	return ""
 }
 
 func load(path string) (*netlist.Netlist, error) {

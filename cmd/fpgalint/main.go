@@ -1,0 +1,226 @@
+// Command fpgalint runs the flow's static-analysis rules (internal/check)
+// over design artifacts from the command line: BLIF netlists, VHDL sources
+// (pushed through the full flow with stage-boundary checks enabled) and
+// encoded bitstreams. It is the standalone face of the same rule registry
+// the flow applies between stages.
+//
+// Exit codes: 0 all checks clean (warnings allowed unless -strict),
+// 1 error-severity diagnostics found, 2 usage or load failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"fpgaflow/internal/bitstream"
+	"fpgaflow/internal/check"
+	"fpgaflow/internal/circuits"
+	"fpgaflow/internal/core"
+	"fpgaflow/internal/netlist"
+	"fpgaflow/internal/obs"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	listRules := flag.Bool("rules", false, "list every registered rule and exit")
+	suite := flag.Bool("suite", false, "run the built-in benchmark suite through the flow with all checks enabled")
+	small := flag.Bool("small", false, "with -suite, use the small benchmark set")
+	k := flag.Int("k", 0, "LUT input count for netlist arity rules (0 disables; the flow uses K=4)")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON on stdout")
+	strict := flag.Bool("strict", false, "treat warnings as errors for the exit code")
+	disable := flag.String("disable", "", "comma-separated rule IDs to suppress")
+	seed := flag.Int64("seed", 1, "flow seed for -suite and VHDL inputs")
+	cli := obs.RegisterCLIFlags(flag.CommandLine)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, `usage: fpgalint [flags] file.blif|file.vhd|file.bit ...
+       fpgalint -rules
+       fpgalint -suite [-small]
+
+Runs the flow's stage-boundary checks over standalone artifacts.
+See docs/CHECKS.md for the rule catalogue.
+
+`)
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listRules {
+		printRules()
+		return 0
+	}
+	if !*suite && flag.NArg() == 0 {
+		flag.Usage()
+		return 2
+	}
+
+	tr, finish := cli.Start("fpgalint")
+	defer func() {
+		if err := finish(); err != nil {
+			fmt.Fprintln(os.Stderr, "fpgalint: obs:", err)
+		}
+	}()
+
+	disabled := splitList(*disable)
+	var all []check.Diagnostic
+	status := 0
+	worse := func(s int) {
+		if s > status {
+			status = s
+		}
+	}
+
+	if *suite {
+		benches := circuits.Suite()
+		if *small {
+			benches = circuits.SmallSuite()
+		}
+		for _, b := range benches {
+			_, err := core.RunVHDL(b.VHDL, core.Options{Seed: *seed, Obs: tr, DisableChecks: disabled})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fpgalint: suite %s: FAIL: %v\n", b.Name, err)
+				worse(1)
+				continue
+			}
+			if !*jsonOut {
+				fmt.Printf("%s: ok\n", b.Name)
+			}
+		}
+	}
+
+	for _, path := range flag.Args() {
+		rep, err := checkFile(path, *k, *seed, disabled, tr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fpgalint: %s: %v\n", path, err)
+			worse(2)
+			continue
+		}
+		if tr != nil {
+			rep.Record(tr)
+		}
+		for _, d := range rep.Diags {
+			if !*jsonOut {
+				fmt.Printf("%s: %s\n", path, d)
+			}
+			all = append(all, d)
+		}
+		if rep.Count(check.Error) > 0 || (*strict && rep.Count(check.Warn) > 0) {
+			worse(1)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if all == nil {
+			all = []check.Diagnostic{}
+		}
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintln(os.Stderr, "fpgalint:", err)
+			worse(2)
+		}
+	}
+	return status
+}
+
+// checkFile dispatches one artifact to the stage its extension belongs to.
+func checkFile(path string, k int, seed int64, disabled []string, tr *obs.Trace) (*check.Report, error) {
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".blif":
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		text := string(data)
+		arts := &check.Artifacts{BLIF: text, K: k, Disable: disabled}
+		// Parse failures other than multi-driven drivers are reported as
+		// load errors; the text-level rules still run either way.
+		if nl, err := netlist.ParseBLIF(text); err == nil {
+			arts.Netlist = nl
+		} else if check.RunStage(check.StageNetlist, arts).Count(check.Error) == 0 {
+			return nil, err
+		}
+		return check.RunStage(check.StageNetlist, arts), nil
+	case ".vhd", ".vhdl":
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		// The full flow runs every stage-boundary check and fails fast on
+		// error severity; surviving it is the lint result.
+		_, err = core.RunVHDL(string(data), core.Options{Seed: seed, Obs: tr, DisableChecks: disabled})
+		if err != nil {
+			return nil, err
+		}
+		return &check.Report{}, nil
+	case ".bit":
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		bs, err := bitstream.Decode(data)
+		if err != nil {
+			return nil, fmt.Errorf("decode: %w", err)
+		}
+		// Standalone bitstreams carry their own architecture header; the
+		// decode rule audits the roundtrip against it.
+		return check.RunStage(check.StageBitstream,
+			&check.Artifacts{Encoded: data, Arch: bs.Arch, Disable: disabled}), nil
+	default:
+		return nil, fmt.Errorf("unsupported artifact type %q (want .blif, .vhd, .vhdl or .bit)", filepath.Ext(path))
+	}
+}
+
+func printRules() {
+	rules := check.Rules()
+	w := 0
+	for _, r := range rules {
+		if len(r.ID) > w {
+			w = len(r.ID)
+		}
+	}
+	var stages []check.Stage
+	byStage := map[check.Stage][]*check.Rule{}
+	for _, r := range rules {
+		if len(byStage[r.Stage]) == 0 {
+			stages = append(stages, r.Stage)
+		}
+		byStage[r.Stage] = append(byStage[r.Stage], r)
+	}
+	sort.Slice(stages, func(i, j int) bool { return stageIndex(stages[i]) < stageIndex(stages[j]) })
+	for _, s := range stages {
+		fmt.Printf("%s:\n", s)
+		for _, r := range byStage[s] {
+			fmt.Printf("  %-*s  %-5s  %s\n", w, r.ID, r.Severity, r.Doc)
+		}
+	}
+}
+
+func stageIndex(s check.Stage) int {
+	for i, st := range check.Stages() {
+		if st == s {
+			return i
+		}
+	}
+	return len(check.Stages())
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+// Command fpgavet adapts the repo's custom analyzers (tools/analyzers) to
+// the `go vet -vettool=` unitchecker protocol, so the standard build
+// machinery drives them package-by-package with full type information:
+//
+//	go build -o bin/fpgavet ./cmd/fpgavet
+//	go vet -vettool=bin/fpgavet ./...
+//
+// The protocol (normally provided by golang.org/x/tools unitchecker, hand
+// implemented here because the repository is dependency-free): cmd/go
+// invokes the tool with -V=full for a version fingerprint, with -flags for
+// the supported flag list, and then once per package with a JSON config
+// file argument describing the sources and the export data of every
+// dependency.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"fpgaflow/tools/analyzers"
+)
+
+// vetConfig mirrors the fields of the cfg JSON that cmd/go writes for each
+// vetted package (x/tools unitchecker.Config).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func main() {
+	if len(os.Args) == 2 {
+		switch {
+		case os.Args[1] == "-V=full":
+			printVersion()
+			return
+		case os.Args[1] == "-flags":
+			// No tool-specific flags; cmd/go still queries for them.
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(os.Args[1], ".cfg"):
+			os.Exit(checkPackage(os.Args[1]))
+		}
+	}
+	fmt.Fprintf(os.Stderr, "usage: fpgavet is a go vet tool; run via go vet -vettool=fpgavet ./...\n\nanalyzers:\n")
+	for _, a := range analyzers.All() {
+		fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+	}
+	os.Exit(2)
+}
+
+// printVersion emits the fingerprint line cmd/go uses to key the vet cache:
+// the final field must be a buildID; hash the executable so the cache
+// invalidates when the tool changes.
+func printVersion() {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f) // best-effort fingerprint; a zero hash still works
+			_ = f.Close()
+		}
+	}
+	fmt.Printf("fpgavet version devel comments-go-here buildID=%x\n", h.Sum(nil))
+}
+
+func checkPackage(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return fatal(fmt.Errorf("parsing %s: %w", cfgPath, err))
+	}
+
+	// cmd/go caches the facts output and requires it to exist even though
+	// these analyzers export none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency visited only for facts; nothing to report.
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			return fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	// Resolve imports from the compiler export data cmd/go already built:
+	// source import path -> canonical path (ImportMap) -> export file
+	// (PackageFile). The gc importer understands both archive and raw
+	// export-data files.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	tcfg := types.Config{
+		Importer:  importer.ForCompiler(fset, cfg.Compiler, lookup),
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor(cfg.Compiler, os.Getenv("GOARCH")),
+	}
+	if tcfg.Sizes == nil {
+		tcfg.Sizes = types.SizesFor("gc", "amd64")
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		return fatal(fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err))
+	}
+
+	diags := analyzers.Run(analyzers.All(), fset, files, pkg, info)
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", d.Pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func fatal(err error) int {
+	fmt.Fprintln(os.Stderr, "fpgavet:", err)
+	return 1
+}

@@ -253,28 +253,42 @@ func bleInputs(b *pack.BLE) []string {
 	return b.InputSignals()
 }
 
-// fillBLE writes the LUT truth table, register mux and clock gate bits.
-func fillBLE(bc *BLEConfig, b *pack.BLE, a *arch.Arch) error {
-	k := a.CLB.K
+// ExpectedLUT computes the 2^k-entry LUT mask a BLE must carry: the node's
+// truth table replicated over the unused high inputs, or the identity on
+// input 0 for a route-through register. The stage-boundary checker
+// (internal/check) uses it to cross-check decoded bitstreams against the
+// packed netlist.
+func ExpectedLUT(b *pack.BLE, k int) ([]bool, error) {
+	lut := make([]bool, 1<<uint(k))
 	if b.LUT != nil {
 		nf := len(b.LUT.Fanin)
 		if nf > k {
-			return fmt.Errorf("bitstream: LUT %q has %d > K=%d inputs", b.LUT.Name, nf, k)
+			return nil, fmt.Errorf("bitstream: LUT %q has %d > K=%d inputs", b.LUT.Name, nf, k)
 		}
 		tt, err := netlist.TruthTable(b.LUT)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		mask := (1 << uint(nf)) - 1
-		for m := 0; m < 1<<uint(k); m++ {
-			bc.LUT[m] = tt[m&mask]
+		for m := range lut {
+			lut[m] = tt[m&mask]
 		}
 	} else {
 		// Route-through register: LUT passes input 0.
-		for m := range bc.LUT {
-			bc.LUT[m] = m&1 != 0
+		for m := range lut {
+			lut[m] = m&1 != 0
 		}
 	}
+	return lut, nil
+}
+
+// fillBLE writes the LUT truth table, register mux and clock gate bits.
+func fillBLE(bc *BLEConfig, b *pack.BLE, a *arch.Arch) error {
+	lut, err := ExpectedLUT(b, a.CLB.K)
+	if err != nil {
+		return err
+	}
+	copy(bc.LUT, lut)
 	bc.Registered = b.FF != nil
 	bc.ClockEnabled = b.FF != nil
 	if b.FF != nil {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"io"
 	"math"
 
 	"fpgaflow/internal/arch"
@@ -40,21 +41,22 @@ func Encode(bs *Bitstream) ([]byte, error) {
 		uint32(a.Routing.ChannelWidth), uint32(a.Routing.SegmentLength), uint32(a.Routing.Fs),
 		uint32(a.Routing.Switch),
 	}
+	// binary.Write into a bytes.Buffer cannot fail.
 	for _, v := range hdr {
-		binary.Write(&buf, binary.BigEndian, v)
+		_ = binary.Write(&buf, binary.BigEndian, v)
 	}
 	for _, f := range []float64{a.Routing.FcIn, a.Routing.FcOut,
 		a.Routing.SwitchWidthMult, a.Routing.WireWidthMult, a.Routing.WireSpacingMult} {
-		binary.Write(&buf, binary.BigEndian, math.Float64bits(f))
+		_ = binary.Write(&buf, binary.BigEndian, math.Float64bits(f))
 	}
 
 	// Pad table.
-	binary.Write(&buf, binary.BigEndian, uint32(len(bs.Pads)))
+	_ = binary.Write(&buf, binary.BigEndian, uint32(len(bs.Pads)))
 	for _, key := range sortedPadKeys(bs) {
 		pad := bs.Pads[key]
-		binary.Write(&buf, binary.BigEndian, uint16(key[0]))
-		binary.Write(&buf, binary.BigEndian, uint16(key[1]))
-		binary.Write(&buf, binary.BigEndian, uint16(key[2]))
+		_ = binary.Write(&buf, binary.BigEndian, uint16(key[0]))
+		_ = binary.Write(&buf, binary.BigEndian, uint16(key[1]))
+		_ = binary.Write(&buf, binary.BigEndian, uint16(key[2]))
 		flags := byte(0)
 		if pad.Used {
 			flags |= 1
@@ -63,7 +65,7 @@ func Encode(bs *Bitstream) ([]byte, error) {
 			flags |= 2
 		}
 		buf.WriteByte(flags)
-		binary.Write(&buf, binary.BigEndian, uint16(pad.PinIdx))
+		_ = binary.Write(&buf, binary.BigEndian, uint16(pad.PinIdx))
 		writeString(&buf, pad.Name)
 	}
 
@@ -75,7 +77,7 @@ func Encode(bs *Bitstream) ([]byte, error) {
 	w := &bitWriter{}
 	encodeCLBs(w, bs)
 	encodeRouting(w, bs, g)
-	binary.Write(&buf, binary.BigEndian, uint32(w.Len()))
+	_ = binary.Write(&buf, binary.BigEndian, uint32(w.Len()))
 	buf.Write(w.Bytes())
 	return buf.Bytes(), nil
 }
@@ -86,7 +88,7 @@ func Encode(bs *Bitstream) ([]byte, error) {
 func Decode(data []byte) (*Bitstream, error) {
 	buf := bytes.NewReader(data)
 	head := make([]byte, 5)
-	if _, err := buf.Read(head); err != nil || string(head[:4]) != magic {
+	if _, err := io.ReadFull(buf, head); err != nil || string(head[:4]) != magic {
 		return nil, fmt.Errorf("bitstream: bad magic")
 	}
 	if head[4] != version {
@@ -133,8 +135,15 @@ func Decode(data []byte) (*Bitstream, error) {
 		if err := binary.Read(buf, binary.BigEndian, &x); err != nil {
 			return nil, err
 		}
-		binary.Read(buf, binary.BigEndian, &y)
-		binary.Read(buf, binary.BigEndian, &sub)
+		// Previously these two reads dropped their errors, so a stream
+		// truncated mid-pad-entry decoded to a pad at a wrong site instead
+		// of failing (latent bug found by the droppederror analyzer).
+		if err := binary.Read(buf, binary.BigEndian, &y); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(buf, binary.BigEndian, &sub); err != nil {
+			return nil, err
+		}
 		flags, err = buf.ReadByte()
 		if err != nil {
 			return nil, err
@@ -164,7 +173,9 @@ func Decode(data []byte) (*Bitstream, error) {
 		return nil, err
 	}
 	rest := make([]byte, buf.Len())
-	buf.Read(rest)
+	if _, err := io.ReadFull(buf, rest); err != nil {
+		return nil, err
+	}
 	if len(rest)*8 < int(nbits) {
 		return nil, fmt.Errorf("bitstream: %d config bits declared, %d available", nbits, len(rest)*8)
 	}
@@ -339,7 +350,7 @@ func NumConfigBits(a *arch.Arch) (int, error) {
 }
 
 func writeString(buf *bytes.Buffer, s string) {
-	binary.Write(buf, binary.BigEndian, uint16(len(s)))
+	_ = binary.Write(buf, binary.BigEndian, uint16(len(s)))
 	buf.WriteString(s)
 }
 
@@ -348,8 +359,11 @@ func readString(buf *bytes.Reader) (string, error) {
 	if err := binary.Read(buf, binary.BigEndian, &n); err != nil {
 		return "", err
 	}
+	// bytes.Reader.Read returns a short count without error on truncated
+	// input; ReadFull turns that into ErrUnexpectedEOF instead of a
+	// silently zero-padded name.
 	b := make([]byte, n)
-	if _, err := buf.Read(b); err != nil {
+	if _, err := io.ReadFull(buf, b); err != nil {
 		return "", err
 	}
 	return string(b), nil

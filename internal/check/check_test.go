@@ -1,0 +1,377 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"fpgaflow/internal/arch"
+	"fpgaflow/internal/bitstream"
+	"fpgaflow/internal/netlist"
+	"fpgaflow/internal/obs"
+	"fpgaflow/internal/pack"
+	"fpgaflow/internal/place"
+	"fpgaflow/internal/route"
+	"fpgaflow/internal/rrgraph"
+)
+
+const smallBLIF = `
+.model small
+.inputs a b c d
+.outputs y z
+.names a b t
+11 1
+.names t c y
+1- 1
+-1 1
+.names c d z
+10 1
+.end
+`
+
+// buildDesign pushes the small BLIF through pack, place and route so tests
+// can corrupt individual artifacts.
+func buildDesign(t *testing.T) (*pack.Packing, *place.Problem, *place.Placement, *route.Result, *arch.Arch) {
+	t.Helper()
+	nl, err := netlist.ParseBLIF(smallBLIF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := arch.Paper()
+	pk, err := pack.Pack(nl, pack.Params{N: a.CLB.N, K: a.CLB.K, I: a.CLB.I})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := place.NewProblem(a, pk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.AutoSize()
+	pl, err := place.Place(p, place.Options{Seed: 1, InnerNum: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := rrgraph.Build(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := route.Route(p, pl, g, route.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Success {
+		t.Fatal("small design unroutable")
+	}
+	return pk, p, pl, r, a
+}
+
+func wantRule(t *testing.T, rep *Report, rule string) Diagnostic {
+	t.Helper()
+	for _, d := range rep.Diags {
+		if d.Rule == rule {
+			return d
+		}
+	}
+	t.Fatalf("rule %s did not fire; got:\n%s", rule, rep.Format())
+	return Diagnostic{}
+}
+
+func wantClean(t *testing.T, rep *Report) {
+	t.Helper()
+	if rep.Count(Error) > 0 {
+		t.Fatalf("unexpected error diagnostics:\n%s", rep.Format())
+	}
+}
+
+func TestRegistryShape(t *testing.T) {
+	rules := Rules()
+	if len(rules) < 12 {
+		t.Fatalf("only %d rules registered, want >= 12", len(rules))
+	}
+	stages := map[Stage]int{}
+	ids := map[string]bool{}
+	for _, r := range rules {
+		if ids[r.ID] {
+			t.Errorf("duplicate rule ID %s", r.ID)
+		}
+		ids[r.ID] = true
+		stages[r.Stage]++
+		if r.Doc == "" || r.Applies == nil || r.Run == nil {
+			t.Errorf("rule %s incompletely declared", r.ID)
+		}
+	}
+	if len(stages) < 4 {
+		t.Fatalf("rules span only %d stages (%v), want >= 4", len(stages), stages)
+	}
+	if RuleByID("route/connectivity") == nil {
+		t.Error("RuleByID lookup failed")
+	}
+}
+
+func TestMultiDrivenNet(t *testing.T) {
+	blif := `
+.model dup
+.inputs a b
+.outputs y
+.names a y
+1 1
+.names b y
+1 1
+.end
+`
+	rep := RunStage(StageNetlist, &Artifacts{BLIF: blif})
+	d := wantRule(t, rep, "net/multi-driven")
+	if d.Object != "y" {
+		t.Errorf("multi-driven object = %q, want y", d.Object)
+	}
+	if err := rep.Err(); err == nil || !strings.Contains(err.Error(), "net/multi-driven") {
+		t.Errorf("Err() = %v, want to name net/multi-driven", err)
+	}
+	// An input redeclared as a .names output is also a double driver.
+	rep = RunStage(StageNetlist, &Artifacts{BLIF: ".model m\n.inputs x\n.outputs x\n.names x\n1\n.end\n"})
+	wantRule(t, rep, "net/multi-driven")
+	// The clean BLIF stays clean.
+	wantClean(t, RunStage(StageNetlist, &Artifacts{BLIF: smallBLIF}))
+}
+
+func TestUndrivenAndArity(t *testing.T) {
+	nl, err := netlist.ParseBLIF(smallBLIF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantClean(t, RunStage(StageNetlist, &Artifacts{Netlist: nl}))
+
+	// Declare an output nobody drives.
+	nl.MarkOutput("ghost")
+	rep := RunStage(StageNetlist, &Artifacts{Netlist: nl})
+	if d := wantRule(t, rep, "net/undriven"); d.Object != "ghost" {
+		t.Errorf("undriven object = %q", d.Object)
+	}
+
+	// A 5-input node violates K=4 but is fine with arity checking off.
+	nl2, _ := netlist.ParseBLIF(".model w\n.inputs a b c d e\n.outputs y\n.names a b c d e y\n11111 1\n.end\n")
+	wantClean(t, RunStage(StageNetlist, &Artifacts{Netlist: nl2}))
+	rep = RunStage(StageNetlist, &Artifacts{Netlist: nl2, K: 4})
+	wantRule(t, rep, "net/lut-arity")
+}
+
+func TestCombLoopRule(t *testing.T) {
+	nl, err := netlist.ParseBLIF(smallBLIF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewire t and y into a cycle: t reads y, y reads t.
+	tn, yn := nl.Node("t"), nl.Node("y")
+	tn.Fanin = []*netlist.Node{yn}
+	tn.Cover = netlist.Cover{Cubes: []netlist.Cube{netlist.Cube("1")}, Value: netlist.LitOne}
+	rep := RunStage(StageNetlist, &Artifacts{Netlist: nl})
+	d := wantRule(t, rep, "net/comb-loop")
+	if !strings.Contains(d.Message, "t") || !strings.Contains(d.Message, "y") {
+		t.Errorf("loop message %q should name both members", d.Message)
+	}
+	// A latch in the cycle breaks it.
+	nl2, _ := netlist.ParseBLIF(".model seq\n.inputs a\n.outputs q\n.names a q d\n11 1\n.latch d q 0\n.end\n")
+	wantClean(t, RunStage(StageNetlist, &Artifacts{Netlist: nl2}))
+}
+
+func TestPackRules(t *testing.T) {
+	pk, _, _, _, _ := buildDesign(t)
+	wantClean(t, RunStage(StagePack, &Artifacts{Packing: pk}))
+
+	// Overstuff cluster 0 past N by stealing BLEs... instead, shrink N in
+	// the params copy so the recomputation sees a violation.
+	pk.Params.N = 1
+	rep := RunStage(StagePack, &Artifacts{Packing: pk})
+	wantRule(t, rep, "pack/cluster-size")
+	pk.Params.N = 5
+
+	// Stale input list.
+	if len(pk.Clusters) == 0 {
+		t.Fatal("no clusters")
+	}
+	saved := pk.Clusters[0].Inputs
+	pk.Clusters[0].Inputs = append([]string{"bogus"}, saved...)
+	rep = RunStage(StagePack, &Artifacts{Packing: pk})
+	wantRule(t, rep, "pack/cluster-inputs")
+	pk.Clusters[0].Inputs = saved
+
+	// Duplicate a BLE into a second cluster.
+	extra := &pack.Cluster{ID: 99, BLEs: []*pack.BLE{pk.Clusters[0].BLEs[0]}}
+	pk.Clusters = append(pk.Clusters, extra)
+	extra.Inputs = pk.ExternalInputsOf(extra.BLEs)
+	rep = RunStage(StagePack, &Artifacts{Packing: pk})
+	wantRule(t, rep, "pack/coverage")
+	pk.Clusters = pk.Clusters[:len(pk.Clusters)-1]
+}
+
+func TestOverlappingPlacement(t *testing.T) {
+	_, p, pl, _, _ := buildDesign(t)
+	wantClean(t, RunStage(StagePlace, &Artifacts{Problem: p, Placement: pl}))
+
+	// Inject an overlap: move block 1 onto block 0's site.
+	saved := pl.Loc[1]
+	pl.Loc[1] = pl.Loc[0]
+	rep := RunStage(StagePlace, &Artifacts{Problem: p, Placement: pl})
+	wantRule(t, rep, "place/overlap")
+	pl.Loc[1] = saved
+
+	// A CLB pushed off the grid.
+	var clb int = -1
+	for _, b := range p.Blocks {
+		if b.Kind == place.BlockCLB {
+			clb = b.ID
+			break
+		}
+	}
+	if clb >= 0 {
+		saved := pl.Loc[clb]
+		pl.Loc[clb] = place.Location{X: 0, Y: 0}
+		rep = RunStage(StagePlace, &Artifacts{Problem: p, Placement: pl})
+		wantRule(t, rep, "place/out-of-grid")
+		pl.Loc[clb] = saved
+	}
+
+	// A pad dragged into the logic array.
+	var padID = -1
+	for _, b := range p.Blocks {
+		if b.Kind != place.BlockCLB {
+			padID = b.ID
+			break
+		}
+	}
+	if padID >= 0 {
+		saved := pl.Loc[padID]
+		pl.Loc[padID] = place.Location{X: 1, Y: 1}
+		rep = RunStage(StagePlace, &Artifacts{Problem: p, Placement: pl})
+		wantRule(t, rep, "place/io-perimeter")
+		pl.Loc[padID] = saved
+	}
+}
+
+func TestDisconnectedRoute(t *testing.T) {
+	_, p, pl, r, _ := buildDesign(t)
+	arts := &Artifacts{Graph: r.Graph, Routing: r, Problem: p, Placement: pl}
+	wantClean(t, RunStage(StageRoute, arts))
+
+	// Find a net whose first path has at least 3 nodes and cut out the
+	// middle: the remaining hop has no RR edge, so the tree is broken.
+	for _, nr := range r.Routes {
+		if len(nr.Paths) == 0 || len(nr.Paths[0]) < 3 {
+			continue
+		}
+		path := nr.Paths[0]
+		saved := append([]int(nil), path...)
+		nr.Paths[0] = append(append([]int(nil), path[0]), path[2:]...)
+		rep := RunStage(StageRoute, arts)
+		d := wantRule(t, rep, "route/connectivity")
+		if !strings.Contains(d.Message, "missing RR edge") && !strings.Contains(d.Message, "detached") {
+			t.Errorf("unexpected connectivity message %q", d.Message)
+		}
+		nr.Paths[0] = saved
+		return
+	}
+	t.Fatal("no route long enough to corrupt")
+}
+
+func TestRouteOveruse(t *testing.T) {
+	_, p, pl, r, _ := buildDesign(t)
+	// Squeeze a used wire's capacity to zero: whatever single net legally
+	// occupies it is now an overuse.
+	for _, nr := range r.Routes {
+		for id := range nr.Nodes() {
+			ty := r.Graph.Nodes[id].Type
+			if ty == rrgraph.ChanX || ty == rrgraph.ChanY {
+				saved := r.Graph.Nodes[id].Capacity
+				r.Graph.Nodes[id].Capacity = 0
+				rep := RunStage(StageRoute, &Artifacts{Routing: r, Problem: p, Placement: pl})
+				wantRule(t, rep, "route/overuse")
+				r.Graph.Nodes[id].Capacity = saved
+				return
+			}
+		}
+	}
+	t.Fatal("no routed wire found")
+}
+
+func TestBitstreamCrossChecks(t *testing.T) {
+	pk, p, pl, r, a := buildDesign(t)
+	bs, err := bitstream.Generate(pk, p, pl, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := bitstream.Encode(bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arts := func(encoded []byte) *Artifacts {
+		return &Artifacts{Encoded: encoded, Arch: a, Packing: pk,
+			Problem: p, Placement: pl, Graph: r.Graph, Routing: r}
+	}
+	wantClean(t, RunAll(arts(enc)))
+
+	// Truncated stream: decode fails.
+	rep := RunStage(StageBitstream, arts(enc[:8]))
+	wantRule(t, rep, "bits/decode")
+
+	// Flip a LUT mask bit on a tile that actually hosts a cluster.
+	var loc place.Location
+	found := false
+	for _, b := range p.Blocks {
+		if b.Kind == place.BlockCLB {
+			loc, found = pl.Loc[b.ID], true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no placed CLB")
+	}
+	mut := bs.Clone()
+	cfg, err := mut.CLBAt(loc.X, loc.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.BLEs[0].LUT[0] = !cfg.BLEs[0].LUT[0]
+	encMut, err := bitstream.Encode(mut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep = RunStage(StageBitstream, arts(encMut))
+	wantRule(t, rep, "bits/lut-mask")
+
+	// Drop an enabled switch: the routed design no longer matches.
+	mut2 := bs.Clone()
+	dropped := false
+	for key := range mut2.SwitchOn {
+		delete(mut2.SwitchOn, key)
+		dropped = true
+		break
+	}
+	if dropped {
+		encMut2, err := bitstream.Encode(mut2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep = RunStage(StageBitstream, arts(encMut2))
+		wantRule(t, rep, "bits/switch-route")
+	}
+}
+
+func TestDisableAndRecord(t *testing.T) {
+	blif := ".model dup\n.inputs a\n.outputs y\n.names a y\n1 1\n.names a y\n0 1\n.end\n"
+	rep := RunStage(StageNetlist, &Artifacts{BLIF: blif, Disable: []string{"net/multi-driven"}})
+	if len(rep.Diags) != 0 {
+		t.Fatalf("disabled rule still fired:\n%s", rep.Format())
+	}
+
+	tr := obs.New("check-test")
+	rep = RunStage(StageNetlist, &Artifacts{BLIF: blif})
+	rep.Record(tr)
+	if tr.Counters()["check.errors"] == 0 {
+		t.Error("check.errors counter not recorded")
+	}
+	if tr.Counters()["check.netlist.diags"] == 0 {
+		t.Error("per-stage diag counter not recorded")
+	}
+	if !strings.Contains(rep.Format(), "net/multi-driven") {
+		t.Error("Format() should include the rule ID")
+	}
+}

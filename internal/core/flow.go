@@ -19,6 +19,7 @@ import (
 
 	"fpgaflow/internal/arch"
 	"fpgaflow/internal/bitstream"
+	"fpgaflow/internal/check"
 	"fpgaflow/internal/edif"
 	"fpgaflow/internal/logic"
 	"fpgaflow/internal/netlist"
@@ -86,6 +87,13 @@ type Options struct {
 	// SkipVerify disables the closing bitstream-extraction equivalence
 	// check (it is the most expensive step on large designs).
 	SkipVerify bool
+	// SkipChecks disables the stage-boundary static verification
+	// (internal/check) that otherwise runs after every stage and fails
+	// fast on error-severity diagnostics.
+	SkipChecks bool
+	// DisableChecks suppresses individual check rules by ID
+	// (see docs/CHECKS.md for the rule list and suppression policy).
+	DisableChecks []string
 	// OptimizeOptions tunes the SIS stage.
 	OptimizeOptions logic.Options
 	// Obs receives per-stage spans and stage-specific counters for the run.
@@ -234,7 +242,12 @@ func RunVHDL(src string, opts Options) (*Result, error) {
 	err = res.stage("E2FMT", func() error {
 		var err error
 		blif, err = edif.E2FMT(res.EDIF)
-		return err
+		if err != nil {
+			return err
+		}
+		// Lint the produced BLIF at the stage boundary: a multi-driven net
+		// here is an E2FMT bug, not a SIS one.
+		return res.runChecks(&opts, check.StageNetlist, &check.Artifacts{BLIF: blif})
 	})
 	if err != nil {
 		return res, err
@@ -246,6 +259,11 @@ func RunVHDL(src string, opts Options) (*Result, error) {
 func RunBLIF(blifText string, opts Options) (*Result, error) {
 	opts.fill()
 	res := &Result{tr: opts.trace()}
+	// Text-level lint runs before the parser so a multi-driven net surfaces
+	// as a named rule violation, not a parse error.
+	if err := res.runChecks(&opts, check.StageNetlist, &check.Artifacts{BLIF: blifText}); err != nil {
+		return res, fmt.Errorf("BLIF: %w", err)
+	}
 	nl, err := netlist.ParseBLIF(blifText)
 	if err != nil {
 		return res, err
@@ -281,7 +299,7 @@ func (res *Result) continueFromBLIF(blifText string, opts Options) (*Result, err
 		working = nl
 		res.OptimizedBLIF = netlist.FormatBLIF(nl)
 		res.Stages[len(res.Stages)-1].Detail = fmt.Sprintf("%d gates after optimization", nl.Stats().Logic)
-		return nil
+		return res.runChecks(&opts, check.StageNetlist, &check.Artifacts{Netlist: nl})
 	})
 	if err != nil {
 		return res, err
@@ -303,7 +321,7 @@ func (res *Result) continueFromBLIF(blifText string, opts Options) (*Result, err
 		res.tr.Add("flow.luts", int64(mapped.LUTs))
 		res.tr.SetGauge("lutmap.depth", float64(mapped.Depth))
 		res.Stages[len(res.Stages)-1].Detail = fmt.Sprintf("%d LUTs, depth %d", mapped.LUTs, mapped.Depth)
-		return nil
+		return res.runChecks(&opts, check.StageNetlist, &check.Artifacts{Netlist: mapped.Netlist, K: a.CLB.K})
 	})
 	if err != nil {
 		return res, err
@@ -322,7 +340,7 @@ func (res *Result) continueFromBLIF(blifText string, opts Options) (*Result, err
 		res.tr.Add("flow.clbs", int64(len(pk.Clusters)))
 		res.Stages[len(res.Stages)-1].Detail = fmt.Sprintf("%d CLBs, %.0f%% BLE utilization",
 			len(pk.Clusters), 100*pk.Utilization())
-		return nil
+		return res.runChecks(&opts, check.StagePack, &check.Artifacts{Packing: pk})
 	})
 	if err != nil {
 		return res, err
@@ -375,7 +393,7 @@ func (res *Result) continueFromBLIF(blifText string, opts Options) (*Result, err
 		}
 		res.Placed = pl
 		res.Stages[len(res.Stages)-1].Detail = fmt.Sprintf("cost %.1f (%s)", pl.Cost, mode)
-		return nil
+		return res.runChecks(&opts, check.StagePlace, &check.Artifacts{Problem: res.Problem, Placement: pl})
 	})
 	if err != nil {
 		return res, err
@@ -414,7 +432,10 @@ func (res *Result) continueFromBLIF(blifText string, opts Options) (*Result, err
 		res.tr.Add("route.wirelength", int64(res.Metrics.WirelengthUsed))
 		res.Stages[len(res.Stages)-1].Detail = fmt.Sprintf("W=%d, %d wire segments",
 			res.Routed.Graph.W, res.Routed.WirelengthUsed())
-		return nil
+		return res.runChecks(&opts, check.StageRoute, &check.Artifacts{
+			Graph: res.Routed.Graph, Routing: res.Routed,
+			Problem: res.Problem, Placement: res.Placed,
+		})
 	})
 	if err != nil {
 		return res, err
@@ -478,7 +499,11 @@ func (res *Result) continueFromBLIF(blifText string, opts Options) (*Result, err
 		res.Metrics.BitstreamBits = len(res.Encoded) * 8
 		res.tr.Add("flow.bitstream_bits", int64(res.Metrics.BitstreamBits))
 		res.Stages[len(res.Stages)-1].Detail = fmt.Sprintf("%d bytes", len(res.Encoded))
-		return nil
+		return res.runChecks(&opts, check.StageBitstream, &check.Artifacts{
+			Encoded: res.Encoded, Arch: a, Packing: res.Packing,
+			Problem: res.Problem, Placement: res.Placed,
+			Graph: res.Routed.Graph, Routing: res.Routed,
+		})
 	})
 	if err != nil {
 		return res, err
@@ -508,6 +533,20 @@ func (res *Result) continueFromBLIF(blifText string, opts Options) (*Result, err
 		}
 	}
 	return res, nil
+}
+
+// runChecks executes the stage-boundary rule set for one flow stage,
+// records diagnostic counts on the run's trace and fails fast when any
+// error-severity diagnostic fired. It runs inside the stage closure so the
+// returned error carries the stage tag.
+func (res *Result) runChecks(opts *Options, stage check.Stage, arts *check.Artifacts) error {
+	if opts.SkipChecks {
+		return nil
+	}
+	arts.Disable = opts.DisableChecks
+	rep := check.RunStage(stage, arts)
+	rep.Record(res.tr)
+	return rep.Err()
 }
 
 func (res *Result) stage(tool string, fn func() error) error {

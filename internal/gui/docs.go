@@ -48,5 +48,5 @@ segments (minimum metal width, double spacing).</p>
 
 func (s *Server) handleDocs(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	w.Write([]byte(docsHTML))
+	_, _ = w.Write([]byte(docsHTML)) // response write errors are client disconnects
 }

@@ -362,7 +362,7 @@ func (s *Server) handleBitstream(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Disposition", "attachment; filename=design.bit")
-	w.Write(s.Result.Encoded)
+	_, _ = w.Write(s.Result.Encoded) // response write errors are client disconnects
 }
 
 // handleMetrics serves the observability view of the server as JSON: the

@@ -51,7 +51,7 @@ func (c *CLIFlags) Start(name string) (*Trace, func() error) {
 	var closers []func() error
 	fail := func(err error) (*Trace, func() error) {
 		for _, f := range closers {
-			f()
+			_ = f() // already failing; the original error wins
 		}
 		return nil, func() error { return err }
 	}
@@ -61,7 +61,7 @@ func (c *CLIFlags) Start(name string) (*Trace, func() error) {
 			return fail(err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			f.Close()
+			_ = f.Close()
 			return fail(fmt.Errorf("obs: start cpu profile: %w", err))
 		}
 		closers = append(closers, func() error {

@@ -155,7 +155,9 @@ type jsonlEvent struct {
 // trace lock), so no extra locking is needed for trace-driven events.
 func (j *JSONLSink) SpanEnd(s *Span) {
 	rec := s.record()
-	j.enc.Encode(jsonlEvent{Event: "span", Span: &rec})
+	// Streaming sinks are best-effort; a failed event write must not abort
+	// the flow producing it.
+	_ = j.enc.Encode(jsonlEvent{Event: "span", Span: &rec})
 }
 
 // Close writes the closing summary event for the trace.

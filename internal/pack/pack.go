@@ -299,6 +299,11 @@ func clockOf(b *BLE) string {
 	return b.FF.Clock
 }
 
+// ExternalInputsOf returns the sorted distinct signals the BLE set consumes
+// that no member produces. The stage-boundary checker (internal/check) uses
+// it to recompute cluster input lists independently of the stored ones.
+func (p *Packing) ExternalInputsOf(bles []*BLE) []string { return p.externalInputs(bles) }
+
 // externalInputs returns the sorted distinct signals consumed by the BLE set
 // that no member produces.
 func (p *Packing) externalInputs(bles []*BLE) []string {

@@ -331,7 +331,7 @@ func (r *Result) Validate(p *place.Problem, pl *place.Placement) error {
 					p.Nets[ni].Signal, path[0], wantSrc)
 			}
 			for i := 0; i+1 < len(path); i++ {
-				if !hasEdge(r.Graph, path[i], path[i+1]) {
+				if !r.Graph.HasEdge(path[i], path[i+1]) {
 					return fmt.Errorf("route: net %s uses missing edge %d->%d",
 						p.Nets[ni].Signal, path[i], path[i+1])
 				}
@@ -354,15 +354,6 @@ func (r *Result) Validate(p *place.Problem, pl *place.Placement) error {
 		}
 	}
 	return nil
-}
-
-func hasEdge(g *rrgraph.Graph, from, to int) bool {
-	for _, e := range g.Nodes[from].Edges {
-		if e == to {
-			return true
-		}
-	}
-	return false
 }
 
 // WirelengthUsed counts the wire segments occupied across all nets.

@@ -122,6 +122,17 @@ func (g *Graph) IPins(x, y int) []int { return g.ipins[x][y] }
 // NumEdges returns the total directed edge count.
 func (g *Graph) NumEdges() int { return g.edges }
 
+// HasEdge reports whether the directed edge from -> to exists. Both IDs
+// must be valid node indices.
+func (g *Graph) HasEdge(from, to int) bool {
+	for _, e := range g.Nodes[from].Edges {
+		if e == to {
+			return true
+		}
+	}
+	return false
+}
+
 // GridWidth and GridHeight return the full grid extent including I/O ring.
 func (g *Graph) GridWidth() int  { return g.Arch.Cols + 2 }
 func (g *Graph) GridHeight() int { return g.Arch.Rows + 2 }

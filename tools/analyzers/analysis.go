@@ -1,0 +1,85 @@
+// Package analyzers holds the repo's custom static-analysis passes and the
+// minimal framework they run on. The framework mirrors the shape of
+// golang.org/x/tools/go/analysis (Analyzer, Pass, Report) but is built on
+// the standard library only, because the repository is deliberately
+// dependency-free. cmd/fpgavet adapts these passes to the `go vet -vettool`
+// unitchecker protocol so they run over every package in CI.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one static-analysis pass.
+type Analyzer struct {
+	Name string
+	// Doc is a one-line description of what the pass enforces.
+	Doc string
+	Run func(*Pass)
+}
+
+// Pass carries one type-checked package through an Analyzer.
+type Pass struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, positioned in the source.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// All returns every registered analyzer, sorted by name.
+func All() []*Analyzer {
+	out := []*Analyzer{SeededRand, SpanClose, DroppedError}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Run applies the analyzers to one type-checked package and returns the
+// findings sorted by position.
+func Run(as []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range as {
+		pass := &Pass{
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			analyzer:  a,
+			diags:     &diags,
+		}
+		a.Run(pass)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := diags[i].Pos, diags[j].Pos
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return diags
+}

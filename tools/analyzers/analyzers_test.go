@@ -1,0 +1,195 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// analyze typechecks one or more source files as package p (resolving any
+// stdlib imports from GOROOT source, so no compiled export data is needed)
+// and runs every analyzer over the result.
+func analyze(t *testing.T, sources ...string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for i, src := range sources {
+		name := "p" + string(rune('0'+i)) + ".go"
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("p", fset, files, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Run(All(), fset, files, pkg, info)
+}
+
+func messages(diags []Diagnostic, analyzer string) []string {
+	var out []string
+	for _, d := range diags {
+		if d.Analyzer == analyzer {
+			out = append(out, d.Message)
+		}
+	}
+	return out
+}
+
+func TestSeededRand(t *testing.T) {
+	diags := analyze(t, `package p
+
+import "math/rand"
+
+func bad() int  { return rand.Intn(10) }
+func bad2()     { rand.Seed(42) }
+func good() int { return rand.New(rand.NewSource(1)).Intn(10) }
+func typeOK(r *rand.Rand) {}
+`)
+	got := messages(diags, "seededrand")
+	if len(got) != 2 {
+		t.Fatalf("seededrand found %d issues, want 2: %v", len(got), got)
+	}
+	if !strings.Contains(got[0], "rand.Intn") || !strings.Contains(got[1], "rand.Seed") {
+		t.Errorf("unexpected messages: %v", got)
+	}
+}
+
+const obsFixture = `package p
+
+type Span struct{}
+
+func (s *Span) End() {}
+
+type Trace struct{}
+
+func (t *Trace) Start(name string) *Span { return &Span{} }
+`
+
+func TestSpanClose(t *testing.T) {
+	diags := analyze(t, obsFixture, `package p
+
+func leaky(tr *Trace) {
+	sp := tr.Start("stage")
+	_ = sp
+}
+
+func discards(tr *Trace) {
+	_ = tr.Start("stage")
+}
+
+func balanced(tr *Trace) {
+	sp := tr.Start("stage")
+	defer sp.End()
+}
+
+func inlineEnd(tr *Trace) {
+	sp := tr.Start("stage")
+	sp.End()
+}
+
+func returned(tr *Trace) *Span {
+	sp := tr.Start("stage")
+	return sp
+}
+
+func nested(tr *Trace) {
+	f := func() {
+		sp := tr.Start("inner")
+		_ = sp
+	}
+	f()
+	outer := tr.Start("outer")
+	outer.End()
+}
+`)
+	got := messages(diags, "spanclose")
+	if len(got) != 3 {
+		t.Fatalf("spanclose found %d issues, want 3 (leaky, discards, nested-inner): %v", len(got), got)
+	}
+	for _, m := range got {
+		if !strings.Contains(m, "never ended") && !strings.Contains(m, "discarded") {
+			t.Errorf("unexpected message %q", m)
+		}
+	}
+}
+
+func TestDroppedError(t *testing.T) {
+	diags := analyze(t, `package p
+
+import (
+	"fmt"
+	"strings"
+)
+
+func mayFail() error        { return nil }
+func pair() (int, error)    { return 0, nil }
+func noErr()                {}
+
+func bad() {
+	mayFail()
+	pair()
+}
+
+func good() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	_ = mayFail()
+	_, _ = pair()
+	noErr()
+	fmt.Println("allowed")
+	var b strings.Builder
+	b.WriteString("allowed")
+	return nil
+}
+`)
+	got := messages(diags, "droppederror")
+	if len(got) != 2 {
+		t.Fatalf("droppederror found %d issues, want 2: %v", len(got), got)
+	}
+	if !strings.Contains(got[0], "p.mayFail") || !strings.Contains(got[1], "p.pair") {
+		t.Errorf("unexpected messages: %v", got)
+	}
+}
+
+func TestDroppedErrorSkipsTests(t *testing.T) {
+	// The analyzer must not fire inside _test.go files; the fixture's file
+	// naming in analyze() uses p<i>.go, so exercise the filter directly.
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x_test.go", `package p
+
+func mayFail() error { return nil }
+func f()             { mayFail() }
+`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run([]*Analyzer{DroppedError}, fset, []*ast.File{f}, pkg, info); len(diags) != 0 {
+		t.Fatalf("droppederror fired in a _test.go file: %v", diags)
+	}
+}

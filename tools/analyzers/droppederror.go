@@ -1,0 +1,117 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DroppedError flags call statements that silently discard an error result:
+// `f()` used as a statement when f's last result is an error. In a CAD flow
+// a swallowed error usually means a silently wrong artifact several stages
+// later (the bitstream codec ignoring a short write, a file close dropping
+// an ENOSPC). Discarding explicitly with `_ = f()` is the sanctioned
+// suppression and is not flagged.
+var DroppedError = &Analyzer{
+	Name: "droppederror",
+	Doc:  "flag statement-position calls whose error result is silently discarded (use `_ =` to suppress)",
+	Run:  runDroppedError,
+}
+
+// droppedErrorExempt lists callees whose error results are documented to be
+// always nil (or are universally ignored by convention): fmt printing and
+// the in-memory builders/buffers.
+var droppedErrorExempt = map[string]bool{
+	"fmt.Print": true, "fmt.Printf": true, "fmt.Println": true,
+	"fmt.Fprint": true, "fmt.Fprintf": true, "fmt.Fprintln": true,
+	"(*strings.Builder)": true,
+	"(*bytes.Buffer)":    true,
+}
+
+func runDroppedError(pass *Pass) {
+	for _, f := range pass.Files {
+		// Tests drop errors idiomatically (t.Fatal covers the real ones);
+		// the pass guards production code.
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := st.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !lastResultIsError(pass, call) || exemptCallee(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "error result of %s is silently dropped (handle it or discard with `_ =`)", calleeLabel(pass, call))
+			return true
+		})
+	}
+}
+
+func lastResultIsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.TypesInfo.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	var last types.Type
+	switch r := t.(type) {
+	case *types.Tuple:
+		if r.Len() == 0 {
+			return false
+		}
+		last = r.At(r.Len() - 1).Type()
+	default:
+		last = r
+	}
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// exemptCallee reports whether the call target is on the always-nil list.
+func exemptCallee(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		return false
+	}
+	if pkg := fn.Pkg(); pkg != nil && fn.Type().(*types.Signature).Recv() == nil {
+		return droppedErrorExempt[pkg.Path()+"."+fn.Name()]
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recv := sig.Recv().Type().String()
+		// recv prints like *strings.Builder; match on the receiver type.
+		return droppedErrorExempt["("+recv+")"]
+	}
+	return false
+}
+
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+func calleeLabel(pass *Pass, call *ast.CallExpr) string {
+	if fn := calleeFunc(pass, call); fn != nil {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return strings.TrimPrefix(sig.Recv().Type().String(), "*") + "." + fn.Name()
+		}
+		if pkg := fn.Pkg(); pkg != nil {
+			return pkg.Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	return "call"
+}

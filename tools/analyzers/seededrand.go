@@ -1,0 +1,52 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SeededRand forbids the global math/rand functions (rand.Intn, rand.Seed,
+// rand.Float64, ...). The flow's results must be reproducible from the Seed
+// options plumbed through every stage; the shared global source makes runs
+// order-dependent and untestable. Constructing explicit sources via
+// rand.New/rand.NewSource (and naming the types) stays allowed.
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc:  "forbid the global math/rand source; use rand.New(rand.NewSource(seed)) plumbed from an explicit seed",
+	Run:  runSeededRand,
+}
+
+// seededRandAllowed are the math/rand package members that do not touch the
+// global source.
+var seededRandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	"Rand":      true, // type
+	"Source":    true, // type
+	"Source64":  true, // type
+	"Zipf":      true, // type
+}
+
+func runSeededRand(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "math/rand" {
+				return true
+			}
+			if !seededRandAllowed[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(), "use of global math/rand.%s: plumb an explicit *rand.Rand from a seed instead", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,148 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpanClose requires every observability span opened with Start to be closed
+// in the same function: an assignment `sp := tr.Start("...")` whose result
+// is a *Span must be followed by `sp.End()` (plain or deferred) before the
+// function returns. A leaked span corrupts the trace tree — its children
+// attach under the wrong parent and the flow's per-stage timings (the QoR
+// gate input) are wrong.
+var SpanClose = &Analyzer{
+	Name: "spanclose",
+	Doc:  "require Span.End() in the same function as the Trace.Start() that opened the span",
+	Run:  runSpanClose,
+}
+
+func runSpanClose(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkSpansIn(pass, body)
+			}
+			return true
+		})
+	}
+}
+
+// checkSpansIn inspects one function body (not nested function literals —
+// each gets its own visit) for Start assignments without a matching End.
+func checkSpansIn(pass *Pass, body *ast.BlockStmt) {
+	type open struct {
+		name string
+		pos  token.Pos
+	}
+	var opened []open
+	ended := map[string]bool{}
+	walkShallow(body, func(n ast.Node) {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				if !isSpanStart(pass, rhs) || i >= len(st.Lhs) {
+					continue
+				}
+				id, ok := st.Lhs[i].(*ast.Ident)
+				if !ok {
+					// Stored into a field or element: the obligation moves
+					// with the value; out of scope for this pass.
+					continue
+				}
+				if id.Name == "_" {
+					pass.Reportf(rhs.Pos(), "span from Start is discarded; assign it and call End()")
+					continue
+				}
+				opened = append(opened, open{id.Name, rhs.Pos()})
+			}
+		case *ast.ExprStmt:
+			if name, ok := spanEndCall(st.X); ok {
+				ended[name] = true
+			}
+		case *ast.DeferStmt:
+			if name, ok := spanEndCall(st.Call); ok {
+				ended[name] = true
+			}
+		case *ast.ReturnStmt:
+			// A span returned to the caller transfers the obligation.
+			for _, r := range st.Results {
+				if id, ok := r.(*ast.Ident); ok {
+					ended[id.Name] = true
+				}
+			}
+		}
+	})
+	for _, o := range opened {
+		if !ended[o.name] {
+			pass.Reportf(o.pos, "span %q is started but never ended in this function", o.name)
+		}
+	}
+}
+
+// walkShallow visits every node under body except the interiors of nested
+// function literals.
+func walkShallow(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// isSpanStart reports whether expr is a call yielding a *Span (by type) from
+// a method or function named Start.
+func isSpanStart(pass *Pass, expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Start" {
+		return false
+	}
+	return isSpanPtr(pass.TypesInfo.TypeOf(call))
+}
+
+// isSpanPtr matches *T where T's name is Span. The name-based match (rather
+// than an exact fpgaflow/internal/obs identity) lets the pass work both on
+// the real repo and on self-contained test fixtures.
+func isSpanPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Span"
+}
+
+// spanEndCall matches `x.End()` and returns x's name.
+func spanEndCall(e ast.Expr) (string, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" || len(call.Args) != 0 {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	return id.Name, true
+}
