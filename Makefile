@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test short bench race cover tools experiments clean lint bench-gate baseline staticcheck check-examples
+.PHONY: all build test short bench race cover tools experiments clean lint bench-gate baseline staticcheck check-examples fuzz faultcheck
 
 all: build test
 
@@ -28,6 +28,22 @@ check-examples:
 			echo "check-examples: multidriven.blif should fail with exit 1"; exit 1; \
 		fi
 	@echo "check-examples: ok"
+
+# fuzz runs every native fuzz target for FUZZTIME each (decoders and
+# parsers that face untrusted or corruptible input). Override e.g.
+# `make fuzz FUZZTIME=5m` for a longer soak.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/netlist/ -run='^$$' -fuzz=FuzzParseBLIF -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/vhdl/ -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/bitstream/ -run='^$$' -fuzz=FuzzDecode -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/edif/ -run='^$$' -fuzz=FuzzRead -fuzztime=$(FUZZTIME)
+
+# faultcheck runs the fault-injection and hardened-runner suites under the
+# race detector: defect-aware place/route, corruption handling, stage
+# timeouts/panics, and the retry policy.
+faultcheck:
+	$(GO) test -race -count=1 ./internal/fault/ ./internal/core/ -run 'Fault|Defect|Corrupt|Stuck|Stage|Retry|Escalat|Dead|Flip|Truncate|Garble'
 
 # bench-gate reruns the small suite and fails on tier-1 QoR drift vs the
 # committed baseline (the same gate CI runs).

@@ -1,0 +1,121 @@
+// Command faultgen produces deterministic fault-injection artifacts for
+// the flow: defect maps over the FPGA fabric (dead wires, dead switch
+// points, defective sites, stuck LUT bits) and corrupted copies of
+// on-disk artifacts (bit flips, truncation, garbled text). Everything is
+// a pure function of its seed, so any fabric or corruption that exposes a
+// bug is reproducible from the command line that made it.
+//
+//	faultgen -seed 42 -dead-switch 0.02 -o defects.json
+//	faultgen -arch platform.arch -seed 7 -dead-wire 0.01 -bad-clb 0.05 -o defects.json
+//	faultgen -corrupt design.bit -flips 32 -seed 3 -o broken.bit
+//	faultgen -corrupt design.blif -garble 20 -seed 3 -o broken.blif
+//	faultgen -corrupt design.bit -truncate 0.5 -o partial.bit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fpgaflow/internal/arch"
+	"fpgaflow/internal/fault"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	seed := flag.Int64("seed", 1, "seed; the artifact is deterministic in it")
+	archFile := flag.String("arch", "", "DUTYS architecture file (default: paper platform)")
+
+	deadWire := flag.Float64("dead-wire", 0, "fraction of channel wires that are dead")
+	deadSwitch := flag.Float64("dead-switch", 0, "fraction of switch points that are dead")
+	badCLB := flag.Float64("bad-clb", 0, "fraction of logic sites that are defective")
+	badIO := flag.Float64("bad-io", 0, "fraction of pad sites that are defective")
+	stuckBit := flag.Float64("stuck-bit", 0, "fraction of LUT configuration bits stuck at a random value")
+
+	corrupt := flag.String("corrupt", "", "corrupt this artifact instead of generating a defect map")
+	flips := flag.Int("flips", 0, "with -corrupt: number of random bit flips")
+	garble := flag.Int("garble", 0, "with -corrupt: number of random text edits")
+	truncate := flag.Float64("truncate", -1, "with -corrupt: keep this leading fraction of the file")
+
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: faultgen [options]\nGenerates a defect map (JSON) for the flow, or corrupts an artifact with -corrupt.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *corrupt != "" {
+		if err := runCorrupt(*corrupt, *out, *flips, *garble, *truncate, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	a := arch.Paper()
+	if *archFile != "" {
+		b, err := os.ReadFile(*archFile)
+		if err != nil {
+			fatal(err)
+		}
+		if a, err = arch.Parse(string(b)); err != nil {
+			fatal(err)
+		}
+	}
+	rates := fault.Rates{
+		DeadWire: *deadWire, DeadSwitch: *deadSwitch,
+		BadCLB: *badCLB, BadIO: *badIO, StuckBit: *stuckBit,
+	}
+	dm, err := fault.Generate(a, *seed, rates)
+	if err != nil {
+		fatal(err)
+	}
+	data, err := dm.Marshal()
+	if err != nil {
+		fatal(err)
+	}
+	if err := writeOut(*out, append(data, '\n')); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, dm.Summary())
+}
+
+func runCorrupt(in, out string, flips, garble int, truncate float64, seed int64) error {
+	data, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	applied := []string{}
+	if truncate >= 0 {
+		data = fault.Truncate(data, truncate)
+		applied = append(applied, fmt.Sprintf("truncated to %d bytes", len(data)))
+	}
+	if flips > 0 {
+		data = fault.FlipBits(data, flips, seed)
+		applied = append(applied, fmt.Sprintf("%d bit flips", flips))
+	}
+	if garble > 0 {
+		data = []byte(fault.GarbleText(string(data), garble, seed))
+		applied = append(applied, fmt.Sprintf("%d text edits", garble))
+	}
+	if len(applied) == 0 {
+		return fmt.Errorf("faultgen: -corrupt needs at least one of -flips, -garble, -truncate")
+	}
+	if err := writeOut(out, data); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%s: %s\n", in, strings.Join(applied, ", "))
+	return nil
+}
+
+func writeOut(path string, data []byte) error {
+	if path == "" || path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -11,6 +11,7 @@ import (
 
 	"fpgaflow/internal/arch"
 	"fpgaflow/internal/core"
+	"fpgaflow/internal/fault"
 	"fpgaflow/internal/obs"
 )
 
@@ -25,6 +26,9 @@ func main() {
 	seeds := flag.Int("place-seeds", 1, "parallel placement seeds (keep the best)")
 	clock := flag.Float64("clock", 0, "power-estimation clock in MHz (0 = fmax)")
 	archFile := flag.String("arch", "", "DUTYS architecture file")
+	defects := flag.String("defects", "", "defect map JSON (see cmd/faultgen); run defect-aware")
+	retries := flag.Int("retries", 1, "max flow attempts (re-seed / escalate channel width on failure)")
+	stageTimeout := flag.Duration("stage-timeout", 0, "per-stage wall-time budget (0 = unbounded)")
 	obsFlags := obs.RegisterCLIFlags(flag.CommandLine)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: fpgaflow [options] design.vhd|design.blif\nRuns VHDL->bitstream with all paper tools; prints the stage report.\n")
@@ -54,8 +58,21 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *defects != "" {
+		dm, err := fault.Load(*defects)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, dm.Summary())
+		opts.Defects = dm
+	}
+	opts.StageTimeout = *stageTimeout
+	if *retries > 1 {
+		opts.Retry = core.DefaultRetryPolicy()
+		opts.Retry.MaxAttempts = *retries
+	}
 	var res *core.Result
-	if strings.HasPrefix(strings.TrimSpace(src), ".model") {
+	if looksLikeBLIF(src) {
 		res, err = core.RunBLIF(src, opts)
 	} else {
 		res, err = core.RunVHDL(src, opts)
@@ -76,6 +93,20 @@ func main() {
 		}
 		fmt.Printf("wrote %s (%d bytes)\n", *out, len(res.Encoded))
 	}
+}
+
+// looksLikeBLIF reports whether the input is a BLIF netlist: the first
+// non-blank, non-comment line is a BLIF directive. (A prefix test on the
+// raw text misclassifies BLIF files that open with '#' comments.)
+func looksLikeBLIF(src string) bool {
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		return strings.HasPrefix(line, ".model") || strings.HasPrefix(line, ".inputs")
+	}
+	return false
 }
 
 func fatal(err error) {

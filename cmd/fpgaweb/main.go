@@ -3,21 +3,32 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"fpgaflow/internal/gui"
 )
 
 func main() {
 	addr := flag.String("addr", "localhost:8080", "listen address")
+	grace := flag.Duration("grace", 30*time.Second, "graceful-shutdown budget for in-flight requests")
 	flag.Parse()
 	s := gui.NewServer()
 	fmt.Printf("FPGA design framework GUI on http://%s\n", *addr)
 	fmt.Printf("machine-readable run metrics on http://%s/metrics\n", *addr)
-	if err := s.ListenAndServe(*addr); err != nil {
+
+	// SIGINT/SIGTERM drain in-flight requests (a running flow included)
+	// instead of killing them mid-compile.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := s.Run(ctx, *addr, *grace); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	fmt.Println("fpgaweb: shut down cleanly")
 }

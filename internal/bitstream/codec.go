@@ -123,6 +123,14 @@ func Decode(data []byte) (*Bitstream, error) {
 	if err := a.Validate(); err != nil {
 		return nil, fmt.Errorf("bitstream: %w", err)
 	}
+	// Size sanity before any geometry-sized allocation: the CLB frames alone
+	// need clbFrameBits bits, so a stream with fewer remaining bytes is
+	// corrupt no matter what its pad table says. Without this gate a forged
+	// header (huge grid, large N/K) makes newBitstream/rrgraph.Build allocate
+	// gigabytes for a kilobyte-sized input.
+	if need := clbFrameBits(a); int64(buf.Len())*8 < need {
+		return nil, fmt.Errorf("bitstream: header declares a fabric needing >= %d config bits, %d bytes remain", need, buf.Len())
+	}
 	bs := newBitstream(a, model)
 
 	var nPads uint32
@@ -334,6 +342,18 @@ func decodeRouting(r *bitReader, bs *Bitstream, g *rrgraph.Graph) error {
 		}
 	}
 	return nil
+}
+
+// clbFrameBits computes, in constant time, the exact number of bits the
+// CLB frames of an architecture occupy (a lower bound on the whole
+// configuration, which adds the routing frame on top). Kept in int64:
+// with Validate's bounds the worst case is ~2^48, past int32.
+func clbFrameBits(a *arch.Arch) int64 {
+	selBits := int64(bitsFor(a.CLB.I + a.CLB.N))
+	outBits := int64(bitsFor(a.CLB.N))
+	perBLE := int64(1)<<uint(a.CLB.K) + 3 + int64(a.CLB.K)*selBits
+	perTile := int64(a.CLB.N)*perBLE + int64(a.CLB.Outputs())*outBits + 1
+	return int64(a.Cols) * int64(a.Rows) * perTile
 }
 
 // NumConfigBits reports the size of the configuration for an architecture.

@@ -1,0 +1,32 @@
+package bitstream
+
+import (
+	"os"
+	"testing"
+
+	"fpgaflow/internal/fault"
+)
+
+// FuzzDecode feeds the bitstream decoder arbitrary bytes. A configuration
+// file is exactly the artifact that gets corrupted in storage or
+// transfer, so the decoder must fail typed on any mangling — no panics,
+// no unbounded allocation from a forged geometry header.
+func FuzzDecode(f *testing.F) {
+	if data, err := os.ReadFile("../../examples/netlists/fulladder.bit"); err == nil {
+		f.Add(data)
+		// Classic corruption shapes as extra seeds.
+		f.Add(fault.FlipBits(data, 8, 1))
+		f.Add(fault.Truncate(data, 0.5))
+	}
+	f.Add([]byte("DAGR"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64<<10 {
+			t.Skip("oversized input")
+		}
+		bs, err := Decode(data)
+		if err == nil && bs == nil {
+			t.Fatal("Decode returned nil bitstream with nil error")
+		}
+	})
+}

@@ -19,6 +19,7 @@ import (
 
 	"fpgaflow/internal/arch"
 	"fpgaflow/internal/bitstream"
+	"fpgaflow/internal/fault"
 	"fpgaflow/internal/netlist"
 	"fpgaflow/internal/obs"
 	"fpgaflow/internal/pack"
@@ -115,6 +116,9 @@ type Artifacts struct {
 	// Bitstream and Encoded are the DAGGER output and its binary form.
 	Bitstream *bitstream.Bitstream
 	Encoded   []byte
+	// Defects is the injected fabric defect map, when the run has one; the
+	// defect-aware rules verify no configured resource lands on a defect.
+	Defects *fault.DefectMap
 	// Disable lists rule IDs to skip (see docs/CHECKS.md on suppression).
 	Disable []string
 }

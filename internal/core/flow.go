@@ -14,13 +14,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 	"time"
 
 	"fpgaflow/internal/arch"
 	"fpgaflow/internal/bitstream"
 	"fpgaflow/internal/check"
 	"fpgaflow/internal/edif"
+	"fpgaflow/internal/fault"
 	"fpgaflow/internal/logic"
 	"fpgaflow/internal/netlist"
 	"fpgaflow/internal/obs"
@@ -96,6 +99,25 @@ type Options struct {
 	DisableChecks []string
 	// OptimizeOptions tunes the SIS stage.
 	OptimizeOptions logic.Options
+	// Defects injects an imperfect fabric (see internal/fault): placement
+	// avoids defective sites, routing masks dead wires and switches
+	// (re-applied at every channel-width escalation), and the stage-boundary
+	// checks verify no configured resource lands on a defect. Injection
+	// totals are reported on fault.* counters.
+	Defects *fault.DefectMap
+	// StageTimeout bounds each stage's wall time (0 = unbounded). A stage
+	// that overruns fails with a StageError wrapping
+	// context.DeadlineExceeded; placement and routing cancel cooperatively,
+	// other stages are abandoned after a short grace period.
+	StageTimeout time.Duration
+	// Retry configures the hardened runner: re-seeded attempts, channel
+	// width escalation and backoff (see RetryPolicy). Zero value = one
+	// attempt, no degradation.
+	Retry RetryPolicy
+	// StageStart, when set, is invoked at the entry of every stage with the
+	// tool name (GUI progress reporting; fault-injection tests use it to
+	// simulate stuck or crashing stages).
+	StageStart func(stage string)
 	// Obs receives per-stage spans and stage-specific counters for the run.
 	// nil falls back to the process-global trace (obs.Global), which is
 	// itself a no-op unless a main installed one.
@@ -191,12 +213,40 @@ type Metrics struct {
 
 // RunVHDL executes the full flow on VHDL source.
 func RunVHDL(src string, opts Options) (*Result, error) {
+	return RunVHDLContext(context.Background(), src, opts)
+}
+
+// RunVHDLContext executes the full flow on VHDL source under a context:
+// cancellation and deadlines propagate into every stage, stage panics come
+// back as structured *StageError values, and the options' RetryPolicy
+// governs re-seeded attempts and graceful degradation.
+func RunVHDLContext(ctx context.Context, src string, opts Options) (*Result, error) {
+	return runRetry(ctx, opts, func(ctx context.Context, o Options) (*Result, error) {
+		return runVHDLOnce(ctx, src, o)
+	})
+}
+
+// RunBLIF enters the flow at the SIS stage with a BLIF netlist.
+func RunBLIF(blifText string, opts Options) (*Result, error) {
+	return RunBLIFContext(context.Background(), blifText, opts)
+}
+
+// RunBLIFContext is RunBLIF under a context and the hardened runner (see
+// RunVHDLContext).
+func RunBLIFContext(ctx context.Context, blifText string, opts Options) (*Result, error) {
+	return runRetry(ctx, opts, func(ctx context.Context, o Options) (*Result, error) {
+		return runBLIFOnce(ctx, blifText, o)
+	})
+}
+
+// runVHDLOnce is a single flow attempt from VHDL source.
+func runVHDLOnce(ctx context.Context, src string, opts Options) (*Result, error) {
 	opts.fill()
 	res := &Result{tr: opts.trace()}
 	var design *vhdl.Design
 
 	// Stage 1: VHDL Parser.
-	err := res.stage("VHDL Parser", func() error {
+	err := res.stage(ctx, &opts, "VHDL Parser", func(context.Context) error {
 		var err error
 		design, err = vhdl.Parse(src)
 		if err != nil {
@@ -210,7 +260,7 @@ func RunVHDL(src string, opts Options) (*Result, error) {
 	}
 
 	// Stage 2: DIVINER synthesis.
-	err = res.stage("DIVINER", func() error {
+	err = res.stage(ctx, &opts, "DIVINER", func(context.Context) error {
 		nl, err := vhdl.Elaborate(design, opts.Top)
 		if err != nil {
 			return err
@@ -228,7 +278,7 @@ func RunVHDL(src string, opts Options) (*Result, error) {
 
 	// Stage 3+4: EDIF out, DRUID, E2FMT back to BLIF.
 	var blif string
-	err = res.stage("DRUID", func() error {
+	err = res.stage(ctx, &opts, "DRUID", func(context.Context) error {
 		text, err := edif.Write(res.Source)
 		if err != nil {
 			return err
@@ -239,7 +289,7 @@ func RunVHDL(src string, opts Options) (*Result, error) {
 	if err != nil {
 		return res, err
 	}
-	err = res.stage("E2FMT", func() error {
+	err = res.stage(ctx, &opts, "E2FMT", func(context.Context) error {
 		var err error
 		blif, err = edif.E2FMT(res.EDIF)
 		if err != nil {
@@ -252,27 +302,29 @@ func RunVHDL(src string, opts Options) (*Result, error) {
 	if err != nil {
 		return res, err
 	}
-	return res.continueFromBLIF(blif, opts)
+	return res.continueFromBLIF(ctx, blif, opts)
 }
 
-// RunBLIF enters the flow at the SIS stage with a BLIF netlist.
-func RunBLIF(blifText string, opts Options) (*Result, error) {
+// runBLIFOnce is a single flow attempt from a BLIF netlist.
+func runBLIFOnce(ctx context.Context, blifText string, opts Options) (*Result, error) {
 	opts.fill()
 	res := &Result{tr: opts.trace()}
 	// Text-level lint runs before the parser so a multi-driven net surfaces
-	// as a named rule violation, not a parse error.
+	// as a named rule violation, not a parse error. Failures here are typed
+	// StageErrors like every other flow failure (corrupted input must fail
+	// fast, not crash or propagate shapeless).
 	if err := res.runChecks(&opts, check.StageNetlist, &check.Artifacts{BLIF: blifText}); err != nil {
-		return res, fmt.Errorf("BLIF: %w", err)
+		return res, &StageError{Stage: "BLIF", Err: err}
 	}
 	nl, err := netlist.ParseBLIF(blifText)
 	if err != nil {
-		return res, err
+		return res, &StageError{Stage: "BLIF", Err: err}
 	}
 	res.Source = nl
-	return res.continueFromBLIF(blifText, opts)
+	return res.continueFromBLIF(ctx, blifText, opts)
 }
 
-func (res *Result) continueFromBLIF(blifText string, opts Options) (*Result, error) {
+func (res *Result) continueFromBLIF(ctx context.Context, blifText string, opts Options) (*Result, error) {
 	a := opts.Arch
 	if a == nil {
 		a = arch.Paper()
@@ -281,11 +333,19 @@ func (res *Result) continueFromBLIF(blifText string, opts Options) (*Result, err
 	res.Arch = a
 	res.Metrics.Name = res.Source.Name
 	res.Metrics.SourceGates = res.Source.Stats().Logic
+	res.tr.Counter("fault.injected")
+	if dm := opts.Defects; dm != nil {
+		res.tr.Add("fault.injected", int64(dm.Count()))
+		res.tr.Add("fault.dead_wires", int64(len(dm.DeadWires)))
+		res.tr.Add("fault.dead_switches", int64(len(dm.DeadSwitches)))
+		res.tr.Add("fault.bad_sites", int64(len(dm.BadCLBs)+len(dm.BadIOs)))
+		res.tr.Add("fault.stuck_bits", int64(len(dm.StuckBits)))
+	}
 
 	// Stage 5: SIS (technology-independent optimization + decomposition +
 	// LUT mapping).
 	var working *netlist.Netlist
-	err := res.stage("SIS", func() error {
+	err := res.stage(ctx, &opts, "SIS", func(context.Context) error {
 		nl, err := netlist.ParseBLIF(blifText)
 		if err != nil {
 			return err
@@ -304,7 +364,7 @@ func (res *Result) continueFromBLIF(blifText string, opts Options) (*Result, err
 	if err != nil {
 		return res, err
 	}
-	err = res.stage("LUT map", func() error {
+	err = res.stage(ctx, &opts, "LUT map", func(context.Context) error {
 		var mapped *techmap.Result
 		var err error
 		if opts.Mapper == MapGreedy {
@@ -328,7 +388,7 @@ func (res *Result) continueFromBLIF(blifText string, opts Options) (*Result, err
 	}
 
 	// Stage 6: T-VPack.
-	err = res.stage("T-VPack", func() error {
+	err = res.stage(ctx, &opts, "T-VPack", func(context.Context) error {
 		pk, err := pack.Pack(res.Mapped.Netlist, pack.Params{N: a.CLB.N, K: a.CLB.K, I: a.CLB.I})
 		if err != nil {
 			return err
@@ -348,7 +408,7 @@ func (res *Result) continueFromBLIF(blifText string, opts Options) (*Result, err
 
 	// Stage 7: DUTYS architecture file.
 	autoSize := opts.Arch == nil || opts.AutoSizeGrid
-	err = res.stage("DUTYS", func() error {
+	err = res.stage(ctx, &opts, "DUTYS", func(context.Context) error {
 		p, err := place.NewProblem(a, res.Packing)
 		if err != nil {
 			return err
@@ -373,8 +433,9 @@ func (res *Result) continueFromBLIF(blifText string, opts Options) (*Result, err
 	}
 
 	// Stage 8: VPR placement.
-	err = res.stage("VPR place", func() error {
-		popts := place.Options{Seed: opts.Seed, InnerNum: opts.PlaceEffort, Fixed: opts.FixedPads, Obs: res.tr}
+	err = res.stage(ctx, &opts, "VPR place", func(sctx context.Context) error {
+		popts := place.Options{Seed: opts.Seed, InnerNum: opts.PlaceEffort, Fixed: opts.FixedPads, Obs: res.tr,
+			Ctx: sctx, Bad: opts.Defects.BadSiteSet()}
 		mode := "wirelength-driven"
 		if opts.TimingDrivenPlace {
 			popts.Weights = place.CriticalityWeights(res.Packing, res.Problem, 8)
@@ -400,8 +461,18 @@ func (res *Result) continueFromBLIF(blifText string, opts Options) (*Result, err
 	}
 
 	// Stage 9: VPR routing.
-	err = res.stage("VPR route", func() error {
-		ropts := route.Options{MaxIters: opts.RouteMaxIters, DelayDriven: opts.TimingDrivenRoute, Obs: res.tr}
+	err = res.stage(ctx, &opts, "VPR route", func(sctx context.Context) error {
+		ropts := route.Options{MaxIters: opts.RouteMaxIters, DelayDriven: opts.TimingDrivenRoute, Obs: res.tr, Ctx: sctx}
+		if opts.Defects != nil {
+			// Re-applied at every channel-width trial: defects are keyed by
+			// structural coordinates, so they survive RR-graph rebuilds and
+			// any tracks added by escalation are defect-free.
+			ropts.Mask = func(g *rrgraph.Graph) {
+				st := opts.Defects.Apply(g)
+				res.tr.Add("fault.rr_dead_nodes", int64(st.DeadWires))
+				res.tr.Add("fault.rr_edges_removed", int64(st.EdgesRemoved))
+			}
+		}
 		if opts.MinChannelWidth {
 			w, r, err := route.MinChannelWidth(res.Problem, res.Placed, 1, a.Routing.ChannelWidth, ropts)
 			if err != nil {
@@ -414,12 +485,15 @@ func (res *Result) continueFromBLIF(blifText string, opts Options) (*Result, err
 			if err != nil {
 				return err
 			}
+			if ropts.Mask != nil {
+				ropts.Mask(g)
+			}
 			r, err := route.Route(res.Problem, res.Placed, g, ropts)
 			if err != nil {
 				return err
 			}
 			if !r.Success {
-				return fmt.Errorf("core: unroutable at W=%d (%d overused)", a.Routing.ChannelWidth, r.Overused)
+				return fmt.Errorf("core: %w at W=%d (%d overused)", route.ErrUnroutable, a.Routing.ChannelWidth, r.Overused)
 			}
 			res.Routed = r
 		}
@@ -442,7 +516,7 @@ func (res *Result) continueFromBLIF(blifText string, opts Options) (*Result, err
 	}
 
 	// Timing analysis (feeds the power model's default clock).
-	err = res.stage("Timing", func() error {
+	err = res.stage(ctx, &opts, "Timing", func(context.Context) error {
 		an, err := timing.Analyze(res.Packing, res.Problem, res.Placed, res.Routed)
 		if err != nil {
 			return err
@@ -461,7 +535,7 @@ func (res *Result) continueFromBLIF(blifText string, opts Options) (*Result, err
 	}
 
 	// Stage 10: PowerModel.
-	err = res.stage("PowerModel", func() error {
+	err = res.stage(ctx, &opts, "PowerModel", func(context.Context) error {
 		clock := opts.ClockHz
 		if clock == 0 {
 			clock = res.Timing.MaxClockHz
@@ -486,7 +560,7 @@ func (res *Result) continueFromBLIF(blifText string, opts Options) (*Result, err
 	}
 
 	// Stage 11: DAGGER bitstream.
-	err = res.stage("DAGGER", func() error {
+	err = res.stage(ctx, &opts, "DAGGER", func(context.Context) error {
 		bs, err := bitstream.Generate(res.Packing, res.Problem, res.Placed, res.Routed)
 		if err != nil {
 			return err
@@ -503,6 +577,7 @@ func (res *Result) continueFromBLIF(blifText string, opts Options) (*Result, err
 			Encoded: res.Encoded, Arch: a, Packing: res.Packing,
 			Problem: res.Problem, Placement: res.Placed,
 			Graph: res.Routed.Graph, Routing: res.Routed,
+			Bitstream: bs,
 		})
 	})
 	if err != nil {
@@ -511,7 +586,7 @@ func (res *Result) continueFromBLIF(blifText string, opts Options) (*Result, err
 
 	// Closing verification: decode + extract + equivalence.
 	if !opts.SkipVerify {
-		err = res.stage("Verify", func() error {
+		err = res.stage(ctx, &opts, "Verify", func(context.Context) error {
 			bs, err := bitstream.Decode(res.Encoded)
 			if err != nil {
 				return err
@@ -544,16 +619,53 @@ func (res *Result) runChecks(opts *Options, stage check.Stage, arts *check.Artif
 		return nil
 	}
 	arts.Disable = opts.DisableChecks
+	arts.Defects = opts.Defects
 	rep := check.RunStage(stage, arts)
 	rep.Record(res.tr)
 	return rep.Err()
 }
 
-func (res *Result) stage(tool string, fn func() error) error {
+// stageAbandonGrace is how long a deadline-exceeded stage gets to notice
+// the cancellation before the runner abandons its goroutine and reports
+// the timeout. Placement and routing cancel cooperatively well within
+// this; CPU-bound stages without cancellation points are left to finish
+// in the background (their writes target the already-recorded Stage slot).
+const stageAbandonGrace = 250 * time.Millisecond
+
+func (res *Result) stage(ctx context.Context, opts *Options, tool string, fn func(context.Context) error) error {
+	if opts.StageStart != nil {
+		opts.StageStart(tool)
+	}
+	if err := ctx.Err(); err != nil {
+		return &StageError{Stage: tool, Err: err}
+	}
+	sctx := ctx
+	cancel := context.CancelFunc(func() {})
+	if opts.StageTimeout > 0 {
+		sctx, cancel = context.WithTimeout(ctx, opts.StageTimeout)
+	}
+	defer cancel()
 	sp := res.tr.Start(tool)
 	start := time.Now()
 	res.Stages = append(res.Stages, Stage{Tool: tool})
-	err := fn()
+	var err error
+	if sctx.Done() == nil {
+		// No deadline and no cancellable parent: run inline, no goroutine.
+		err = runShielded(sctx, fn)
+	} else {
+		done := make(chan error, 1)
+		go func() { done <- runShielded(sctx, fn) }()
+		select {
+		case err = <-done:
+		case <-sctx.Done():
+			select {
+			case err = <-done:
+			case <-time.After(stageAbandonGrace):
+				err = sctx.Err()
+				res.tr.Add("flow.stage_abandoned", 1)
+			}
+		}
+	}
 	st := &res.Stages[len(res.Stages)-1]
 	sp.SetDetail("%s", st.Detail)
 	sp.End()
@@ -568,9 +680,21 @@ func (res *Result) stage(tool string, fn func() error) error {
 	res.tr.Add("flow.stages", 1)
 	if err != nil {
 		res.tr.Add("flow.stage_errors", 1)
-		return fmt.Errorf("%s: %w", tool, err)
+		return &StageError{Stage: tool, Err: err, retryable: retryableCause(tool, err)}
 	}
 	return nil
+}
+
+// runShielded executes a stage body, converting a panic into a
+// *PanicError so one buggy stage cannot take down the whole runner (or
+// the GUI server driving it).
+func runShielded(ctx context.Context, fn func(context.Context) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx)
 }
 
 // Summary renders the per-stage report like the GUI's log pane.

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"fpgaflow/internal/place"
+	"fpgaflow/internal/route"
+)
+
+// StageError is the structured failure of one flow stage: which tool
+// failed, on which attempt, why, and what partial artifacts the run had
+// produced by then. Every error out of RunVHDLContext/RunBLIFContext is a
+// *StageError (errors.As) wrapping the stage's cause (errors.Is), so
+// callers can classify failures — route.ErrUnroutable, place.ErrNoSpace,
+// context.DeadlineExceeded, a *PanicError — without string matching.
+type StageError struct {
+	// Stage is the flow tool that failed ("VPR route", "DAGGER", ...).
+	Stage string
+	// Attempt is the 1-based flow attempt that produced the error (0 when
+	// the error escaped the retry wrapper, e.g. from a direct stage call).
+	Attempt int
+	// Err is the cause.
+	Err error
+	// Partial holds the artifacts built before the failure (never nil from
+	// the public Run entry points; its later fields are simply unset).
+	Partial *Result
+
+	retryable bool
+}
+
+// Error keeps the historical "<stage>: <cause>" rendering.
+func (e *StageError) Error() string { return fmt.Sprintf("%s: %v", e.Stage, e.Err) }
+
+// Unwrap exposes the cause to errors.Is/errors.As.
+func (e *StageError) Unwrap() error { return e.Err }
+
+// Retryable reports whether re-running the flow with a different placement
+// seed could plausibly change the outcome: the failing stage is downstream
+// of placement and the cause is not deterministic (capacity, cancellation,
+// a panic).
+func (e *StageError) Retryable() bool { return e.retryable }
+
+// PanicError wraps a panic recovered inside a flow stage, preserving the
+// panic value and the goroutine stack at the point of the panic.
+type PanicError struct {
+	Value interface{}
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// seedDependentStages are the stages whose outcome depends on the
+// placement seed; failures there are worth retrying re-seeded. Everything
+// upstream (parsing, synthesis, mapping, packing) is deterministic in the
+// input alone.
+var seedDependentStages = map[string]bool{
+	"VPR place":  true,
+	"VPR route":  true,
+	"Timing":     true,
+	"PowerModel": true,
+	"DAGGER":     true,
+	"Verify":     true,
+}
+
+// retryableCause classifies a stage failure for the retry policy.
+func retryableCause(stage string, err error) bool {
+	if !seedDependentStages[stage] {
+		return false
+	}
+	var pe *PanicError
+	switch {
+	case errors.Is(err, place.ErrNoSpace): // deterministic capacity failure
+		return false
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return false
+	case errors.As(err, &pe): // a bug, not bad luck: surface it
+		return false
+	}
+	return true
+}
+
+// RetryPolicy configures the hardened runner's recovery behavior. The zero
+// value runs the flow exactly once with no degradation.
+type RetryPolicy struct {
+	// MaxAttempts bounds total flow attempts (values below 1 mean 1).
+	MaxAttempts int
+	// ReseedPlacement retries seed-dependent stage failures (unroutable
+	// placements, stuck-bit conflicts, equivalence misses) with a new
+	// placement seed.
+	ReseedPlacement bool
+	// EscalateChannelWidth degrades gracefully after an unroutable failure
+	// at the architecture's fixed channel width: the retry switches to the
+	// MinChannelWidth search, which widens the channel until the design
+	// routes. The escalation is counted on the flow.degraded counter.
+	EscalateChannelWidth bool
+	// Backoff is the wait before the first retry, doubling on every
+	// further retry up to MaxBackoff; zero retries immediately.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential backoff (0 = uncapped).
+	MaxBackoff time.Duration
+}
+
+// DefaultRetryPolicy is a sensible hardened configuration: up to three
+// attempts, re-seeding and channel-width escalation on, no backoff (the
+// flow is CPU-bound, not contended).
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 3, ReseedPlacement: true, EscalateChannelWidth: true}
+}
+
+// reseedStep offsets the placement seed between retry attempts. It is a
+// prime distinct from the 7919 stride PlaceBest uses for its parallel
+// seeds, so retried runs never replay a seed the multi-start placer
+// already tried.
+const reseedStep = 104729
+
+// runRetry is the hardened runner: it executes attempt under the options'
+// retry policy, mutating the options between attempts (new seed, escalated
+// channel width) per the classification of the previous failure. Every
+// attempt, retry and degradation is counted on the run's trace; the
+// counters exist (at zero) even for clean first-attempt runs so metrics
+// consumers can rely on them.
+func runRetry(ctx context.Context, opts Options, attempt func(context.Context, Options) (*Result, error)) (*Result, error) {
+	opts.fill()
+	tr := opts.trace()
+	tr.Counter("flow.attempts")
+	tr.Counter("flow.retries")
+	tr.Counter("flow.degraded")
+	pol := opts.Retry
+	if pol.MaxAttempts < 1 {
+		pol.MaxAttempts = 1
+	}
+	backoff := pol.Backoff
+	for try := 1; ; try++ {
+		res, err := attempt(ctx, opts)
+		tr.Add("flow.attempts", 1)
+		if err == nil {
+			return res, nil
+		}
+		se := asStageError(err, try, res)
+		if try >= pol.MaxAttempts || ctx.Err() != nil {
+			return res, se
+		}
+		switch {
+		case pol.EscalateChannelWidth && !opts.MinChannelWidth && errors.Is(se, route.ErrUnroutable):
+			opts.MinChannelWidth = true
+			tr.Add("flow.degraded", 1)
+		case pol.ReseedPlacement && se.Retryable():
+			opts.Seed += reseedStep
+		default:
+			return res, se
+		}
+		tr.Add("flow.retries", 1)
+		if backoff > 0 {
+			t := time.NewTimer(backoff)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return res, se
+			case <-t.C:
+			}
+			backoff *= 2
+			if pol.MaxBackoff > 0 && backoff > pol.MaxBackoff {
+				backoff = pol.MaxBackoff
+			}
+		}
+	}
+}
+
+// asStageError guarantees the flow's error contract: every failure leaving
+// the retry wrapper is a *StageError stamped with its attempt and partial
+// result.
+func asStageError(err error, attempt int, res *Result) *StageError {
+	var se *StageError
+	if !errors.As(err, &se) {
+		se = &StageError{Stage: "flow", Err: err}
+	}
+	se.Attempt = attempt
+	se.Partial = res
+	return se
+}

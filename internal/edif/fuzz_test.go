@@ -1,0 +1,29 @@
+package edif
+
+import (
+	"os"
+	"testing"
+)
+
+// FuzzRead exercises the whole EDIF ingestion path (s-expression parser
+// plus netlist construction) on arbitrary text: it must reject garbage
+// with an error, never panic or hang.
+func FuzzRead(f *testing.F) {
+	if blif, err := os.ReadFile("../../examples/netlists/count2.blif"); err == nil {
+		if text, err := BLIFToEDIF(string(blif)); err == nil {
+			f.Add(text)
+		}
+	}
+	f.Add("(edif top (library work))")
+	f.Add("(edif (unclosed")
+	f.Add("))) (")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 64<<10 {
+			t.Skip("oversized input")
+		}
+		nl, err := Read(src)
+		if err == nil && nl == nil {
+			t.Fatal("Read returned nil netlist with nil error")
+		}
+	})
+}

@@ -1,0 +1,67 @@
+package fault
+
+import (
+	"math/rand"
+)
+
+// Corruption injectors for on-disk flow artifacts. Each is a pure,
+// deterministic function of (input, seed) and never mutates its input, so
+// a corruption found to expose a bug is reproducible from the seed alone.
+
+// FlipBits returns a copy of data with n random bit flips (storage or
+// transfer corruption of a binary artifact such as a .bit stream). Flip
+// positions are drawn with replacement, so fewer than n distinct bits may
+// change. Empty data or n <= 0 returns an unmodified copy.
+func FlipBits(data []byte, n int, seed int64) []byte {
+	out := append([]byte(nil), data...)
+	if len(out) == 0 || n <= 0 {
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		pos := rng.Intn(len(out) * 8)
+		out[pos/8] ^= 1 << uint(pos%8)
+	}
+	return out
+}
+
+// Truncate returns the leading frac of data (a partial write / interrupted
+// transfer). frac is clamped to [0, 1].
+func Truncate(data []byte, frac float64) []byte {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	n := int(float64(len(data)) * frac)
+	return append([]byte(nil), data[:n]...)
+}
+
+// GarbleText corrupts a textual artifact (BLIF, EDIF, VHDL) with n random
+// edits: character substitution, deletion, duplication, or a swap of two
+// adjacent characters — the classic shapes of editor/transfer mangling.
+// The result is deterministic in (text, seed).
+func GarbleText(text string, n int, seed int64) string {
+	if len(text) == 0 || n <= 0 {
+		return text
+	}
+	rng := rand.New(rand.NewSource(seed))
+	buf := []byte(text)
+	for i := 0; i < n && len(buf) > 0; i++ {
+		pos := rng.Intn(len(buf))
+		switch rng.Intn(4) {
+		case 0: // substitute with a printable byte
+			buf[pos] = byte(33 + rng.Intn(94))
+		case 1: // delete
+			buf = append(buf[:pos], buf[pos+1:]...)
+		case 2: // duplicate
+			buf = append(buf[:pos+1], buf[pos:]...)
+		default: // swap with the next character
+			if pos+1 < len(buf) {
+				buf[pos], buf[pos+1] = buf[pos+1], buf[pos]
+			}
+		}
+	}
+	return string(buf)
+}

@@ -7,6 +7,7 @@
 package gui
 
 import (
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"fmt"
@@ -15,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"fpgaflow/internal/core"
 	"fpgaflow/internal/edif"
@@ -390,7 +392,45 @@ func min(a, b int) int {
 	return b
 }
 
-// ListenAndServe starts the GUI on the given address.
+// httpServer builds the hardened http.Server for the GUI: header, read and
+// write deadlines bound every connection (the write timeout is generous
+// because a flow run happens inside the request handler), and idle
+// keep-alives are reaped.
+func (s *Server) httpServer(addr string) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// ListenAndServe starts the GUI on the given address (no shutdown hook;
+// prefer Run for signal-aware serving).
 func (s *Server) ListenAndServe(addr string) error {
-	return http.ListenAndServe(addr, s.Handler())
+	return s.httpServer(addr).ListenAndServe()
+}
+
+// Run serves the GUI until ctx is cancelled (typically by SIGINT/SIGTERM
+// through signal.NotifyContext), then shuts down gracefully: in-flight
+// requests — including a running flow — get up to grace to finish before
+// connections are closed. Returns nil on a clean shutdown.
+func (s *Server) Run(ctx context.Context, addr string, grace time.Duration) error {
+	srv := s.httpServer(addr)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	sdCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	err := srv.Shutdown(sdCtx)
+	if serveErr := <-errc; serveErr != nil && serveErr != http.ErrServerClosed {
+		return serveErr
+	}
+	return err
 }

@@ -1,0 +1,56 @@
+package gui
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestRunShutsDownGracefully boots the real server loop, confirms it
+// serves, cancels the context (what SIGINT/SIGTERM do in fpgaweb) and
+// requires a prompt, error-free exit.
+func TestRunShutsDownGracefully(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	_ = l.Close() // free the port for Run (small race, fine for a test)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- NewServer().Run(ctx, addr, 5*time.Second) }()
+
+	// Wait until the server answers.
+	up := false
+	for i := 0; i < 100; i++ {
+		resp, err := http.Get(fmt.Sprintf("http://%s/", addr))
+		if err == nil {
+			_ = resp.Body.Close()
+			up = true
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !up {
+		cancel()
+		t.Fatalf("server never came up on %s", addr)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+
+	if _, err := http.Get(fmt.Sprintf("http://%s/", addr)); err == nil {
+		t.Error("server still answering after shutdown")
+	}
+}

@@ -1,0 +1,37 @@
+package netlist
+
+import (
+	"os"
+	"testing"
+)
+
+// FuzzParseBLIF drives the BLIF reader with arbitrary text: it must never
+// panic or hang, and anything it accepts must survive a format/re-parse
+// round trip (otherwise the flow could emit artifacts it cannot reload).
+func FuzzParseBLIF(f *testing.F) {
+	for _, path := range []string{
+		"../../examples/netlists/count2.blif",
+		"../../examples/netlists/fulladder.blif",
+		"../../examples/netlists/multidriven.blif",
+	} {
+		if data, err := os.ReadFile(path); err == nil {
+			f.Add(string(data))
+		}
+	}
+	f.Add(".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n")
+	f.Add(".model m\n.inputs a\n.outputs y\n.latch a y re clk 0\n.end\n")
+	f.Add(".model\n.names\n-\n.end")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 64<<10 {
+			t.Skip("oversized input")
+		}
+		nl, err := ParseBLIF(src)
+		if err != nil || nl == nil {
+			return
+		}
+		text := FormatBLIF(nl)
+		if _, err := ParseBLIF(text); err != nil {
+			t.Fatalf("accepted netlist does not round-trip: %v\n%s", err, text)
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package place
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -40,6 +41,13 @@ type Options struct {
 	// Fixed pins blocks (by name) to locations; fixed blocks never move
 	// (pad constraint files / stable pinout across reconfigurations).
 	Fixed map[string]Location
+	// Bad marks grid sites (x, y) as defective: no block is placed there
+	// and a Fixed block pinned there is an error. An IO coordinate in Bad
+	// removes every pad sub-slot of that site.
+	Bad map[[2]int]bool
+	// Ctx cancels annealing cooperatively: checked once per temperature
+	// step; the annealer returns the context's error. nil disables.
+	Ctx context.Context
 	// Obs receives annealer counters (place.moves, place.accepted,
 	// place.temperature_steps); nil disables reporting. Counters are
 	// atomic, so parallel multi-seed runs aggregate safely.
@@ -56,17 +64,14 @@ func Place(p *Problem, opts Options) (*Placement, error) {
 	}
 	a := p.Arch
 	clbs, pads := p.CountKinds()
-	if clbs > a.LogicCapacity() {
-		return nil, fmt.Errorf("place: %d CLBs exceed capacity %d", clbs, a.LogicCapacity())
-	}
-	if pads > a.IOCapacity() {
-		return nil, fmt.Errorf("place: %d pads exceed capacity %d", pads, a.IOCapacity())
-	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 
 	var clbSites, ioSites []site
 	for x := 1; x <= a.Cols; x++ {
 		for y := 1; y <= a.Rows; y++ {
+			if opts.Bad[[2]int{x, y}] {
+				continue // defective logic site
+			}
 			clbSites = append(clbSites, site{x, y, 0})
 		}
 	}
@@ -75,11 +80,22 @@ func Place(p *Problem, opts Options) (*Placement, error) {
 			onX := x == 0 || x == a.Cols+1
 			onY := y == 0 || y == a.Rows+1
 			if onX != onY {
+				if opts.Bad[[2]int{x, y}] {
+					continue // defective pad site
+				}
 				for s := 0; s < a.IORate; s++ {
 					ioSites = append(ioSites, site{x, y, s})
 				}
 			}
 		}
+	}
+	if clbs > len(clbSites) {
+		return nil, fmt.Errorf("place: %d CLBs exceed %d usable sites (capacity %d, %d defective): %w",
+			clbs, len(clbSites), a.LogicCapacity(), a.LogicCapacity()-len(clbSites), ErrNoSpace)
+	}
+	if pads > len(ioSites) {
+		return nil, fmt.Errorf("place: %d pads exceed %d usable pad slots (capacity %d, %d defective): %w",
+			pads, len(ioSites), a.IOCapacity(), a.IOCapacity()-len(ioSites), ErrNoSpace)
 	}
 
 	if opts.Weights != nil && len(opts.Weights) != len(p.Nets) {
@@ -235,6 +251,11 @@ func Place(p *Problem, opts Options) (*Placement, error) {
 	exitT := 0.005 * cost / float64(len(p.Nets))
 
 	for temp > exitT {
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				return nil, fmt.Errorf("place: %w", err)
+			}
+		}
 		accepted := 0
 		for m := 0; m < movesPerT; m++ {
 			b := rng.Intn(nBlocks)

@@ -1,0 +1,9 @@
+package place
+
+import "errors"
+
+// ErrNoSpace marks a capacity failure: the design needs more CLB or pad
+// sites than the grid offers once defective sites are excluded. It is
+// deterministic — re-seeding the annealer cannot recover it; only a larger
+// grid or a healthier fabric can. Callers classify with errors.Is.
+var ErrNoSpace = errors.New("insufficient placement capacity")

@@ -1,0 +1,18 @@
+package route
+
+import "errors"
+
+// Typed sentinel errors so callers can classify routing failures with
+// errors.Is instead of string matching. The hardened flow runner
+// (internal/core) keys its retry/degradation policy off these.
+var (
+	// ErrUnroutable marks congestion-driven failure: PathFinder converged
+	// out of iterations (or channel-width search out of widths) with
+	// resources still overused. Escalating channel width may recover.
+	ErrUnroutable = errors.New("unroutable")
+	// ErrNoPath marks a structural failure: the routing graph holds no
+	// path at all from a net's source to one of its sinks (disconnected
+	// fabric, e.g. too many defective wires or switches). No amount of
+	// congestion relief helps; only a different placement or fabric can.
+	ErrNoPath = errors.New("no path")
+)

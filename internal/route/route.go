@@ -5,6 +5,8 @@ package route
 
 import (
 	"container/heap"
+	"context"
+	"errors"
 	"fmt"
 
 	"fpgaflow/internal/obs"
@@ -25,9 +27,25 @@ type Options struct {
 	// DelayDriven weights base costs by each resource's intrinsic RC delay
 	// so paths prefer electrically fast routes, not just few hops.
 	DelayDriven bool
+	// Ctx cancels routing cooperatively: the router checks it at every
+	// rip-up-and-reroute iteration and returns the context's error. nil
+	// means no cancellation.
+	Ctx context.Context
+	// Mask is applied to every routing graph the router builds itself
+	// (MinChannelWidth builds one per width trial). Fault injection uses it
+	// to carry a defect map across channel-width escalation; nil is a no-op.
+	Mask func(*rrgraph.Graph)
 	// Obs receives PathFinder counters (route.iterations, route.nets_routed,
 	// route.overuse_sum, route.heap_pops); nil disables reporting.
 	Obs *obs.Trace
+}
+
+// ctxErr returns the options context's error, nil when no context is set.
+func (o *Options) ctxErr() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err()
 }
 
 func (o *Options) fill() {
@@ -155,6 +173,9 @@ func Route(p *place.Problem, pl *place.Placement, g *rrgraph.Graph, opts Options
 		opts.Obs.Gauge("route.overused_final").Set(float64(res.Overused))
 	}()
 	for iter := 1; iter <= opts.MaxIters; iter++ {
+		if err := opts.ctxErr(); err != nil {
+			return nil, fmt.Errorf("route: %w", err)
+		}
 		res.Iterations = iter
 		for ni := range conns {
 			occupy(routes[ni], -1)
@@ -282,6 +303,9 @@ func dijkstra(g *rrgraph.Graph, tree []int, target, source int, sourceLocked boo
 			break
 		}
 		for _, e := range g.Nodes[it.node].Edges {
+			if g.Dead(e) {
+				continue // defective resource: route around it
+			}
 			c := it.cost + nodeCost(e)
 			if !sc.seen(e) || c < sc.dist[e] {
 				sc.set(e, c, int32(it.node))
@@ -290,8 +314,8 @@ func dijkstra(g *rrgraph.Graph, tree []int, target, source int, sourceLocked boo
 		}
 	}
 	if !reached {
-		return nil, fmt.Errorf("no path to node %d (%s at %d,%d)",
-			target, g.Nodes[target].Type, g.Nodes[target].X, g.Nodes[target].Y)
+		return nil, fmt.Errorf("%w to node %d (%s at %d,%d)",
+			ErrNoPath, target, g.Nodes[target].Type, g.Nodes[target].X, g.Nodes[target].Y)
 	}
 	var path []int
 	for n := target; n != unseen; n = int(sc.prev[n]) {
@@ -329,6 +353,12 @@ func (r *Result) Validate(p *place.Problem, pl *place.Placement) error {
 			if si == 0 && path[0] != wantSrc {
 				return fmt.Errorf("route: net %s first path starts at %d, want source %d",
 					p.Nets[ni].Signal, path[0], wantSrc)
+			}
+			for _, n := range path {
+				if r.Graph.Dead(n) {
+					return fmt.Errorf("route: net %s uses defective node %d (%s at %d,%d)",
+						p.Nets[ni].Signal, n, r.Graph.Nodes[n].Type, r.Graph.Nodes[n].X, r.Graph.Nodes[n].Y)
+				}
 			}
 			for i := 0; i+1 < len(path); i++ {
 				if !r.Graph.HasEdge(path[i], path[i+1]) {
@@ -386,6 +416,9 @@ func MinChannelWidth(p *place.Problem, pl *place.Placement, lo, hi int, opts Opt
 		if err != nil {
 			return nil, err
 		}
+		if opts.Mask != nil {
+			opts.Mask(g)
+		}
 		return Route(p, pl, g, opts)
 	}
 	// Ensure hi is routable, growing if needed.
@@ -394,18 +427,30 @@ func MinChannelWidth(p *place.Problem, pl *place.Placement, lo, hi int, opts Opt
 	trials := 0
 	defer func() { opts.Obs.Add("route.width_trials", int64(trials)) }()
 	for {
+		if err := opts.ctxErr(); err != nil {
+			return 0, nil, fmt.Errorf("route: %w", err)
+		}
 		trials++
 		r, err := build(hi)
 		if err == nil && r.Success {
 			best, bestW = r, hi
 			break
 		}
+		// Cancellation is not congestion; wider channels cannot fix it.
+		// ErrNoPath, by contrast, may clear up: extra tracks can restore
+		// connectivity through a defect-riddled channel.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return 0, nil, err
+		}
 		if hi > 512 {
-			return 0, nil, fmt.Errorf("route: unroutable even at W=%d", hi)
+			return 0, nil, fmt.Errorf("route: %w even at W=%d", ErrUnroutable, hi)
 		}
 		hi *= 2
 	}
 	for lo < bestW {
+		if err := opts.ctxErr(); err != nil {
+			return 0, nil, fmt.Errorf("route: %w", err)
+		}
 		mid := (lo + bestW) / 2
 		trials++
 		r, err := build(mid)

@@ -99,6 +99,14 @@ type Graph struct {
 	chanxID map[chanKey]int
 	chanyID map[chanKey]int
 	edges   int
+
+	// dead marks nodes masked out as defective fabric (fault injection /
+	// known-bad dies); nil when the fabric is pristine. Dead nodes stay in
+	// the graph so node IDs and the bitstream's canonical bit enumeration
+	// are unchanged, but the router must not use them.
+	dead []bool
+	// deadCount caches the number of marked nodes.
+	deadCount int
 }
 
 type chanKey struct{ x, y, track int }
@@ -121,6 +129,84 @@ func (g *Graph) IPins(x, y int) []int { return g.ipins[x][y] }
 
 // NumEdges returns the total directed edge count.
 func (g *Graph) NumEdges() int { return g.edges }
+
+// MarkDead masks node id as defective. The node keeps its ID (bitstream
+// enumeration is unchanged) but the router refuses to expand through it and
+// route validation rejects paths that touch it.
+func (g *Graph) MarkDead(id int) {
+	if id < 0 || id >= len(g.Nodes) {
+		return
+	}
+	if g.dead == nil {
+		g.dead = make([]bool, len(g.Nodes))
+	}
+	if !g.dead[id] {
+		g.dead[id] = true
+		g.deadCount++
+	}
+}
+
+// Dead reports whether node id is masked as defective.
+func (g *Graph) Dead(id int) bool {
+	return g.dead != nil && id >= 0 && id < len(g.dead) && g.dead[id]
+}
+
+// DeadCount returns the number of nodes masked as defective.
+func (g *Graph) DeadCount() int { return g.deadCount }
+
+// RemoveEdge deletes the directed edge from -> to (a defective programmable
+// switch), reporting whether it existed.
+func (g *Graph) RemoveEdge(from, to int) bool {
+	if from < 0 || from >= len(g.Nodes) {
+		return false
+	}
+	edges := g.Nodes[from].Edges
+	for i, e := range edges {
+		if e == to {
+			g.Nodes[from].Edges = append(edges[:i], edges[i+1:]...)
+			g.edges--
+			return true
+		}
+	}
+	return false
+}
+
+// WireID returns the node ID of the channel wire covering tile (x, y) on
+// the given track: a ChanY wire when vertical, ChanX otherwise. The second
+// result is false when no such wire exists (off-fabric coordinates or a
+// track beyond the built channel width).
+func (g *Graph) WireID(vertical bool, x, y, track int) (int, bool) {
+	if vertical {
+		id, ok := g.chanyID[chanKey{x, y, track}]
+		return id, ok
+	}
+	id, ok := g.chanxID[chanKey{x, y, track}]
+	return id, ok
+}
+
+// SwitchPointWires returns the distinct wire nodes incident to the switch
+// point (x, y) on the given track under the disjoint switch pattern:
+// the horizontal wires covering tiles x and x+1 at height y and the
+// vertical wires covering tiles y and y+1 at column x.
+func (g *Graph) SwitchPointWires(x, y, track int) []int {
+	var ids []int
+	add := func(id int, ok bool) {
+		if !ok {
+			return
+		}
+		for _, e := range ids {
+			if e == id {
+				return
+			}
+		}
+		ids = append(ids, id)
+	}
+	add(g.WireID(false, x, y, track))
+	add(g.WireID(false, x+1, y, track))
+	add(g.WireID(true, x, y, track))
+	add(g.WireID(true, x, y+1, track))
+	return ids
+}
 
 // HasEdge reports whether the directed edge from -> to exists. Both IDs
 // must be valid node indices.

@@ -1,0 +1,26 @@
+package vhdl
+
+import (
+	"testing"
+)
+
+// FuzzParse hammers the VHDL front end with arbitrary text. The parser
+// must reject garbage with a *ParseError (or accept it), never panic or
+// spin — it is the first thing untrusted user input reaches in the flow.
+func FuzzParse(f *testing.F) {
+	f.Add("entity e is port (a : in std_logic; y : out std_logic); end e;\n" +
+		"architecture rtl of e is begin y <= not a; end rtl;")
+	f.Add("entity c is generic (w : integer := 4); port (clk : in std_logic;\n" +
+		"q : out std_logic_vector(w-1 downto 0)); end c;")
+	f.Add("-- comment only")
+	f.Add("entity broken is port (a : in std_logic)")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 64<<10 {
+			t.Skip("oversized input")
+		}
+		d, err := Parse(src)
+		if err == nil && d == nil {
+			t.Fatal("Parse returned nil design with nil error")
+		}
+	})
+}
