@@ -21,7 +21,7 @@ staticcheck:
 # benchmark suite with the flow's stage-boundary rules (internal/check).
 check-examples:
 	$(GO) build -o bin/fpgalint ./cmd/fpgalint
-	./bin/fpgalint examples/netlists/fulladder.blif examples/netlists/count2.blif examples/netlists/fulladder.bit
+	./bin/fpgalint examples/netlists/fulladder.blif examples/netlists/count2.blif examples/netlists/rand64.blif examples/netlists/fulladder.bit
 	./bin/fpgalint -suite
 	@./bin/fpgalint examples/netlists/multidriven.blif >/dev/null 2>&1; \
 		if [ $$? -ne 1 ]; then \
@@ -41,9 +41,10 @@ fuzz:
 
 # faultcheck runs the fault-injection and hardened-runner suites under the
 # race detector: defect-aware place/route, corruption handling, stage
-# timeouts/panics, and the retry policy.
+# timeouts/panics, the retry policy, and the cached-RR-graph defect-mask
+# isolation regression.
 faultcheck:
-	$(GO) test -race -count=1 ./internal/fault/ ./internal/core/ -run 'Fault|Defect|Corrupt|Stuck|Stage|Retry|Escalat|Dead|Flip|Truncate|Garble'
+	$(GO) test -race -count=1 ./internal/fault/ ./internal/core/ ./internal/route/ -run 'Fault|Defect|Corrupt|Stuck|Stage|Retry|Escalat|Dead|Flip|Truncate|Garble'
 
 # bench-gate reruns the small suite and fails on tier-1 QoR drift vs the
 # committed baseline (the same gate CI runs).

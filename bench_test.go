@@ -9,6 +9,7 @@ package fpgaflow
 // companion TestReproduce* functions prints the paper-style rows.
 
 import (
+	"fmt"
 	"io"
 	"os"
 	"testing"
@@ -17,6 +18,11 @@ import (
 	"fpgaflow/internal/circuit"
 	"fpgaflow/internal/circuits"
 	"fpgaflow/internal/experiments"
+	"fpgaflow/internal/netlist"
+	"fpgaflow/internal/pack"
+	"fpgaflow/internal/place"
+	"fpgaflow/internal/route"
+	"fpgaflow/internal/rrgraph"
 )
 
 // sink prevents dead-code elimination.
@@ -179,6 +185,94 @@ func BenchmarkGatedClockAblation(b *testing.B) {
 	}
 	b.Run("gated", func(b *testing.B) { run(b, true) })
 	b.Run("ungated", func(b *testing.B) { run(b, false) })
+}
+
+// placedRand64 packs and places the largest committed example
+// (examples/netlists/rand64.blif) for the routing benchmarks.
+func placedRand64(b *testing.B) (*place.Problem, *place.Placement) {
+	b.Helper()
+	src, err := os.ReadFile("examples/netlists/rand64.blif")
+	if err != nil {
+		b.Fatal(err)
+	}
+	nl, err := netlist.ParseBLIF(string(src))
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := arch.Paper()
+	pk, err := pack.Pack(nl, pack.Params{N: a.CLB.N, K: a.CLB.K, I: a.CLB.I})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := place.NewProblem(a, pk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.AutoSize()
+	pl, err := place.Place(p, place.Options{Seed: 1, InnerNum: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p, pl
+}
+
+// BenchmarkRoute measures the parallel PathFinder on the largest committed
+// example at several worker counts. The routing result is identical across
+// the sub-benchmarks (the determinism suite asserts it); only wall time may
+// differ, which is the number this benchmark records — the j1/j8 ratio is
+// the routing speedup the parallel search phase buys on this machine.
+func BenchmarkRoute(b *testing.B) {
+	p, pl := placedRand64(b)
+	g, err := rrgraph.Build(p.Arch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("j%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := route.Route(p, pl, g, route.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !r.Success {
+					b.Fatalf("unroutable: %d overused", r.Overused)
+				}
+				sink = r
+			}
+		})
+	}
+}
+
+// BenchmarkRRGraphBuild measures routing-resource graph construction for
+// the rand64 fabric — the cost the RR-graph cache exists to avoid.
+func BenchmarkRRGraphBuild(b *testing.B) {
+	p, _ := placedRand64(b)
+	for i := 0; i < b.N; i++ {
+		g, err := rrgraph.Build(p.Arch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = g
+	}
+}
+
+// BenchmarkRRGraphCacheGet measures a cache hit (clone of the cached
+// pristine graph), the steady-state cost of every width trial after the
+// first in a min-channel-width search or hardened retry.
+func BenchmarkRRGraphCacheGet(b *testing.B) {
+	p, _ := placedRand64(b)
+	cache := rrgraph.NewCache(0)
+	if _, err := cache.Get(p.Arch, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := cache.Get(p.Arch, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = g
+	}
 }
 
 // TestReproduceAll prints every paper table/figure in one pass; run with

@@ -2,8 +2,9 @@
 // It runs the small benchmark suite through the complete flow with the
 // observability layer enabled, emits a machine-readable report (one obs
 // summary per design), and compares the tier-1 QoR metrics — LUTs, CLBs,
-// minimum channel width, bitstream bits — against a committed baseline,
-// failing (exit 1) on drift beyond the tolerance.
+// minimum channel width, bitstream bits, routed wirelength, routed-net
+// count and PathFinder heap pops (routing-effort proxy) — against a
+// committed baseline, failing (exit 1) on drift beyond the tolerance.
 //
 // Usage:
 //
@@ -29,11 +30,17 @@ import (
 // pulled from the run's obs counters (the same numbers fpgaflow -metrics
 // reports), so the gate exercises the observability layer end to end.
 type DesignReport struct {
-	Name          string  `json:"name"`
-	LUTs          int64   `json:"luts"`
-	CLBs          int64   `json:"clbs"`
-	ChannelWidth  int64   `json:"channel_width"`
-	BitstreamBits int64   `json:"bitstream_bits"`
+	Name          string `json:"name"`
+	LUTs          int64  `json:"luts"`
+	CLBs          int64  `json:"clbs"`
+	ChannelWidth  int64  `json:"channel_width"`
+	BitstreamBits int64  `json:"bitstream_bits"`
+	// Routing QoR and effort: wire segments used, signal nets routed, and
+	// PathFinder heap pops (a deterministic proxy for routing runtime that
+	// is stable in CI where wall time is not).
+	Wirelength    int64   `json:"wirelength"`
+	RoutedNets    int64   `json:"routed_nets"`
+	RouteHeapPops int64   `json:"route_heap_pops"`
 	WallMS        float64 `json:"wall_ms"`
 	// Metrics is the full obs summary for the run (informational; not
 	// compared by the gate).
@@ -111,6 +118,9 @@ func run(seed int64, embedSummaries bool) (*Report, error) {
 			CLBs:          counters["flow.clbs"],
 			ChannelWidth:  counters["flow.channel_width"],
 			BitstreamBits: counters["flow.bitstream_bits"],
+			Wirelength:    counters["route.wirelength"],
+			RoutedNets:    counters["flow.nets"],
+			RouteHeapPops: counters["route.heap_pops"],
 			WallMS:        float64(time.Since(start).Microseconds()) / 1000,
 		}
 		if embedSummaries {
@@ -146,6 +156,15 @@ func compare(base, cur *Report, tol float64) error {
 		check("clbs", b.CLBs, d.CLBs)
 		check("channel_width", b.ChannelWidth, d.ChannelWidth)
 		check("bitstream_bits", b.BitstreamBits, d.BitstreamBits)
+		check("wirelength", b.Wirelength, d.Wirelength)
+		check("routed_nets", b.RoutedNets, d.RoutedNets)
+		// Routing effort gets a looser band than QoR: heap pops are
+		// deterministic per code version, but small heuristic tweaks move
+		// them more than they move wirelength.
+		if drift := relDrift(b.RouteHeapPops, d.RouteHeapPops); drift > 4*tol {
+			failures = append(failures, fmt.Sprintf("%s: route_heap_pops drifted %.1f%% (baseline %d, current %d)",
+				d.Name, drift*100, b.RouteHeapPops, d.RouteHeapPops))
+		}
 	}
 	for name := range baseBy {
 		failures = append(failures, fmt.Sprintf("%s: in baseline but not in current run", name))

@@ -23,6 +23,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "placement seed")
 	effort := flag.Float64("effort", 1, "annealing effort (VPR inner_num)")
 	minW := flag.Bool("min-w", false, "binary search minimum channel width")
+	jobs := flag.Int("j", 0, "routing workers per iteration (0 = GOMAXPROCS, 1 = serial); result is identical for every value")
+	flag.IntVar(jobs, "parallel", 0, "alias for -j")
 	obsFlags := obs.RegisterCLIFlags(flag.CommandLine)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: vpr [-arch file] [-seed S] [-min-w] [file.blif]\nPlaces and routes a mapped netlist.\n")
@@ -63,8 +65,10 @@ func main() {
 	}
 	fmt.Printf("placed %d blocks on %dx%d grid, bb cost %.2f\n", len(p.Blocks), a.Cols, a.Rows, pl.Cost)
 	var r *route.Result
+	ropts := route.Options{Obs: tr, Workers: *jobs}
 	if *minW {
-		w, rr, err := route.MinChannelWidth(p, pl, 1, a.Routing.ChannelWidth, route.Options{Obs: tr})
+		ropts.Cache = rrgraph.NewCache(0)
+		w, rr, err := route.MinChannelWidth(p, pl, 1, a.Routing.ChannelWidth, ropts)
 		if err != nil {
 			fatal(err)
 		}
@@ -75,7 +79,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if r, err = route.Route(p, pl, g, route.Options{Obs: tr}); err != nil {
+		if r, err = route.Route(p, pl, g, ropts); err != nil {
 			fatal(err)
 		}
 		if !r.Success {

@@ -1,0 +1,57 @@
+package fpgaflow
+
+// Worker-count invariance suite: the parallel router's contract is that
+// GOMAXPROCS and the -j worker knob change only wall-clock time, never the
+// result. Each example is compiled under several (GOMAXPROCS, workers)
+// configurations and the serialized route trees and encoded bitstreams must
+// be byte-identical. The CI race job runs this file under -race, so the
+// parallel search phase is also exercised for data races.
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+)
+
+func TestRoutingDeterminismAcrossWorkers(t *testing.T) {
+	configs := []struct {
+		gomaxprocs int
+		workers    int // 0 = GOMAXPROCS (the -j default)
+	}{
+		{1, 0},
+		{4, 0},
+		{8, 0},
+		{4, 1},
+		{4, 8},
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for name, src := range goldenExamples(t) {
+		t.Run(name, func(t *testing.T) {
+			var refTrees, refBits []byte
+			for _, cfg := range configs {
+				runtime.GOMAXPROCS(cfg.gomaxprocs)
+				res, err := Run(src, Options{Seed: 1, SkipVerify: true, RouteWorkers: cfg.workers})
+				if err != nil {
+					t.Fatalf("GOMAXPROCS=%d -j %d: %v", cfg.gomaxprocs, cfg.workers, err)
+				}
+				trees, err := json.Marshal(res.Routed.Routes)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if refTrees == nil {
+					refTrees, refBits = trees, res.Encoded
+					continue
+				}
+				if !bytes.Equal(trees, refTrees) {
+					t.Errorf("GOMAXPROCS=%d -j %d: route trees differ from GOMAXPROCS=1 run",
+						cfg.gomaxprocs, cfg.workers)
+				}
+				if !bytes.Equal(res.Encoded, refBits) {
+					t.Errorf("GOMAXPROCS=%d -j %d: bitstream differs from GOMAXPROCS=1 run",
+						cfg.gomaxprocs, cfg.workers)
+				}
+			}
+		})
+	}
+}

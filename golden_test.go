@@ -1,0 +1,144 @@
+package fpgaflow
+
+// Golden QoR regression suite: every committed example netlist has a
+// testdata/golden/<name>.json recording the quality-of-results the flow
+// must reproduce — minimum channel width, routed wire cost, critical-path
+// delay and routed-net count. The suite pins routing QoR the way the
+// bench gate pins the tier-1 metrics: an algorithm change that moves any
+// value outside its tolerance band fails tier-1 until the goldens are
+// regenerated deliberately with
+//
+//	go test -run TestGoldenQoR -update .
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden QoR files")
+
+// GoldenQoR is the committed quality-of-results record for one design.
+type GoldenQoR struct {
+	// ChannelWidth is the minimum routable W found by the binary search.
+	ChannelWidth int `json:"channel_width"`
+	// Wirelength is the number of wire segments the routing uses at that W.
+	Wirelength int `json:"wirelength"`
+	// CriticalPathNS is the post-route critical path in nanoseconds.
+	CriticalPathNS float64 `json:"critical_path_ns"`
+	// RoutedNets is the number of signal nets carried by the fabric.
+	RoutedNets int `json:"routed_nets"`
+}
+
+// goldenExamples returns the committed example netlists covered by the
+// golden suite: every .blif under examples/netlists except the
+// deliberately-broken lint fixtures.
+func goldenExamples(t testing.TB) map[string]string {
+	t.Helper()
+	paths, err := filepath.Glob("examples/netlists/*.blif")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]string{}
+	for _, p := range paths {
+		name := strings.TrimSuffix(filepath.Base(p), ".blif")
+		if name == "multidriven" {
+			continue // negative fixture: multi-driven net, must not compile
+		}
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = string(b)
+	}
+	if len(out) < 3 {
+		t.Fatalf("only %d example netlists found; expected fulladder, count2, rand64", len(out))
+	}
+	return out
+}
+
+// runQoR compiles one example with the golden-suite options (min channel
+// width search, fixed seed) and extracts its QoR record.
+func runQoR(t testing.TB, src string, workers int) (*Result, GoldenQoR) {
+	t.Helper()
+	res, err := Run(src, Options{Seed: 1, MinChannelWidth: true, SkipVerify: true, RouteWorkers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routed := 0
+	for _, nr := range res.Routed.Routes {
+		if nr != nil && len(nr.Paths) > 0 {
+			routed++
+		}
+	}
+	return res, GoldenQoR{
+		ChannelWidth:   res.Metrics.ChannelWidth,
+		Wirelength:     res.Metrics.WirelengthUsed,
+		CriticalPathNS: res.Metrics.CriticalPath * 1e9,
+		RoutedNets:     routed,
+	}
+}
+
+func TestGoldenQoR(t *testing.T) {
+	for name, src := range goldenExamples(t) {
+		t.Run(name, func(t *testing.T) {
+			_, got := runQoR(t, src, 0)
+			path := filepath.Join("testdata", "golden", name+".json")
+			if *updateGolden {
+				b, err := json.MarshalIndent(got, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("updated %s: %+v", path, got)
+				return
+			}
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (regenerate with -update): %v", err)
+			}
+			var want GoldenQoR
+			if err := json.Unmarshal(b, &want); err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			// Structural counts are exact; wire cost and delay get a small
+			// tolerance band so harmless cost-function tweaks do not churn
+			// the goldens.
+			if got.ChannelWidth != want.ChannelWidth {
+				t.Errorf("channel width = %d, want %d", got.ChannelWidth, want.ChannelWidth)
+			}
+			if got.RoutedNets != want.RoutedNets {
+				t.Errorf("routed nets = %d, want %d", got.RoutedNets, want.RoutedNets)
+			}
+			if drift(float64(got.Wirelength), float64(want.Wirelength)) > 0.05 {
+				t.Errorf("wirelength = %d, want %d (±5%%)", got.Wirelength, want.Wirelength)
+			}
+			if drift(got.CriticalPathNS, want.CriticalPathNS) > 0.05 {
+				t.Errorf("critical path = %.3f ns, want %.3f ns (±5%%)", got.CriticalPathNS, want.CriticalPathNS)
+			}
+			if t.Failed() {
+				t.Logf("after an intentional QoR change: go test -run TestGoldenQoR -update .")
+			}
+		})
+	}
+}
+
+// drift is the relative difference of got vs want (0 when both zero).
+func drift(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}

@@ -78,6 +78,17 @@ type Options struct {
 	// PlaceSeeds runs that many independent annealing seeds in parallel and
 	// keeps the cheapest placement (0/1 = single seed).
 	PlaceSeeds int
+	// RouteWorkers is the number of concurrent net-routing workers inside
+	// each PathFinder iteration (the CLI -j knob): 0 uses GOMAXPROCS, 1
+	// routes serially. The routing result is identical for every value —
+	// see route.Options.Workers.
+	RouteWorkers int
+	// RRCache, when set, memoizes routing-resource graphs across channel
+	// width trials and flow attempts (keyed by the full architecture
+	// fingerprint; defect masks are re-applied to a private clone per
+	// trial). The hardened runner installs a shared cache automatically, so
+	// this only needs setting to share a cache across independent runs.
+	RRCache *rrgraph.Cache
 	// FixedPads pins primary input pads ("a") and output pads ("out:a") to
 	// grid locations, keeping the pinout stable across compilations.
 	FixedPads map[string]place.Location
@@ -462,7 +473,8 @@ func (res *Result) continueFromBLIF(ctx context.Context, blifText string, opts O
 
 	// Stage 9: VPR routing.
 	err = res.stage(ctx, &opts, "VPR route", func(sctx context.Context) error {
-		ropts := route.Options{MaxIters: opts.RouteMaxIters, DelayDriven: opts.TimingDrivenRoute, Obs: res.tr, Ctx: sctx}
+		ropts := route.Options{MaxIters: opts.RouteMaxIters, DelayDriven: opts.TimingDrivenRoute, Obs: res.tr, Ctx: sctx,
+			Workers: opts.RouteWorkers, Cache: opts.RRCache}
 		if opts.Defects != nil {
 			// Re-applied at every channel-width trial: defects are keyed by
 			// structural coordinates, so they survive RR-graph rebuilds and
@@ -481,7 +493,7 @@ func (res *Result) continueFromBLIF(ctx context.Context, blifText string, opts O
 			a.Routing.ChannelWidth = w
 			res.Routed = r
 		} else {
-			g, err := rrgraph.Build(a)
+			g, err := opts.RRCache.Get(a, res.tr)
 			if err != nil {
 				return err
 			}
@@ -504,6 +516,7 @@ func (res *Result) continueFromBLIF(ctx context.Context, blifText string, opts O
 		res.Metrics.WirelengthUsed = res.Routed.WirelengthUsed()
 		res.tr.Add("flow.channel_width", int64(res.Routed.Graph.W))
 		res.tr.Add("route.wirelength", int64(res.Metrics.WirelengthUsed))
+		res.tr.Add("flow.nets", int64(len(res.Routed.Routes)))
 		res.Stages[len(res.Stages)-1].Detail = fmt.Sprintf("W=%d, %d wire segments",
 			res.Routed.Graph.W, res.Routed.WirelengthUsed())
 		return res.runChecks(&opts, check.StageRoute, &check.Artifacts{

@@ -8,6 +8,7 @@ import (
 
 	"fpgaflow/internal/place"
 	"fpgaflow/internal/route"
+	"fpgaflow/internal/rrgraph"
 )
 
 // StageError is the structured failure of one flow stage: which tool
@@ -124,6 +125,12 @@ const reseedStep = 104729
 // consumers can rely on them.
 func runRetry(ctx context.Context, opts Options, attempt func(context.Context, Options) (*Result, error)) (*Result, error) {
 	opts.fill()
+	if opts.RRCache == nil {
+		// One cache per hardened run: re-seeded retries and channel-width
+		// escalation revisit the same (arch, W) graphs, and each trial gets a
+		// private clone so per-attempt defect masks never cross-contaminate.
+		opts.RRCache = rrgraph.NewCache(0)
+	}
 	tr := opts.trace()
 	tr.Counter("flow.attempts")
 	tr.Counter("flow.retries")

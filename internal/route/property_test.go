@@ -1,0 +1,218 @@
+package route_test
+
+// Property-based routing tests (external test package: the check engine
+// imports route, so these live outside the package to avoid the cycle).
+// Seeded-random netlists are packed, placed and routed, then the result is
+// audited with the flow's own stage-boundary rules: the RR-graph audit
+// (route/rr-*), per-net connectivity (route/connectivity) and the
+// defect-aware route/dead-resource rule. Every random stream is explicitly
+// seeded (rand.New(rand.NewSource(seed))), as the seededrand analyzer
+// requires.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fpgaflow/internal/arch"
+	"fpgaflow/internal/check"
+	"fpgaflow/internal/fault"
+	"fpgaflow/internal/netlist"
+	"fpgaflow/internal/pack"
+	"fpgaflow/internal/place"
+	"fpgaflow/internal/route"
+	"fpgaflow/internal/rrgraph"
+)
+
+// randomBLIF builds a layered random combinational netlist: nIn primary
+// inputs, layers×perLayer two-input gates with random non-constant truth
+// tables, and collector outputs covering the last layer. Deterministic in
+// seed.
+func randomBLIF(seed int64, nIn, layers, perLayer, nOut int) string {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	fmt.Fprintf(&b, ".model rnd%d\n.inputs", seed)
+	pool := make([]string, 0, nIn+layers*perLayer)
+	for i := 0; i < nIn; i++ {
+		s := fmt.Sprintf("i%d", i)
+		pool = append(pool, s)
+		b.WriteString(" " + s)
+	}
+	b.WriteString("\n.outputs")
+	for i := 0; i < nOut; i++ {
+		fmt.Fprintf(&b, " o%d", i)
+	}
+	b.WriteString("\n")
+	gate := func(a, c, out string) {
+		mask := 1 + rng.Intn(14) // non-constant 2-input truth table
+		fmt.Fprintf(&b, ".names %s %s %s\n", a, c, out)
+		for m := 0; m < 4; m++ {
+			if mask&(1<<m) != 0 {
+				fmt.Fprintf(&b, "%d%d 1\n", m>>1&1, m&1)
+			}
+		}
+	}
+	prev := pool
+	for l := 0; l < layers; l++ {
+		var cur []string
+		for g := 0; g < perLayer; g++ {
+			name := fmt.Sprintf("n%d_%d", l, g)
+			a := prev[g%len(prev)] // cover the previous layer: no dead gates
+			c := pool[rng.Intn(len(pool))]
+			for c == a {
+				c = pool[rng.Intn(len(pool))]
+			}
+			gate(a, c, name)
+			cur = append(cur, name)
+		}
+		pool = append(pool, cur...)
+		prev = cur
+	}
+	for i := 0; i < nOut; i++ {
+		a := prev[(2*i)%len(prev)]
+		c := prev[(2*i+1)%len(prev)]
+		gate(a, c, fmt.Sprintf("o%d", i))
+	}
+	b.WriteString(".end\n")
+	return b.String()
+}
+
+// placeRandom packs and places a random netlist on the paper architecture.
+func placeRandom(t *testing.T, seed int64) (*place.Problem, *place.Placement) {
+	t.Helper()
+	src := randomBLIF(seed, 6, 3, 6, 3)
+	nl, err := netlist.ParseBLIF(src)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	a := arch.Paper()
+	pk, err := pack.Pack(nl, pack.Params{N: a.CLB.N, K: a.CLB.K, I: a.CLB.I})
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	p, err := place.NewProblem(a, pk)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	p.AutoSize()
+	pl, err := place.Place(p, place.Options{Seed: seed, InnerNum: 1})
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	return p, pl
+}
+
+// TestPropertyRandomNetlistsRouteClean routes a family of seeded-random
+// netlists in parallel mode and audits every result with the route-stage
+// check rules; it also asserts the worker-count invariance property on each
+// instance (serial and parallel route trees must be identical).
+func TestPropertyRandomNetlistsRouteClean(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			p, pl := placeRandom(t, seed)
+			g, err := rrgraph.Build(p.Arch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := route.Route(p, pl, g, route.Options{Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r.Success {
+				t.Fatalf("unroutable: %d iterations, %d overused", r.Iterations, r.Overused)
+			}
+			rep := check.RunStage(check.StageRoute, &check.Artifacts{
+				Graph: g, Routing: r, Problem: p, Placement: pl,
+			})
+			if rep.RulesRun == 0 {
+				t.Fatal("no route-stage rules ran")
+			}
+			for _, d := range rep.Diags {
+				if d.Severity == check.Error {
+					t.Errorf("check %s: %s", d.Rule, d.Message)
+				}
+			}
+			// Worker-count invariance on this instance.
+			g2, err := rrgraph.Build(p.Arch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r1, err := route.Route(p, pl, g2, route.Options{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			j1, _ := json.Marshal(r1.Routes)
+			jN, _ := json.Marshal(r.Routes)
+			if string(j1) != string(jN) {
+				t.Error("route trees differ between -j 1 and -j 4")
+			}
+		})
+	}
+}
+
+// TestDefectMaskReappliedAtEscalatedWidthFromCache is the regression test
+// for Options.Mask + Options.Cache: every channel-width trial of the binary
+// search must receive a private clone with the defect map re-applied, and
+// the mask of one trial (or one whole search) must never leak into graphs
+// the cache serves later.
+func TestDefectMaskReappliedAtEscalatedWidthFromCache(t *testing.T) {
+	p, pl := placeRandom(t, 3)
+	dm, err := fault.Generate(p.Arch, 7, fault.Rates{DeadWire: 0.08, DeadSwitch: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm.Count() == 0 {
+		t.Fatal("defect map empty; raise rates")
+	}
+	cache := rrgraph.NewCache(0)
+	maskApplied := 0
+	masked := route.Options{Cache: cache, Mask: func(g *rrgraph.Graph) {
+		st := dm.Apply(g)
+		if st.DeadWires == 0 {
+			t.Error("trial graph had no wire to mask")
+		}
+		maskApplied++
+	}}
+	w1, r1, err := route.MinChannelWidth(p, pl, 1, p.Arch.Routing.ChannelWidth, masked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maskApplied < 2 {
+		t.Fatalf("mask applied %d times; the binary search must re-mask every trial", maskApplied)
+	}
+	if r1.Graph.DeadCount() == 0 {
+		t.Fatal("final trial graph lost its defect mask")
+	}
+	// The routing must not use a defective resource (the flow's
+	// route/dead-resource rule, here on a defect-carrying artifact set).
+	rep := check.RunStage(check.StageRoute, &check.Artifacts{
+		Graph: r1.Graph, Routing: r1, Problem: p, Placement: pl, Defects: dm,
+	})
+	for _, d := range rep.Diags {
+		if d.Severity == check.Error {
+			t.Errorf("masked search: check %s: %s", d.Rule, d.Message)
+		}
+	}
+
+	// A second search from the SAME cache without a mask must see pristine
+	// graphs at every width — including the widths the masked search
+	// already populated (cache hits).
+	pristine := route.Options{Cache: cache}
+	w2, r2, err := route.MinChannelWidth(p, pl, 1, p.Arch.Routing.ChannelWidth, pristine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Graph.DeadCount() != 0 {
+		t.Fatalf("defect mask leaked through the cache: %d dead nodes in unmasked trial", r2.Graph.DeadCount())
+	}
+	hits, misses := cache.Stats()
+	if hits == 0 {
+		t.Fatalf("second search never hit the cache (hits=%d misses=%d)", hits, misses)
+	}
+	// Masking wires can only cost channel width, never gain it.
+	if w1 < w2 {
+		t.Errorf("masked min width %d < pristine min width %d", w1, w2)
+	}
+}

@@ -1,6 +1,14 @@
 // Package route implements the routing half of the paper's VPR stage: the
 // PathFinder negotiated-congestion algorithm over the routing-resource
 // graph, plus a binary search for the minimum feasible channel width.
+//
+// Nets are routed in fixed-size batches: every net in a batch searches
+// against a read-only snapshot of the congestion state, concurrently
+// across Options.Workers goroutines, and the finished route trees are
+// committed in net order. Because the batch boundaries and the per-net
+// searches are independent of the worker count, the routing — and with it
+// the bitstream — is bit-identical at every -j setting (see
+// docs/PERFORMANCE.md for the determinism argument).
 package route
 
 import (
@@ -8,6 +16,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"fpgaflow/internal/obs"
 	"fpgaflow/internal/place"
@@ -35,6 +45,15 @@ type Options struct {
 	// (MinChannelWidth builds one per width trial). Fault injection uses it
 	// to carry a defect map across channel-width escalation; nil is a no-op.
 	Mask func(*rrgraph.Graph)
+	// Workers is the number of concurrent net-routing workers per batch
+	// (the CLI -j knob): 0 uses GOMAXPROCS, 1 routes serially. The routing
+	// result is identical for every value; Workers trades only wall time.
+	Workers int
+	// Cache, when set, supplies routing-resource graphs to MinChannelWidth
+	// width trials instead of rebuilding them. Every trial receives a
+	// private clone of the cached pristine graph, and Mask is re-applied to
+	// that clone, so defect masks never leak between trials or runs.
+	Cache *rrgraph.Cache
 	// Obs receives PathFinder counters (route.iterations, route.nets_routed,
 	// route.overuse_sum, route.heap_pops); nil disables reporting.
 	Obs *obs.Trace
@@ -146,40 +165,179 @@ func Route(p *place.Problem, pl *place.Placement, g *rrgraph.Graph, opts Options
 			}
 		}
 	}
-	nodeCost := func(id int) float64 {
-		n := g.Nodes[id]
-		over := usage[id] + 1 - n.Capacity
-		pres := 1.0
-		if over > 0 {
-			pres += presFac * float64(over)
+	// costFor is the node-cost function net ni searches with. usage and
+	// history are frozen while a batch is in flight, so concurrent reads
+	// are safe; own excludes the net's own previous route so a net is not
+	// repelled by the congestion it itself caused last iteration.
+	//
+	// The tieBreak term is essential to convergence: nets in one batch see
+	// identical congestion, so two nets contending for the same resource
+	// would otherwise compute identical cost landscapes and herd together
+	// from alternative to alternative forever. A tiny per-(net, node)
+	// deterministic perturbation (< 1e-4, orders of magnitude below any
+	// real cost difference) makes tied nets prefer different alternatives,
+	// which is exactly the symmetry breaking the serial one-net-at-a-time
+	// order used to provide.
+	costFor := func(own map[int]bool, ni int) func(int) float64 {
+		seed := uint32(ni+1) * 2654435761
+		return func(id int) float64 {
+			n := g.Nodes[id]
+			u := usage[id]
+			if own[id] {
+				u--
+			}
+			over := u + 1 - n.Capacity
+			pres := 1.0
+			if over > 0 {
+				pres += presFac * float64(over)
+			}
+			base := 1.0
+			if n.Type == rrgraph.Sink {
+				base = 0.1
+			} else if opts.DelayDriven && delayNorm > 0 {
+				base = 0.3 + 2*(n.R*n.C)/delayNorm
+			}
+			return (base+history[id])*pres + tieBreak(seed, id)
 		}
-		base := 1.0
-		if n.Type == rrgraph.Sink {
-			base = 0.1
-		} else if opts.DelayDriven && delayNorm > 0 {
-			base = 0.3 + 2*(n.R*n.C)/delayNorm
-		}
-		return (base + history[id]) * pres
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > netBatchSize {
+		workers = netBatchSize
+	}
+	if n := len(conns); workers > n && n > 0 {
+		workers = n
 	}
 
 	res := &Result{Graph: g, Routes: routes}
-	scratch := newScratch(nNodes)
-	var netsRouted, overuseSum int64
+	scratches := make([]*scratch, workers)
+	for i := range scratches {
+		scratches[i] = newScratch(nNodes)
+	}
+	var netsRouted, netsParallel, overuseSum int64
 	defer func() {
+		var pops int64
+		for _, sc := range scratches {
+			pops += sc.pops
+		}
+		opts.Obs.SetGauge("route.workers", float64(workers))
 		opts.Obs.Add("route.iterations", int64(res.Iterations))
 		opts.Obs.Add("route.nets_routed", netsRouted)
+		opts.Obs.Add("route.nets_parallel", netsParallel)
 		opts.Obs.Add("route.overuse_sum", overuseSum)
-		opts.Obs.Add("route.heap_pops", scratch.pops)
+		opts.Obs.Add("route.heap_pops", pops)
 		opts.Obs.Gauge("route.overused_final").Set(float64(res.Overused))
 	}()
+	// touchesOveruse reports whether a net's committed route runs through a
+	// node that is currently above capacity (nil = not yet routed).
+	touchesOveruse := func(nr *NetRoute) bool {
+		if nr == nil {
+			return true
+		}
+		for _, path := range nr.Paths {
+			for _, n := range path {
+				if usage[n] > g.Nodes[n].Capacity {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	batchRoutes := make([]*NetRoute, netBatchSize)
+	batchErrs := make([]error, netBatchSize)
+	dirty := make([]int, 0, len(conns))
 	for iter := 1; iter <= opts.MaxIters; iter++ {
 		if err := opts.ctxErr(); err != nil {
 			return nil, fmt.Errorf("route: %w", err)
 		}
 		res.Iterations = iter
+
+		// Phase 1 — parallel search. Only dirty nets (unrouted, or routed
+		// through congestion) are rerouted; clean nets keep their trees.
+		// Each batch searches against the congestion state frozen at batch
+		// entry, then commits in net order.
+		dirty = dirty[:0]
 		for ni := range conns {
+			if touchesOveruse(routes[ni]) {
+				dirty = append(dirty, ni)
+			}
+		}
+		for lo := 0; lo < len(dirty); lo += netBatchSize {
+			hi := lo + netBatchSize
+			if hi > len(dirty) {
+				hi = len(dirty)
+			}
+			if err := opts.ctxErr(); err != nil {
+				return nil, fmt.Errorf("route: %w", err)
+			}
+			// Worker k takes the batch indices congruent to k mod w; the
+			// assignment affects only which goroutine does the work, never
+			// the result.
+			w := workers
+			if w > hi-lo {
+				w = hi - lo
+			}
+			if w <= 1 {
+				sc := scratches[0]
+				for bi := lo; bi < hi; bi++ {
+					ni := dirty[bi]
+					batchRoutes[bi-lo], batchErrs[bi-lo] = routeNet(
+						g, conns[ni].source, conns[ni].sinks, costFor(ownNodes(routes[ni]), ni), sc)
+				}
+			} else {
+				var wg sync.WaitGroup
+				for k := 0; k < w; k++ {
+					wg.Add(1)
+					go func(k int) {
+						defer wg.Done()
+						sc := scratches[k]
+						for bi := lo + k; bi < hi; bi += w {
+							ni := dirty[bi]
+							batchRoutes[bi-lo], batchErrs[bi-lo] = routeNet(
+								g, conns[ni].source, conns[ni].sinks, costFor(ownNodes(routes[ni]), ni), sc)
+						}
+					}(k)
+				}
+				wg.Wait()
+				netsParallel += int64(hi - lo)
+			}
+			// Commit in net order: the lowest-indexed failure is the one
+			// reported, independent of scheduling.
+			for bi := lo; bi < hi; bi++ {
+				if err := batchErrs[bi-lo]; err != nil {
+					return nil, fmt.Errorf("route: net %s: %w", p.Nets[dirty[bi]].Signal, err)
+				}
+			}
+			for bi := lo; bi < hi; bi++ {
+				ni := dirty[bi]
+				occupy(routes[ni], -1)
+				routes[ni] = batchRoutes[bi-lo]
+				occupy(routes[ni], +1)
+				netsRouted++
+			}
+		}
+
+		// Phase 2 — serial conflict repair. Nets that still share an
+		// overused resource after the parallel commits are rerouted one at
+		// a time against live usage, in net order. This is the classic
+		// PathFinder step restricted to the conflict set: it is what
+		// actually breaks symmetric contention (two nets herding between
+		// the same two alternatives see each other's choice here), so the
+		// parallel phase cannot live-lock the iteration. The repair order
+		// is fixed, so the result stays worker-count independent.
+		for ni := range conns {
+			if err := opts.ctxErr(); err != nil {
+				return nil, fmt.Errorf("route: %w", err)
+			}
+			if !touchesOveruse(routes[ni]) {
+				continue
+			}
 			occupy(routes[ni], -1)
-			nr, err := routeNet(g, conns[ni].source, conns[ni].sinks, nodeCost, scratch)
+			nr, err := routeNet(g, conns[ni].source, conns[ni].sinks, costFor(nil, ni), scratches[0])
 			if err != nil {
 				return nil, fmt.Errorf("route: net %s: %w", p.Nets[ni].Signal, err)
 			}
@@ -187,6 +345,7 @@ func Route(p *place.Problem, pl *place.Placement, g *rrgraph.Graph, opts Options
 			netsRouted++
 			occupy(nr, +1)
 		}
+
 		over := 0
 		for id, n := range g.Nodes {
 			if usage[id] > n.Capacity {
@@ -203,6 +362,34 @@ func Route(p *place.Problem, pl *place.Placement, g *rrgraph.Graph, opts Options
 		presFac *= opts.PresFacMult
 	}
 	return res, nil
+}
+
+// netBatchSize is the number of nets that share one congestion snapshot.
+// It is a fixed constant — never derived from Workers or GOMAXPROCS — so
+// batch boundaries, and therefore the routing, are identical at every
+// parallelism level. Smaller batches track congestion more closely
+// (approaching the classic one-net-at-a-time PathFinder as the size goes
+// to 1); larger batches expose more parallelism per synchronization.
+const netBatchSize = 32
+
+// tieBreak is the deterministic per-(net, node) cost perturbation in
+// [0, 1e-4): a xorshift-style mix of the net's seed and the node ID. It is
+// a pure function, so the routing stays identical across worker counts.
+func tieBreak(seed uint32, id int) float64 {
+	h := seed ^ uint32(id)*0x9E3779B9
+	h ^= h >> 16
+	h *= 0x45d9f3b
+	h ^= h >> 16
+	return float64(h&0xffff) * (1e-4 / 65536)
+}
+
+// ownNodes returns the node set of a net's previous route (nil for a net
+// not yet routed), used to subtract the net's own usage during search.
+func ownNodes(nr *NetRoute) map[int]bool {
+	if nr == nil {
+		return nil
+	}
+	return nr.Nodes()
 }
 
 // scratch holds per-router search state, generation-stamped so clearing
@@ -412,7 +599,9 @@ func MinChannelWidth(p *place.Problem, pl *place.Placement, lo, hi int, opts Opt
 	build := func(w int) (*Result, error) {
 		a := p.Arch.Clone()
 		a.Routing.ChannelWidth = w
-		g, err := rrgraph.Build(a)
+		// A nil cache falls back to a plain Build; a real cache serves a
+		// private clone, so the Mask below never contaminates other trials.
+		g, err := opts.Cache.Get(a, opts.Obs)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,156 @@
+package rrgraph
+
+import (
+	"sync"
+
+	"fpgaflow/internal/arch"
+	"fpgaflow/internal/obs"
+)
+
+// Clone returns a graph that can be mutated freely — masked dead
+// (MarkDead) or stripped of defective switch edges (RemoveEdge) — without
+// touching the receiver. Node structs and their edge lists are copied;
+// the immutable site lookup tables (kind, source/sink/pin indices, wire
+// coordinate maps) are shared with the receiver, since nothing mutates
+// them after Build. Defect masks are NOT carried over: a clone always
+// starts with a pristine fabric.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		Arch:    g.Arch,
+		W:       g.W,
+		kind:    g.kind,
+		source:  g.source,
+		sink:    g.sink,
+		opins:   g.opins,
+		ipins:   g.ipins,
+		chanxID: g.chanxID,
+		chanyID: g.chanyID,
+		edges:   g.edges,
+	}
+	c.Nodes = make([]*Node, len(g.Nodes))
+	for i, n := range g.Nodes {
+		cp := *n
+		cp.Edges = append([]int(nil), n.Edges...)
+		c.Nodes[i] = &cp
+	}
+	return c
+}
+
+// Cache memoizes built routing-resource graphs keyed by the complete
+// architecture fingerprint (arch.Format covers the grid, CLB geometry,
+// routing parameters including channel width, and the technology constants
+// that set node R/C values). The min-channel-width binary search and the
+// hardened runner's retry/escalation path request the same (arch, W)
+// graphs over and over; Build is by far the most expensive part of a
+// routing trial, so reuse converts repeated trials into O(clone) work.
+//
+// Get always returns a Clone of the cached pristine graph: callers apply
+// per-trial defect masks (fault.DefectMap.Apply) to their copy, and the
+// cached original never sees a MarkDead or RemoveEdge. All methods are
+// safe for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*cacheEntry
+	tick    uint64
+	hits    int64
+	misses  int64
+}
+
+type cacheEntry struct {
+	g    *Graph
+	used uint64 // LRU stamp
+}
+
+// DefaultCacheSize bounds a NewCache(0) cache. A graph for a mid-size
+// fabric is a few MB; a handful covers a min-W binary search plus the
+// escalation widths the hardened runner revisits.
+const DefaultCacheSize = 16
+
+// NewCache creates a graph cache holding at most max graphs (0 or
+// negative selects DefaultCacheSize). When full, the least recently used
+// entry is evicted.
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		max = DefaultCacheSize
+	}
+	return &Cache{max: max, entries: make(map[string]*cacheEntry)}
+}
+
+// Get returns a mutable clone of the graph for the architecture, building
+// and caching the pristine original on first use. The hit/miss is counted
+// on tr as rrgraph.cache_hits / rrgraph.cache_misses (tr may be nil).
+// Safe on a nil cache: falls back to a plain Build (counted as a miss).
+func (c *Cache) Get(a *arch.Arch, tr *obs.Trace) (*Graph, error) {
+	if c == nil {
+		return Build(a)
+	}
+	key := arch.Format(a)
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.tick++
+		e.used = c.tick
+		c.hits++
+		g := e.g
+		c.mu.Unlock()
+		tr.Add("rrgraph.cache_hits", 1)
+		return g.Clone(), nil
+	}
+	c.mu.Unlock()
+
+	// Build outside the lock: graph construction is the expensive part and
+	// concurrent callers may want different architectures.
+	g, err := Build(a)
+	if err != nil {
+		tr.Add("rrgraph.cache_misses", 1)
+		return nil, err
+	}
+	c.mu.Lock()
+	c.misses++
+	if _, ok := c.entries[key]; !ok {
+		c.evictLocked()
+		c.tick++
+		c.entries[key] = &cacheEntry{g: g, used: c.tick}
+	}
+	c.mu.Unlock()
+	tr.Add("rrgraph.cache_misses", 1)
+	return g.Clone(), nil
+}
+
+// evictLocked removes the least recently used entry once the cache is at
+// capacity. Caller holds c.mu.
+func (c *Cache) evictLocked() {
+	if len(c.entries) < c.max {
+		return
+	}
+	var oldestKey string
+	var oldest uint64
+	first := true
+	for k, e := range c.entries {
+		if first || e.used < oldest {
+			oldestKey, oldest = k, e.used
+			first = false
+		}
+	}
+	delete(c.entries, oldestKey)
+}
+
+// Stats returns lifetime hit and miss counts.
+func (c *Cache) Stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached graphs.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
