@@ -61,7 +61,12 @@ func main() {
 	tol := flag.Float64("tol", 0.05, "allowed relative drift per tier-1 metric")
 	seed := flag.Int64("seed", 1, "flow seed (must match the baseline's)")
 	full := flag.Bool("summaries", false, "embed full obs summaries in the emitted report")
+	showVersion := obs.VersionFlag(flag.CommandLine)
 	flag.Parse()
+	if *showVersion {
+		obs.PrintVersion(os.Stdout, "benchgate")
+		return
+	}
 
 	rep, err := run(*seed, *full)
 	if err != nil {

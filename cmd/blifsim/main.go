@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"fpgaflow/internal/netlist"
+	"fpgaflow/internal/obs"
 	"fpgaflow/internal/sim"
 )
 
@@ -22,7 +23,12 @@ Each input line holds one 0/1 character per primary input (declaration
 order). Outputs are printed in .outputs order, one line per vector.
 `)
 	}
+	showVersion := obs.VersionFlag(flag.CommandLine)
 	flag.Parse()
+	if *showVersion {
+		obs.PrintVersion(os.Stdout, "blifsim")
+		return
+	}
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)

@@ -13,6 +13,7 @@ import (
 	"fpgaflow/internal/bitstream"
 	"fpgaflow/internal/core"
 	"fpgaflow/internal/netlist"
+	"fpgaflow/internal/obs"
 )
 
 func main() {
@@ -24,7 +25,12 @@ func main() {
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dagger [-o out.bit] [file.blif]\n       dagger -extract design.bit\n       dagger -diff a.bit -against b.bit\n")
 	}
+	showVersion := obs.VersionFlag(flag.CommandLine)
 	flag.Parse()
+	if *showVersion {
+		obs.PrintVersion(os.Stdout, "dagger")
+		return
+	}
 	if *diffA != "" || *diffB != "" {
 		if *diffA == "" || *diffB == "" {
 			fatal(fmt.Errorf("-diff and -against must be used together"))

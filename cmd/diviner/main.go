@@ -9,6 +9,7 @@ import (
 	"os"
 
 	"fpgaflow/internal/edif"
+	"fpgaflow/internal/obs"
 	"fpgaflow/internal/vhdl"
 )
 
@@ -17,7 +18,12 @@ func main() {
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: diviner [-top entity] [file.vhd]\nSynthesizes VHDL to an EDIF netlist on stdout.\n")
 	}
+	showVersion := obs.VersionFlag(flag.CommandLine)
 	flag.Parse()
+	if *showVersion {
+		obs.PrintVersion(os.Stdout, "diviner")
+		return
+	}
 	src, err := readInput(flag.Arg(0))
 	if err != nil {
 		fatal(err)

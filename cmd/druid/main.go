@@ -9,13 +9,19 @@ import (
 	"os"
 
 	"fpgaflow/internal/edif"
+	"fpgaflow/internal/obs"
 )
 
 func main() {
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: druid [file.edf]\nNormalizes EDIF on stdout.\n")
 	}
+	showVersion := obs.VersionFlag(flag.CommandLine)
 	flag.Parse()
+	if *showVersion {
+		obs.PrintVersion(os.Stdout, "druid")
+		return
+	}
 	src, err := readInput(flag.Arg(0))
 	if err != nil {
 		fatal(err)

@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"fpgaflow/internal/arch"
+	"fpgaflow/internal/obs"
 )
 
 func main() {
@@ -22,7 +23,12 @@ func main() {
 	detff := flag.Bool("detff", true, "double edge-triggered flip-flops")
 	switchW := flag.Float64("switch-width", 10, "routing switch width (x minimum)")
 	check := flag.String("check", "", "parse and validate an existing architecture file instead")
+	showVersion := obs.VersionFlag(flag.CommandLine)
 	flag.Parse()
+	if *showVersion {
+		obs.PrintVersion(os.Stdout, "dutys")
+		return
+	}
 	if *check != "" {
 		b, err := os.ReadFile(*check)
 		if err != nil {

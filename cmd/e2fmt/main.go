@@ -9,6 +9,7 @@ import (
 	"os"
 
 	"fpgaflow/internal/edif"
+	"fpgaflow/internal/obs"
 )
 
 func main() {
@@ -16,7 +17,12 @@ func main() {
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: e2fmt [-reverse] [file]\nTranslates EDIF to BLIF on stdout.\n")
 	}
+	showVersion := obs.VersionFlag(flag.CommandLine)
 	flag.Parse()
+	if *showVersion {
+		obs.PrintVersion(os.Stdout, "e2fmt")
+		return
+	}
 	src, err := readInput(flag.Arg(0))
 	if err != nil {
 		fatal(err)

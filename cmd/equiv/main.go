@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"fpgaflow/internal/netlist"
+	"fpgaflow/internal/obs"
 	"fpgaflow/internal/sim"
 )
 
@@ -23,7 +24,12 @@ Exit codes: 0 equivalent, 1 not equivalent or load failure,
 3 port lists differ (the designs are not even comparable).
 `)
 	}
+	showVersion := obs.VersionFlag(flag.CommandLine)
 	flag.Parse()
+	if *showVersion {
+		obs.PrintVersion(os.Stdout, "equiv")
+		return
+	}
 	if flag.NArg() != 2 {
 		flag.Usage()
 		os.Exit(2)

@@ -17,7 +17,12 @@ func main() {
 	small := flag.Bool("small", false, "use the small benchmark suite for flow sweeps")
 	seed := flag.Int64("seed", 1, "seed")
 	obsFlags := obs.RegisterCLIFlags(flag.CommandLine)
+	showVersion := obs.VersionFlag(flag.CommandLine)
 	flag.Parse()
+	if *showVersion {
+		obs.PrintVersion(os.Stdout, "experiments")
+		return
+	}
 	_, finishObs := obsFlags.Start("experiments")
 	w := os.Stdout
 	suite := circuits.Suite()

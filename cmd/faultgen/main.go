@@ -20,6 +20,7 @@ import (
 
 	"fpgaflow/internal/arch"
 	"fpgaflow/internal/fault"
+	"fpgaflow/internal/obs"
 )
 
 func main() {
@@ -42,7 +43,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "usage: faultgen [options]\nGenerates a defect map (JSON) for the flow, or corrupts an artifact with -corrupt.\n")
 		flag.PrintDefaults()
 	}
+	showVersion := obs.VersionFlag(flag.CommandLine)
 	flag.Parse()
+	if *showVersion {
+		obs.PrintVersion(os.Stdout, "faultgen")
+		return
+	}
 
 	if *corrupt != "" {
 		if err := runCorrupt(*corrupt, *out, *flips, *garble, *truncate, *seed); err != nil {

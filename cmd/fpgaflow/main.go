@@ -32,11 +32,16 @@ func main() {
 	flag.IntVar(jobs, "parallel", 0, "alias for -j")
 	stageTimeout := flag.Duration("stage-timeout", 0, "per-stage wall-time budget (0 = unbounded)")
 	obsFlags := obs.RegisterCLIFlags(flag.CommandLine)
+	showVersion := obs.VersionFlag(flag.CommandLine)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: fpgaflow [options] design.vhd|design.blif\nRuns VHDL->bitstream with all paper tools; prints the stage report.\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *showVersion {
+		obs.PrintVersion(os.Stdout, "fpgaflow")
+		return
+	}
 	src, err := readInput(flag.Arg(0))
 	if err != nil {
 		fatal(err)
@@ -47,6 +52,7 @@ func main() {
 		SkipVerify: *noVerify, ClockHz: *clock * 1e6,
 		TimingDrivenPlace: *timing, TimingDrivenRoute: *timing,
 		PlaceSeeds: *seeds, RouteWorkers: *jobs, Obs: tr,
+		Events: obsFlags.Bus,
 	}
 	if *greedy {
 		opts.Mapper = core.MapGreedy

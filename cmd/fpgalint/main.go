@@ -50,7 +50,12 @@ See docs/CHECKS.md for the rule catalogue.
 `)
 		flag.PrintDefaults()
 	}
+	showVersion := obs.VersionFlag(flag.CommandLine)
 	flag.Parse()
+	if *showVersion {
+		obs.PrintVersion(os.Stdout, "fpgalint")
+		return 0
+	}
 
 	if *listRules {
 		printRules()

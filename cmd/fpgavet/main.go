@@ -26,6 +26,7 @@ import (
 	"os"
 	"strings"
 
+	"fpgaflow/internal/obs"
 	"fpgaflow/tools/analyzers"
 )
 
@@ -58,6 +59,9 @@ func main() {
 		case os.Args[1] == "-flags":
 			// No tool-specific flags; cmd/go still queries for them.
 			fmt.Println("[]")
+			return
+		case os.Args[1] == "-version":
+			obs.PrintVersion(os.Stdout, "fpgavet")
 			return
 		case strings.HasSuffix(os.Args[1], ".cfg"):
 			os.Exit(checkPackage(os.Args[1]))

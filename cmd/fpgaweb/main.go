@@ -12,15 +12,22 @@ import (
 	"time"
 
 	"fpgaflow/internal/gui"
+	"fpgaflow/internal/obs"
 )
 
 func main() {
 	addr := flag.String("addr", "localhost:8080", "listen address")
 	grace := flag.Duration("grace", 30*time.Second, "graceful-shutdown budget for in-flight requests")
+	showVersion := obs.VersionFlag(flag.CommandLine)
 	flag.Parse()
+	if *showVersion {
+		obs.PrintVersion(os.Stdout, "fpgaweb")
+		return
+	}
 	s := gui.NewServer()
 	fmt.Printf("FPGA design framework GUI on http://%s\n", *addr)
 	fmt.Printf("machine-readable run metrics on http://%s/metrics\n", *addr)
+	fmt.Printf("live telemetry: http://%s/events (SSE), http://%s/heatmap, http://%s/debug/pprof/\n", *addr, *addr, *addr)
 
 	// SIGINT/SIGTERM drain in-flight requests (a running flow included)
 	// instead of killing them mid-compile.

@@ -10,6 +10,7 @@ import (
 
 	"fpgaflow/internal/core"
 	"fpgaflow/internal/netlist"
+	"fpgaflow/internal/obs"
 )
 
 func main() {
@@ -19,7 +20,12 @@ func main() {
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: powermodel [-clock MHz] [file.blif]\nEstimates dynamic, short-circuit and leakage power.\n")
 	}
+	showVersion := obs.VersionFlag(flag.CommandLine)
 	flag.Parse()
+	if *showVersion {
+		obs.PrintVersion(os.Stdout, "powermodel")
+		return
+	}
 	src, err := readInput(flag.Arg(0))
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,302 @@
+// Command qorviz renders the convergence-telemetry artifacts that
+// `fpgaflow -events dir/` produces into standalone SVG documents, viewable
+// in any browser with no server running:
+//
+//	qorviz -o fabric.svg dir/heatmap.json        fabric heatmap
+//	qorviz -curves -o conv.svg dir/events.jsonl  convergence curves
+//
+// The heatmap view draws the CLB grid shaded by placement utilization with
+// routing-channel segments overlaid, shaded by congestion (usage/capacity);
+// overused segments are red. The curves view plots the annealing cost per
+// temperature step and the router's overused-node count per PathFinder
+// iteration from the raw event stream.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"fpgaflow/internal/obs"
+	"fpgaflow/internal/obs/events"
+)
+
+func main() {
+	out := flag.String("o", "", "output SVG file (default: stdout)")
+	curves := flag.Bool("curves", false, "render convergence curves from an events.jsonl stream instead of a fabric heatmap")
+	showVersion := obs.VersionFlag(flag.CommandLine)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, `usage: qorviz [-o out.svg] heatmap.json
+       qorviz -curves [-o out.svg] events.jsonl
+
+Renders fpgaflow -events telemetry (fabric heatmaps, convergence curves)
+as standalone SVG.
+`)
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *showVersion {
+		obs.PrintVersion(os.Stdout, "qorviz")
+		return
+	}
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var svg string
+	var err error
+	if *curves {
+		svg, err = renderCurvesFile(flag.Arg(0))
+	} else {
+		svg, err = renderHeatmapFile(flag.Arg(0))
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qorviz:", err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		fmt.Print(svg)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(svg), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "qorviz:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", *out, len(svg))
+}
+
+func renderHeatmapFile(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	h, err := events.ParseHeatmap(data)
+	if err != nil {
+		return "", err
+	}
+	return RenderHeatmapSVG(h), nil
+}
+
+// Layout constants for the fabric view: each grid site is cell×cell pixels
+// with gap-pixel routing channels between sites (where the channel segments
+// draw), plus a margin for axis labels.
+const (
+	cell   = 26
+	gap    = 8
+	margin = 34
+)
+
+// RenderHeatmapSVG draws the fabric: one square per site shaded by
+// utilization, channel segments in the gaps shaded by congestion.
+func RenderHeatmapSVG(h *events.Heatmap) string {
+	pitch := cell + gap
+	w := margin*2 + h.Cols*pitch + gap
+	ht := margin*2 + h.Rows*pitch + gap
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="monospace" font-size="9">`+"\n", w, ht, w, ht)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="#ffffff"/>`+"\n", w, ht)
+	title := fmt.Sprintf("fabric %dx%d W=%d", h.Cols, h.Rows, h.ChannelWidth)
+	if h.PlaceCost > 0 {
+		title += fmt.Sprintf(" place-cost %.2f", h.PlaceCost)
+	}
+	if h.RouteIterations > 0 {
+		title += fmt.Sprintf(" routed-in %d iters", h.RouteIterations)
+		if !h.RouteSuccess {
+			title += fmt.Sprintf(" UNROUTED (%d overused)", h.Overused)
+		}
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="11">%s</text>`+"\n", margin, margin-14, xmlEscape(title))
+
+	// site origin: gap-wide channel precedes column/row 0.
+	sx := func(x int) int { return margin + gap + x*pitch }
+	sy := func(y int) int { return margin + gap + y*pitch }
+
+	for _, c := range h.CLBs {
+		fill := utilColor(c.Used, c.Capacity)
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="#444" stroke-width="0.5"><title>CLB (%d,%d): %d/%d BLEs</title></rect>`+"\n",
+			sx(c.X), sy(c.Y), cell, cell, fill, c.X, c.Y, c.Used, c.Capacity)
+	}
+	for _, c := range h.Pads {
+		fill := utilColor(c.Used, c.Capacity)
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" rx="5" fill="%s" stroke="#888" stroke-width="0.5"><title>pad site (%d,%d): %d/%d</title></rect>`+"\n",
+			sx(c.X), sy(c.Y), cell, cell, fill, c.X, c.Y, c.Used, c.Capacity)
+	}
+	for _, s := range h.Channels {
+		fill := congestionColor(s.Usage, s.Capacity)
+		var x, y, sw, sh int
+		if s.Vertical {
+			// ChanY at (x,y): the vertical channel right of column x,
+			// spanning row y.
+			x, y = sx(s.X)+cell+1, sy(s.Y)
+			sw, sh = gap-2, cell
+		} else {
+			// ChanX at (x,y): the horizontal channel above row y.
+			x, y = sx(s.X), sy(s.Y)-gap+1
+			sw, sh = cell, gap-2
+		}
+		dir := "chanx"
+		if s.Vertical {
+			dir = "chany"
+		}
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"><title>%s (%d,%d) track %d: %d/%d</title></rect>`+"\n",
+			x, y, sw, sh, fill, dir, s.X, s.Y, s.Track, s.Usage, s.Capacity)
+	}
+	for x := 0; x < h.Cols; x++ {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle" fill="#666">%d</text>`+"\n", sx(x)+cell/2, ht-margin+12, x)
+	}
+	for y := 0; y < h.Rows; y++ {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="end" fill="#666">%d</text>`+"\n", margin-4, sy(y)+cell/2+3, y)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// utilColor shades a site white→blue by used/capacity; empty sites are a
+// light gray so the occupied fabric stands out.
+func utilColor(used, capacity int) string {
+	if used <= 0 {
+		return "#f2f2f2"
+	}
+	f := 1.0
+	if capacity > 0 {
+		f = math.Min(1, float64(used)/float64(capacity))
+	}
+	// white (255) → medium blue (70,110,210)
+	r := int(255 - f*(255-70))
+	g := int(255 - f*(255-110))
+	bl := int(255 - f*(255-210))
+	return fmt.Sprintf("#%02x%02x%02x", r, g, bl)
+}
+
+// congestionColor shades a channel segment yellow→orange by usage fraction
+// and red once overused (usage > capacity).
+func congestionColor(usage, capacity int) string {
+	if capacity > 0 && usage > capacity {
+		return "#d62728"
+	}
+	f := 1.0
+	if capacity > 0 {
+		f = math.Min(1, float64(usage)/float64(capacity))
+	}
+	// pale yellow (255,243,179) → strong orange (240,140,0)
+	r := int(255 - f*(255-240))
+	g := int(243 - f*(243-140))
+	bl := int(179 - f*179)
+	return fmt.Sprintf("#%02x%02x%02x", r, g, bl)
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// renderCurvesFile reads an events.jsonl stream and plots the place/route
+// convergence trajectories.
+func renderCurvesFile(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	var place []events.PlaceStep
+	var route []events.RouteIter
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		ev, err := events.Decode([]byte(line))
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", path, err)
+		}
+		switch ev.Kind {
+		case events.KindPlaceStep:
+			place = append(place, *ev.PlaceStep)
+		case events.KindRouteIter:
+			route = append(route, *ev.RouteIter)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	if len(place) == 0 && len(route) == 0 {
+		return "", fmt.Errorf("%s: no place_step or route_iter events", path)
+	}
+	return RenderCurvesSVG(place, route), nil
+}
+
+const (
+	plotW   = 560
+	plotH   = 180
+	plotPad = 46
+)
+
+// RenderCurvesSVG stacks up to two panels: annealing cost vs temperature
+// step, and router overused nodes vs PathFinder iteration.
+func RenderCurvesSVG(place []events.PlaceStep, route []events.RouteIter) string {
+	panels := 0
+	if len(place) > 0 {
+		panels++
+	}
+	if len(route) > 0 {
+		panels++
+	}
+	w := plotW + 2*plotPad
+	h := panels*(plotH+2*plotPad) + 4
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="monospace" font-size="10">`+"\n", w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="#ffffff"/>`+"\n", w, h)
+	top := 0
+	if len(place) > 0 {
+		ys := make([]float64, len(place))
+		for i, p := range place {
+			ys[i] = p.Cost
+		}
+		drawPanel(&b, top, fmt.Sprintf("annealing cost (%d temperature steps)", len(place)), "#1f77b4", ys)
+		top += plotH + 2*plotPad
+	}
+	if len(route) > 0 {
+		ys := make([]float64, len(route))
+		for i, r := range route {
+			ys[i] = float64(r.Overused)
+		}
+		drawPanel(&b, top, fmt.Sprintf("router overused nodes (%d iterations)", len(route)), "#d62728", ys)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// drawPanel renders one titled polyline panel with min/max y labels.
+func drawPanel(b *strings.Builder, top int, title, color string, ys []float64) {
+	x0, y0 := plotPad, top+plotPad
+	lo, hi := ys[0], ys[0]
+	for _, v := range ys {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-size="11">%s</text>`+"\n", x0, y0-10, xmlEscape(title))
+	fmt.Fprintf(b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#bbb"/>`+"\n", x0, y0, plotW, plotH)
+	fmt.Fprintf(b, `<text x="%d" y="%d" text-anchor="end" fill="#666">%.4g</text>`+"\n", x0-4, y0+8, hi)
+	fmt.Fprintf(b, `<text x="%d" y="%d" text-anchor="end" fill="#666">%.4g</text>`+"\n", x0-4, y0+plotH, lo)
+	var pts strings.Builder
+	for i, v := range ys {
+		px := float64(x0)
+		if len(ys) > 1 {
+			px += float64(i) / float64(len(ys)-1) * plotW
+		}
+		py := float64(y0) + (1-(v-lo)/span)*plotH
+		if i > 0 {
+			pts.WriteByte(' ')
+		}
+		fmt.Fprintf(&pts, "%.1f,%.1f", px, py)
+	}
+	fmt.Fprintf(b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n", pts.String(), color)
+}

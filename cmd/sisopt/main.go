@@ -10,6 +10,7 @@ import (
 
 	"fpgaflow/internal/logic"
 	"fpgaflow/internal/netlist"
+	"fpgaflow/internal/obs"
 	"fpgaflow/internal/techmap"
 )
 
@@ -21,7 +22,12 @@ func main() {
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: sisopt [-k N] [-greedy] [-map-only|-opt-only] [file.blif]\nOptimizes and LUT-maps BLIF on stdout.\n")
 	}
+	showVersion := obs.VersionFlag(flag.CommandLine)
 	flag.Parse()
+	if *showVersion {
+		obs.PrintVersion(os.Stdout, "sisopt")
+		return
+	}
 	src, err := readInput(flag.Arg(0))
 	if err != nil {
 		fatal(err)

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"fpgaflow/internal/netlist"
+	"fpgaflow/internal/obs"
 	"fpgaflow/internal/pack"
 )
 
@@ -20,7 +21,12 @@ func main() {
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: tvpack [-n N] [-k K] [-i I] [file.blif]\nPacks LUTs+FFs into clusters; prints the clustering.\n")
 	}
+	showVersion := obs.VersionFlag(flag.CommandLine)
 	flag.Parse()
+	if *showVersion {
+		obs.PrintVersion(os.Stdout, "tvpack")
+		return
+	}
 	src, err := readInput(flag.Arg(0))
 	if err != nil {
 		fatal(err)

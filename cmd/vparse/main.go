@@ -9,6 +9,7 @@ import (
 	"io"
 	"os"
 
+	"fpgaflow/internal/obs"
 	"fpgaflow/internal/vhdl"
 )
 
@@ -16,7 +17,12 @@ func main() {
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: vparse [file.vhd]\nChecks VHDL syntax and semantics (reads stdin without a file).\n")
 	}
+	showVersion := obs.VersionFlag(flag.CommandLine)
 	flag.Parse()
+	if *showVersion {
+		obs.PrintVersion(os.Stdout, "vparse")
+		return
+	}
 	src, err := readInput(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -26,10 +26,15 @@ func main() {
 	jobs := flag.Int("j", 0, "routing workers per iteration (0 = GOMAXPROCS, 1 = serial); result is identical for every value")
 	flag.IntVar(jobs, "parallel", 0, "alias for -j")
 	obsFlags := obs.RegisterCLIFlags(flag.CommandLine)
+	showVersion := obs.VersionFlag(flag.CommandLine)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: vpr [-arch file] [-seed S] [-min-w] [file.blif]\nPlaces and routes a mapped netlist.\n")
 	}
 	flag.Parse()
+	if *showVersion {
+		obs.PrintVersion(os.Stdout, "vpr")
+		return
+	}
 	src, err := readInput(flag.Arg(0))
 	if err != nil {
 		fatal(err)
@@ -59,13 +64,13 @@ func main() {
 		fatal(err)
 	}
 	p.AutoSize()
-	pl, err := place.Place(p, place.Options{Seed: *seed, InnerNum: *effort, Obs: tr})
+	pl, err := place.Place(p, place.Options{Seed: *seed, InnerNum: *effort, Obs: tr, Events: obsFlags.Bus})
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("placed %d blocks on %dx%d grid, bb cost %.2f\n", len(p.Blocks), a.Cols, a.Rows, pl.Cost)
 	var r *route.Result
-	ropts := route.Options{Obs: tr, Workers: *jobs}
+	ropts := route.Options{Obs: tr, Workers: *jobs, Events: obsFlags.Bus}
 	if *minW {
 		ropts.Cache = rrgraph.NewCache(0)
 		w, rr, err := route.MinChannelWidth(p, pl, 1, a.Routing.ChannelWidth, ropts)

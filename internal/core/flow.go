@@ -27,6 +27,7 @@ import (
 	"fpgaflow/internal/logic"
 	"fpgaflow/internal/netlist"
 	"fpgaflow/internal/obs"
+	"fpgaflow/internal/obs/events"
 	"fpgaflow/internal/pack"
 	"fpgaflow/internal/place"
 	"fpgaflow/internal/power"
@@ -133,6 +134,13 @@ type Options struct {
 	// nil falls back to the process-global trace (obs.Global), which is
 	// itself a no-op unless a main installed one.
 	Obs *obs.Trace
+	// Events receives the iteration-level telemetry stream: stage
+	// boundaries, hardened-runner decisions (attempts, retries,
+	// escalations), one event per annealing temperature step and per
+	// PathFinder iteration, and the final fabric occupancy/congestion maps
+	// the heatmap artifact derives from. nil disables the stream at the
+	// cost of one atomic load per publish site (see internal/obs/events).
+	Events *events.Bus
 }
 
 // trace resolves the effective observability trace for the run.
@@ -446,7 +454,7 @@ func (res *Result) continueFromBLIF(ctx context.Context, blifText string, opts O
 	// Stage 8: VPR placement.
 	err = res.stage(ctx, &opts, "VPR place", func(sctx context.Context) error {
 		popts := place.Options{Seed: opts.Seed, InnerNum: opts.PlaceEffort, Fixed: opts.FixedPads, Obs: res.tr,
-			Ctx: sctx, Bad: opts.Defects.BadSiteSet()}
+			Ctx: sctx, Bad: opts.Defects.BadSiteSet(), Events: opts.Events}
 		mode := "wirelength-driven"
 		if opts.TimingDrivenPlace {
 			popts.Weights = place.CriticalityWeights(res.Packing, res.Problem, 8)
@@ -474,7 +482,7 @@ func (res *Result) continueFromBLIF(ctx context.Context, blifText string, opts O
 	// Stage 9: VPR routing.
 	err = res.stage(ctx, &opts, "VPR route", func(sctx context.Context) error {
 		ropts := route.Options{MaxIters: opts.RouteMaxIters, DelayDriven: opts.TimingDrivenRoute, Obs: res.tr, Ctx: sctx,
-			Workers: opts.RouteWorkers, Cache: opts.RRCache}
+			Workers: opts.RouteWorkers, Cache: opts.RRCache, Events: opts.Events}
 		if opts.Defects != nil {
 			// Re-applied at every channel-width trial: defects are keyed by
 			// structural coordinates, so they survive RR-graph rebuilds and
@@ -649,6 +657,10 @@ func (res *Result) stage(ctx context.Context, opts *Options, tool string, fn fun
 	if opts.StageStart != nil {
 		opts.StageStart(tool)
 	}
+	if opts.Events.Enabled() {
+		opts.Events.Publish(events.Event{Kind: events.KindStage,
+			Stage: &events.StageEvent{Stage: tool, Phase: "start"}})
+	}
 	if err := ctx.Err(); err != nil {
 		return &StageError{Stage: tool, Err: err}
 	}
@@ -691,6 +703,13 @@ func (res *Result) stage(ctx context.Context, opts *Options, tool string, fn fun
 		st.Duration = time.Since(start)
 	}
 	res.tr.Add("flow.stages", 1)
+	if opts.Events.Enabled() {
+		end := &events.StageEvent{Stage: tool, Phase: "end", WallNS: st.Duration.Nanoseconds()}
+		if err != nil {
+			end.Err = err.Error()
+		}
+		opts.Events.Publish(events.Event{Kind: events.KindStage, Stage: end})
+	}
 	if err != nil {
 		res.tr.Add("flow.stage_errors", 1)
 		return &StageError{Stage: tool, Err: err, retryable: retryableCause(tool, err)}

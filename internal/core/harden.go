@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"fpgaflow/internal/obs/events"
 	"fpgaflow/internal/place"
 	"fpgaflow/internal/route"
 	"fpgaflow/internal/rrgraph"
@@ -141,6 +142,10 @@ func runRetry(ctx context.Context, opts Options, attempt func(context.Context, O
 	}
 	backoff := pol.Backoff
 	for try := 1; ; try++ {
+		if opts.Events.Enabled() {
+			opts.Events.Publish(events.Event{Kind: events.KindFlow,
+				Flow: &events.FlowEvent{Action: "attempt", Attempt: try, Seed: opts.Seed}})
+		}
 		res, err := attempt(ctx, opts)
 		tr.Add("flow.attempts", 1)
 		if err == nil {
@@ -150,16 +155,23 @@ func runRetry(ctx context.Context, opts Options, attempt func(context.Context, O
 		if try >= pol.MaxAttempts || ctx.Err() != nil {
 			return res, se
 		}
+		action := ""
 		switch {
 		case pol.EscalateChannelWidth && !opts.MinChannelWidth && errors.Is(se, route.ErrUnroutable):
 			opts.MinChannelWidth = true
 			tr.Add("flow.degraded", 1)
+			action = "escalate"
 		case pol.ReseedPlacement && se.Retryable():
 			opts.Seed += reseedStep
+			action = "retry"
 		default:
 			return res, se
 		}
 		tr.Add("flow.retries", 1)
+		if opts.Events.Enabled() {
+			opts.Events.Publish(events.Event{Kind: events.KindFlow, Flow: &events.FlowEvent{
+				Action: action, Attempt: try + 1, Seed: opts.Seed, Reason: se.Error()}})
+		}
 		if backoff > 0 {
 			t := time.NewTimer(backoff)
 			select {

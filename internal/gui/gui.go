@@ -22,6 +22,7 @@ import (
 	"fpgaflow/internal/edif"
 	"fpgaflow/internal/netlist"
 	"fpgaflow/internal/obs"
+	"fpgaflow/internal/obs/events"
 	"fpgaflow/internal/vhdl"
 )
 
@@ -41,13 +42,17 @@ type Server struct {
 	// LastTrace is the observability trace of the most recent full flow
 	// run, served at /metrics.
 	LastTrace *obs.Trace
+	// Bus is the server-lifetime convergence-telemetry bus: every flow run
+	// publishes its iteration events here, and /events (SSE) and /heatmap
+	// serve from it live.
+	Bus *events.Bus
 	// runs counts full flow executions since server start.
 	runs int64
 }
 
 // NewServer returns a GUI server with paper-default options.
 func NewServer() *Server {
-	return &Server{Opts: core.Options{Seed: 1}}
+	return &Server{Opts: core.Options{Seed: 1}, Bus: events.NewBus(0)}
 }
 
 // Handler returns the HTTP handler implementing the six GUI stages.
@@ -64,6 +69,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/layout", s.handleLayout)
 	mux.HandleFunc("/docs", s.handleDocs)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	s.registerLive(mux)
 	return mux
 }
 
@@ -326,6 +332,7 @@ func (s *Server) runFull(r *http.Request) error {
 	s.Opts.MinChannelWidth = r.FormValue("minw") == "on"
 	tr := obs.New("fpgaweb")
 	s.Opts.Obs = tr
+	s.Opts.Events = s.Bus
 	s.runs++
 	var res *core.Result
 	var err error

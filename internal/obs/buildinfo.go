@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo is the provenance header stamped into every metrics.json
+// document and printed by the -version flag of every cmd tool: which
+// toolchain and which commit produced the numbers, so QoR artifacts are
+// attributable long after the run.
+type BuildInfo struct {
+	// GoVersion is the toolchain that built the binary (runtime.Version).
+	GoVersion string `json:"go_version"`
+	// Module is the main module path ("" outside module builds).
+	Module string `json:"module,omitempty"`
+	// ModuleVersion is the main module version ("(devel)" for source builds).
+	ModuleVersion string `json:"module_version,omitempty"`
+	// Revision is the VCS commit hash ("" when the build had no VCS stamp,
+	// e.g. `go run` or a test binary).
+	Revision string `json:"vcs_revision,omitempty"`
+	// Time is the commit timestamp (RFC3339).
+	Time string `json:"vcs_time,omitempty"`
+	// Modified is true when the working tree was dirty at build time.
+	Modified bool `json:"vcs_modified,omitempty"`
+}
+
+var buildInfoOnce = sync.OnceValue(func() BuildInfo {
+	bi := BuildInfo{GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	if info.GoVersion != "" {
+		bi.GoVersion = info.GoVersion
+	}
+	bi.Module = info.Main.Path
+	bi.ModuleVersion = info.Main.Version
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			bi.Revision = s.Value
+		case "vcs.time":
+			bi.Time = s.Value
+		case "vcs.modified":
+			bi.Modified = s.Value == "true"
+		}
+	}
+	return bi
+})
+
+// ReadBuild returns the process build provenance (cached after first call).
+func ReadBuild() BuildInfo { return buildInfoOnce() }
+
+// VersionFlag declares the standard -version flag on fs. Mains check the
+// returned pointer after flag.Parse and call PrintVersion + return when
+// set:
+//
+//	showVersion := obs.VersionFlag(flag.CommandLine)
+//	flag.Parse()
+//	if *showVersion {
+//		obs.PrintVersion(os.Stdout, "fpgaflow")
+//		return
+//	}
+func VersionFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("version", false, "print build information and exit")
+}
+
+// PrintVersion writes the tool's provenance line(s): tool name, module
+// version, toolchain, and the VCS stamp when present.
+func PrintVersion(w io.Writer, tool string) {
+	bi := ReadBuild()
+	fmt.Fprintf(w, "%s %s %s", tool, orDevel(bi.ModuleVersion), bi.GoVersion)
+	if bi.Revision != "" {
+		dirty := ""
+		if bi.Modified {
+			dirty = "+dirty"
+		}
+		fmt.Fprintf(w, " %s%s", shortRev(bi.Revision), dirty)
+		if bi.Time != "" {
+			fmt.Fprintf(w, " (%s)", bi.Time)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+func orDevel(v string) string {
+	if v == "" {
+		return "(devel)"
+	}
+	return v
+}
+
+func shortRev(rev string) string {
+	if len(rev) > 12 {
+		return rev[:12]
+	}
+	return rev
+}

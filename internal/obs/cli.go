@@ -4,20 +4,35 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
 	"runtime/pprof"
+
+	"fpgaflow/internal/obs/events"
 )
 
 // CLIFlags bundles the standard observability flags every cmd tool exposes:
 //
-//	-metrics out.json   write the machine-readable run summary
-//	-trace              print the span tree + counters to stderr on exit
-//	-jsonl out.jsonl    stream span events as JSON Lines
-//	-cpuprofile out.pprof  capture a pprof CPU profile of the run
+//	-metrics out.json     write the machine-readable run summary
+//	-trace                print the span tree + counters to stderr on exit
+//	-jsonl out.jsonl      stream span events as JSON Lines
+//	-cpuprofile out.pprof capture a pprof CPU profile of the run
+//	-memprofile out.pprof write a pprof heap profile at flow exit
+//	-events dir           stream iteration-level telemetry to dir/events.jsonl
+//	                      and derive dir/heatmap.json at exit
 type CLIFlags struct {
 	Metrics    string
 	TraceText  bool
 	JSONL      string
 	CPUProfile string
+	MemProfile string
+	Events     string
+
+	// Bus is the live event bus Start creates when -events is set; mains
+	// hand it to the flow (core.Options.Events, place/route Options.Events).
+	// nil when events were not requested — every publish site tolerates
+	// that.
+	Bus *events.Bus
 }
 
 // RegisterCLIFlags declares the observability flags on fs (use
@@ -28,19 +43,25 @@ func RegisterCLIFlags(fs *flag.FlagSet) *CLIFlags {
 	fs.BoolVar(&c.TraceText, "trace", false, "print the span/counter trace to stderr on exit")
 	fs.StringVar(&c.JSONL, "jsonl", "", "stream span events to this JSON Lines file")
 	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write a pprof heap profile to this file at exit")
+	fs.StringVar(&c.Events, "events", "", "write iteration-level telemetry (events.jsonl + heatmap.json) into this directory")
 	return c
 }
 
 // Enabled reports whether any observability output was requested.
 func (c *CLIFlags) Enabled() bool {
-	return c.Metrics != "" || c.TraceText || c.JSONL != "" || c.CPUProfile != ""
+	return c.Metrics != "" || c.TraceText || c.JSONL != "" ||
+		c.CPUProfile != "" || c.MemProfile != "" || c.Events != ""
 }
 
 // Start creates the run trace (also installed as the process global so
 // library-level counters report into it), starts profiling and sinks, and
-// returns a finish func that must run before exit — it stops the profile
-// and writes every requested output. When no observability flag was given
-// it returns a nil trace (all instrumentation no-ops) and a no-op finish.
+// returns a finish func that must run before exit — it stops the profiles
+// and writes every requested output. When -events is set, Start also
+// creates the live event bus (c.Bus) with a JSONL sink under the events
+// directory; finish derives heatmap.json from the stream. When no
+// observability flag was given it returns a nil trace (all instrumentation
+// no-ops) and a no-op finish.
 func (c *CLIFlags) Start(name string) (*Trace, func() error) {
 	if !c.Enabled() {
 		return nil, func() error { return nil }
@@ -80,6 +101,19 @@ func (c *CLIFlags) Start(name string) (*Trace, func() error) {
 		jsonl = NewJSONLSink(f)
 		tr.SetSink(jsonl)
 	}
+	var eventsFile *os.File
+	if c.Events != "" {
+		if err := os.MkdirAll(c.Events, 0o755); err != nil {
+			return fail(err)
+		}
+		f, err := os.Create(filepath.Join(c.Events, "events.jsonl"))
+		if err != nil {
+			return fail(err)
+		}
+		eventsFile = f
+		c.Bus = events.NewBus(0)
+		c.Bus.AddSink(events.NewJSONLWriter(f).Write)
+	}
 
 	finish := func() error {
 		tr.MemSnapshot()
@@ -95,6 +129,31 @@ func (c *CLIFlags) Start(name string) (*Trace, func() error) {
 		if jsonl != nil {
 			keep(jsonl.Close(tr))
 			keep(jsonlFile.Close())
+		}
+		if eventsFile != nil {
+			// Stop publishers before the sink's file goes away, then derive
+			// the heatmap artifact from the stream.
+			c.Bus.SetEnabled(false)
+			if h := events.HeatmapFromBus(c.Bus); h != nil {
+				f, err := os.Create(filepath.Join(c.Events, "heatmap.json"))
+				if err != nil {
+					keep(err)
+				} else {
+					keep(h.WriteJSON(f))
+					keep(f.Close())
+				}
+			}
+			keep(eventsFile.Close())
+		}
+		if c.MemProfile != "" {
+			f, err := os.Create(c.MemProfile)
+			if err != nil {
+				keep(err)
+			} else {
+				runtime.GC() // materialize the final live-heap picture
+				keep(pprof.Lookup("heap").WriteTo(f, 0))
+				keep(f.Close())
+			}
 		}
 		if c.Metrics != "" {
 			f, err := os.Create(c.Metrics)

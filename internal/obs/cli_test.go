@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fpgaflow/internal/obs/events"
+)
+
+// TestCLIFlagsProfiles exercises the -cpuprofile and -memprofile paths end
+// to end: both files must exist after finish and carry the gzip magic that
+// every pprof profile starts with.
+func TestCLIFlagsProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	c := &CLIFlags{CPUProfile: cpu, MemProfile: mem}
+	if !c.Enabled() {
+		t.Fatal("profile flags should enable observability")
+	}
+	tr, finish := c.Start("test")
+	if tr == nil {
+		t.Fatal("Start returned nil trace with profiling on")
+	}
+	// Some profiled work so the CPU profile is non-degenerate.
+	sink := 0
+	for i := 0; i < 1e6; i++ {
+		sink += i * i
+	}
+	_ = sink
+	tr.Start("work").End()
+	if err := finish(); err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	for _, path := range []string{cpu, mem} {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if len(b) < 2 || b[0] != 0x1f || b[1] != 0x8b {
+			t.Errorf("%s: not a gzipped pprof profile (starts %x)", path, b[:min(2, len(b))])
+		}
+	}
+}
+
+// TestCLIFlagsEventsDir checks the -events wiring: Start creates the bus
+// with a JSONL sink, finish disables it and derives heatmap.json from the
+// stream.
+func TestCLIFlagsEventsDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ev")
+	c := &CLIFlags{Events: dir}
+	_, finish := c.Start("test")
+	if c.Bus == nil || !c.Bus.Enabled() {
+		t.Fatal("Start did not create an enabled event bus")
+	}
+	c.Bus.Publish(events.Event{Kind: events.KindPlaceMap, PlaceMap: &events.PlaceMap{
+		Cols: 2, Rows: 2, CLBs: []events.Cell{{X: 1, Y: 1, Used: 3, Capacity: 4}},
+	}})
+	if err := finish(); err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	if c.Bus.Enabled() {
+		t.Error("finish left the bus enabled after closing its sink")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "events.jsonl")); err != nil {
+		t.Errorf("events.jsonl missing: %v", err)
+	}
+	hb, err := os.ReadFile(filepath.Join(dir, "heatmap.json"))
+	if err != nil {
+		t.Fatalf("heatmap.json missing: %v", err)
+	}
+	h, err := events.ParseHeatmap(hb)
+	if err != nil {
+		t.Fatalf("heatmap.json invalid: %v", err)
+	}
+	if h.Cols != 2 || h.Rows != 2 || len(h.CLBs) != 1 {
+		t.Errorf("heatmap = %dx%d with %d CLBs, want 2x2 with 1", h.Cols, h.Rows, len(h.CLBs))
+	}
+}
+
+// TestRegisterCLIFlags checks the flag surface parses, including the two
+// new flags, and that Enabled stays false for an empty set.
+func TestRegisterCLIFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := RegisterCLIFlags(fs)
+	ver := VersionFlag(fs)
+	if err := fs.Parse([]string{"-memprofile", "m.pprof", "-events", "evdir", "-version"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.MemProfile != "m.pprof" || c.Events != "evdir" || !*ver {
+		t.Fatalf("flags not bound: %+v version=%v", c, *ver)
+	}
+	if !(&CLIFlags{}).Enabled() == false {
+		t.Error("zero CLIFlags must report disabled")
+	}
+}
+
+// TestBuildInfo checks the provenance values are present and stable.
+func TestBuildInfo(t *testing.T) {
+	bi := ReadBuild()
+	if bi.GoVersion == "" {
+		t.Error("BuildInfo.GoVersion empty")
+	}
+	if bi != ReadBuild() {
+		t.Error("ReadBuild not stable across calls")
+	}
+	// The metrics summary must carry the header.
+	sum := New("t").Summary()
+	if sum.Build == nil || sum.Build.GoVersion != bi.GoVersion {
+		t.Errorf("Summary build header = %+v, want %+v", sum.Build, bi)
+	}
+}

@@ -23,7 +23,10 @@ type SpanRecord struct {
 
 // Summary is the machine-readable single-run report (metrics.json schema).
 type Summary struct {
-	Name     string             `json:"name"`
+	Name string `json:"name"`
+	// Build is the provenance header: toolchain and VCS stamp of the
+	// binary that produced the numbers (see ReadBuild).
+	Build    *BuildInfo         `json:"build,omitempty"`
 	WallNS   int64              `json:"wall_ns"`
 	CPUNS    int64              `json:"cpu_ns,omitempty"`
 	Spans    []SpanRecord       `json:"spans"`
@@ -59,8 +62,10 @@ func (t *Trace) Summary() *Summary {
 	start := t.start
 	cpu0 := t.cpu0
 	t.mu.Unlock()
+	build := ReadBuild()
 	sum := &Summary{
 		Name:     name,
+		Build:    &build,
 		WallNS:   time.Since(start).Nanoseconds(),
 		Spans:    spans,
 		Counters: t.Counters(),

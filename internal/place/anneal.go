@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"fpgaflow/internal/obs"
+	"fpgaflow/internal/obs/events"
 )
 
 // Location is a grid site plus sub-slot (pads share sites up to IORate).
@@ -52,6 +54,12 @@ type Options struct {
 	// place.temperature_steps); nil disables reporting. Counters are
 	// atomic, so parallel multi-seed runs aggregate safely.
 	Obs *obs.Trace
+	// Events receives one place_step event per temperature step and a
+	// final place_map occupancy event (convergence telemetry; see
+	// internal/obs/events). nil or disabled costs one atomic load per
+	// temperature step. PlaceBest seeds share one bus; events carry the
+	// seed to tell the streams apart.
+	Events *events.Bus
 }
 
 // site is an indexable placement site.
@@ -170,6 +178,7 @@ func Place(p *Problem, opts Options) (*Placement, error) {
 
 	if opts.FixedSeedOnly || len(p.Nets) == 0 {
 		pl.Cost = cost
+		publishPlaceMap(p, pl, opts)
 		return pl, nil
 	}
 	tempSteps := 0
@@ -313,6 +322,7 @@ func Place(p *Problem, opts Options) (*Placement, error) {
 		pl.Accepted += accepted
 		tempSteps++
 		accRate := float64(accepted) / float64(movesPerT)
+		stepTemp := temp
 		// VPR adaptive schedule.
 		var alpha float64
 		switch {
@@ -333,6 +343,12 @@ func Place(p *Problem, opts Options) (*Placement, error) {
 		if m := float64(max(a.Cols, a.Rows) + 2); rlim > m {
 			rlim = m
 		}
+		if opts.Events.Enabled() {
+			opts.Events.Publish(events.Event{Kind: events.KindPlaceStep, PlaceStep: &events.PlaceStep{
+				Seed: opts.Seed, Step: tempSteps, Temperature: stepTemp, Cost: cost,
+				AcceptRate: accRate, RangeLimit: rlim, Moves: movesPerT,
+			}})
+		}
 	}
 
 	// Recompute exactly to wash out float drift.
@@ -342,7 +358,48 @@ func Place(p *Problem, opts Options) (*Placement, error) {
 		cost += netCost[i]
 	}
 	pl.Cost = cost
+	publishPlaceMap(p, pl, opts)
 	return pl, pl.Validate()
+}
+
+// publishPlaceMap emits the final occupancy map of a placement as a
+// place_map event: per-CLB BLE utilization and per-pad-site sub-slot usage
+// keyed by grid coordinates (the heatmap's placement half). Sites are
+// listed in deterministic order (blocks, then sorted pad sites) so the
+// derived heatmap artifact is byte-stable.
+func publishPlaceMap(p *Problem, pl *Placement, opts Options) {
+	if !opts.Events.Enabled() {
+		return
+	}
+	a := p.Arch
+	pm := &events.PlaceMap{Seed: opts.Seed, Cols: a.Cols, Rows: a.Rows, Cost: pl.Cost}
+	padUsed := make(map[[2]int]int)
+	for _, b := range p.Blocks {
+		l := pl.Loc[b.ID]
+		if b.Kind == BlockCLB {
+			used := 1
+			if b.Cluster != nil {
+				used = len(b.Cluster.BLEs)
+			}
+			pm.CLBs = append(pm.CLBs, events.Cell{X: l.X, Y: l.Y, Used: used, Capacity: a.CLB.N})
+		} else {
+			padUsed[[2]int{l.X, l.Y}]++
+		}
+	}
+	pads := make([][2]int, 0, len(padUsed))
+	for xy := range padUsed {
+		pads = append(pads, xy)
+	}
+	sort.Slice(pads, func(i, j int) bool {
+		if pads[i][0] != pads[j][0] {
+			return pads[i][0] < pads[j][0]
+		}
+		return pads[i][1] < pads[j][1]
+	})
+	for _, xy := range pads {
+		pm.Pads = append(pm.Pads, events.Cell{X: xy[0], Y: xy[1], Used: padUsed[xy], Capacity: a.IORate})
+	}
+	opts.Events.Publish(events.Event{Kind: events.KindPlaceMap, PlaceMap: pm})
 }
 
 // trialDelta measures a move's delta then reverts it (used for the initial

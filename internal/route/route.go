@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"fpgaflow/internal/obs"
+	"fpgaflow/internal/obs/events"
 	"fpgaflow/internal/place"
 	"fpgaflow/internal/rrgraph"
 )
@@ -57,6 +58,11 @@ type Options struct {
 	// Obs receives PathFinder counters (route.iterations, route.nets_routed,
 	// route.overuse_sum, route.heap_pops); nil disables reporting.
 	Obs *obs.Trace
+	// Events receives one route_iter event per PathFinder iteration and a
+	// final route_congestion map keyed by structural wire coordinates
+	// (convergence telemetry; see internal/obs/events). nil or disabled
+	// costs one atomic load per iteration.
+	Events *events.Bus
 }
 
 // ctxErr returns the options context's error, nil when no context is set.
@@ -250,6 +256,9 @@ func Route(p *place.Problem, pl *place.Placement, g *rrgraph.Graph, opts Options
 	batchRoutes := make([]*NetRoute, netBatchSize)
 	batchErrs := make([]error, netBatchSize)
 	dirty := make([]int, 0, len(conns))
+	// prevPops and prevRouted delta the cumulative effort counters into
+	// per-iteration telemetry; only maintained while events are flowing.
+	var prevPops, prevRouted int64
 	for iter := 1; iter <= opts.MaxIters; iter++ {
 		if err := opts.ctxErr(); err != nil {
 			return nil, fmt.Errorf("route: %w", err)
@@ -346,22 +355,60 @@ func Route(p *place.Problem, pl *place.Placement, g *rrgraph.Graph, opts Options
 			occupy(nr, +1)
 		}
 
-		over := 0
+		over, overUnits := 0, 0
 		for id, n := range g.Nodes {
 			if usage[id] > n.Capacity {
 				over++
+				overUnits += usage[id] - n.Capacity
 				history[id] += opts.HistFac * float64(usage[id]-n.Capacity)
 			}
 		}
 		res.Overused = over
 		overuseSum += int64(over)
+		if opts.Events.Enabled() {
+			var pops int64
+			for _, sc := range scratches {
+				pops += sc.pops
+			}
+			opts.Events.Publish(events.Event{Kind: events.KindRouteIter, RouteIter: &events.RouteIter{
+				Iter: iter, Overused: over, OveruseSum: overUnits, PresFac: presFac,
+				Wirelength: res.WirelengthUsed(), HeapPops: pops - prevPops,
+				DirtyNets: int(netsRouted - prevRouted),
+			}})
+			prevPops, prevRouted = pops, netsRouted
+		}
 		if over == 0 {
 			res.Success = true
+			publishCongestion(g, usage, res, &opts)
 			return res, nil
 		}
 		presFac *= opts.PresFacMult
 	}
+	publishCongestion(g, usage, res, &opts)
 	return res, nil
+}
+
+// publishCongestion emits the final per-channel-segment usage map as a
+// route_congestion event — the heatmap's congestion half, also emitted for
+// failed routings (an unroutable map shows where the pressure is).
+// Segments are keyed by the same structural coordinates
+// internal/fault.WireRef uses and listed in node-ID order, so the derived
+// artifact is byte-stable.
+func publishCongestion(g *rrgraph.Graph, usage []int, res *Result, opts *Options) {
+	if !opts.Events.Enabled() {
+		return
+	}
+	rc := &events.RouteCongestion{Width: g.W, Iterations: res.Iterations, Success: res.Success}
+	for id, n := range g.Nodes {
+		if (n.Type != rrgraph.ChanX && n.Type != rrgraph.ChanY) || usage[id] == 0 {
+			continue
+		}
+		rc.Segments = append(rc.Segments, events.Segment{
+			Vertical: n.Type == rrgraph.ChanY, X: n.X, Y: n.Y, Track: n.Track,
+			Usage: usage[id], Capacity: n.Capacity,
+		})
+	}
+	opts.Events.Publish(events.Event{Kind: events.KindRouteCongestion, RouteCongestion: rc})
 }
 
 // netBatchSize is the number of nets that share one congestion snapshot.
