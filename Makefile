@@ -65,7 +65,7 @@ short:
 	$(GO) test -short ./...
 
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -bench=. -benchmem ./...
 
 race:
 	$(GO) test -race ./...

@@ -243,6 +243,26 @@ func BenchmarkRoute(b *testing.B) {
 	}
 }
 
+// BenchmarkAnneal measures the parallel annealer on the largest committed
+// example at several worker counts. The placement is bit-identical across
+// the sub-benchmarks (the determinism suite asserts it); the j1/j8 ratio
+// is the wall-time speedup the snapshot-evaluate/ordered-commit batching
+// buys on this machine.
+func BenchmarkAnneal(b *testing.B) {
+	p, _ := placedRand64(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("j%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pl, err := place.Place(p, place.Options{Seed: 1, InnerNum: 1, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink = pl
+			}
+		})
+	}
+}
+
 // BenchmarkRRGraphBuild measures routing-resource graph construction for
 // the rand64 fabric — the cost the RR-graph cache exists to avoid.
 func BenchmarkRRGraphBuild(b *testing.B) {

@@ -19,6 +19,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"fpgaflow/internal/circuits"
@@ -59,6 +60,8 @@ func main() {
 	baseline := flag.String("baseline", "", "compare against this committed baseline report")
 	update := flag.String("update", "", "run the suite and (over)write this baseline file")
 	tol := flag.Float64("tol", 0.05, "allowed relative drift per tier-1 metric")
+	popsTol := flag.Float64("pops-tol", 0, "allowed relative drift for route_heap_pops (0 = 4×tol)")
+	md := flag.String("md", "", "append a markdown comparison table to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	seed := flag.Int64("seed", 1, "flow seed (must match the baseline's)")
 	full := flag.Bool("summaries", false, "embed full obs summaries in the emitted report")
 	showVersion := obs.VersionFlag(flag.CommandLine)
@@ -92,8 +95,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if err := compare(base, rep, *tol); err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate: FAIL:", err)
+	pt := *popsTol
+	if pt == 0 {
+		pt = 4 * *tol
+	}
+	cmpErr := compare(base, rep, *tol, pt)
+	if *md != "" {
+		if err := appendFile(*md, markdown(base, rep, *tol, pt, *baseline)); err != nil {
+			fatal(err)
+		}
+	}
+	if cmpErr != nil {
+		fmt.Fprintln(os.Stderr, "benchgate: FAIL:", cmpErr)
 		os.Exit(1)
 	}
 	fmt.Printf("benchgate: OK — %d designs within %.0f%% of %s\n",
@@ -137,8 +150,10 @@ func run(seed int64, embedSummaries bool) (*Report, error) {
 }
 
 // compare checks every tier-1 metric of every design against the baseline.
-// All drifts are reported, not just the first.
-func compare(base, cur *Report, tol float64) error {
+// All drifts are reported, not just the first. popsTol is the separate
+// band for route_heap_pops (routing effort moves more than QoR under
+// benign heuristic tweaks, so it usually gets a looser tolerance).
+func compare(base, cur *Report, tol, popsTol float64) error {
 	baseBy := make(map[string]DesignReport, len(base.Designs))
 	for _, d := range base.Designs {
 		baseBy[d.Name] = d
@@ -163,10 +178,7 @@ func compare(base, cur *Report, tol float64) error {
 		check("bitstream_bits", b.BitstreamBits, d.BitstreamBits)
 		check("wirelength", b.Wirelength, d.Wirelength)
 		check("routed_nets", b.RoutedNets, d.RoutedNets)
-		// Routing effort gets a looser band than QoR: heap pops are
-		// deterministic per code version, but small heuristic tweaks move
-		// them more than they move wirelength.
-		if drift := relDrift(b.RouteHeapPops, d.RouteHeapPops); drift > 4*tol {
+		if drift := relDrift(b.RouteHeapPops, d.RouteHeapPops); drift > popsTol {
 			failures = append(failures, fmt.Sprintf("%s: route_heap_pops drifted %.1f%% (baseline %d, current %d)",
 				d.Name, drift*100, b.RouteHeapPops, d.RouteHeapPops))
 		}
@@ -182,6 +194,79 @@ func compare(base, cur *Report, tol float64) error {
 		return fmt.Errorf("%s", msg)
 	}
 	return nil
+}
+
+// markdown renders the baseline-vs-current comparison as a GitHub-flavored
+// table, one row per design, cells showing "base → cur" where the metric
+// moved. Written to $GITHUB_STEP_SUMMARY by CI so the drift is readable
+// without downloading artifacts.
+func markdown(base, cur *Report, tol, popsTol float64, baselinePath string) string {
+	baseBy := make(map[string]DesignReport, len(base.Designs))
+	for _, d := range base.Designs {
+		baseBy[d.Name] = d
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### benchgate: tier-1 QoR vs `%s` (tol %.0f%%, heap-pop tol %.0f%%)\n\n",
+		baselinePath, tol*100, popsTol*100)
+	sb.WriteString("| design | LUTs | CLBs | W | bits | wirelength | nets | heap pops | wall ms | status |\n")
+	sb.WriteString("|---|---|---|---|---|---|---|---|---|---|\n")
+	for _, d := range cur.Designs {
+		b, ok := baseBy[d.Name]
+		if !ok {
+			fmt.Fprintf(&sb, "| %s | – | – | – | – | – | – | – | %.1f | ❌ missing from baseline |\n",
+				d.Name, d.WallMS)
+			continue
+		}
+		delete(baseBy, d.Name)
+		ok = true
+		cell := func(baseV, curV int64, band float64) string {
+			drift := relDrift(baseV, curV)
+			if baseV == curV {
+				return fmt.Sprintf("%d", curV)
+			}
+			s := fmt.Sprintf("%d → %d", baseV, curV)
+			if drift > band {
+				ok = false
+				s += " ⚠️"
+			}
+			return s
+		}
+		row := fmt.Sprintf("| %s | %s | %s | %s | %s | %s | %s | %s | %.1f |",
+			d.Name,
+			cell(b.LUTs, d.LUTs, tol),
+			cell(b.CLBs, d.CLBs, tol),
+			cell(b.ChannelWidth, d.ChannelWidth, tol),
+			cell(b.BitstreamBits, d.BitstreamBits, tol),
+			cell(b.Wirelength, d.Wirelength, tol),
+			cell(b.RoutedNets, d.RoutedNets, tol),
+			cell(b.RouteHeapPops, d.RouteHeapPops, popsTol),
+			d.WallMS)
+		if ok {
+			row += " ✅ |"
+		} else {
+			row += " ❌ |"
+		}
+		sb.WriteString(row + "\n")
+	}
+	for name := range baseBy {
+		fmt.Fprintf(&sb, "| %s | – | – | – | – | – | – | – | – | ❌ in baseline but not run |\n", name)
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+// appendFile appends to path (creating it if needed) — $GITHUB_STEP_SUMMARY
+// may already hold earlier steps' sections, so no truncation.
+func appendFile(path, s string) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(s); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func relDrift(base, cur int64) float64 {

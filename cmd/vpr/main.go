@@ -23,7 +23,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "placement seed")
 	effort := flag.Float64("effort", 1, "annealing effort (VPR inner_num)")
 	minW := flag.Bool("min-w", false, "binary search minimum channel width")
-	jobs := flag.Int("j", 0, "routing workers per iteration (0 = GOMAXPROCS, 1 = serial); result is identical for every value")
+	jobs := flag.Int("j", 0, "placement and routing workers (0 = GOMAXPROCS, 1 = serial); result is identical for every value")
 	flag.IntVar(jobs, "parallel", 0, "alias for -j")
 	obsFlags := obs.RegisterCLIFlags(flag.CommandLine)
 	showVersion := obs.VersionFlag(flag.CommandLine)
@@ -64,7 +64,7 @@ func main() {
 		fatal(err)
 	}
 	p.AutoSize()
-	pl, err := place.Place(p, place.Options{Seed: *seed, InnerNum: *effort, Obs: tr, Events: obsFlags.Bus})
+	pl, err := place.Place(p, place.Options{Seed: *seed, InnerNum: *effort, Obs: tr, Events: obsFlags.Bus, Workers: *jobs})
 	if err != nil {
 		fatal(err)
 	}

@@ -1,11 +1,12 @@
 package fpgaflow
 
-// Worker-count invariance suite: the parallel router's contract is that
-// GOMAXPROCS and the -j worker knob change only wall-clock time, never the
-// result. Each example is compiled under several (GOMAXPROCS, workers)
-// configurations and the serialized route trees and encoded bitstreams must
-// be byte-identical. The CI race job runs this file under -race, so the
-// parallel search phase is also exercised for data races.
+// Worker-count invariance suite: the parallel router's and annealer's
+// contract is that GOMAXPROCS and the -j worker knob change only
+// wall-clock time, never the result. Each example is compiled under
+// several (GOMAXPROCS, workers) configurations and the serialized route
+// trees, placements, and encoded bitstreams must be byte-identical. The
+// CI race job runs this file under -race, so the parallel search and
+// move-evaluation phases are also exercised for data races.
 
 import (
 	"bytes"
@@ -31,7 +32,7 @@ func TestRoutingDeterminismAcrossWorkers(t *testing.T) {
 			var refTrees, refBits []byte
 			for _, cfg := range configs {
 				runtime.GOMAXPROCS(cfg.gomaxprocs)
-				res, err := Run(src, Options{Seed: 1, SkipVerify: true, RouteWorkers: cfg.workers})
+				res, err := Run(src, Options{Seed: 1, SkipVerify: true, RouteWorkers: cfg.workers, PlaceWorkers: cfg.workers})
 				if err != nil {
 					t.Fatalf("GOMAXPROCS=%d -j %d: %v", cfg.gomaxprocs, cfg.workers, err)
 				}
@@ -50,6 +51,37 @@ func TestRoutingDeterminismAcrossWorkers(t *testing.T) {
 				if !bytes.Equal(res.Encoded, refBits) {
 					t.Errorf("GOMAXPROCS=%d -j %d: bitstream differs from GOMAXPROCS=1 run",
 						cfg.gomaxprocs, cfg.workers)
+				}
+			}
+		})
+	}
+}
+
+// TestPlacementDeterminismAcrossWorkers sweeps the annealer worker knob in
+// isolation (routing pinned serial) and requires the bit-identical
+// placement and bitstream from every value on every golden design.
+func TestPlacementDeterminismAcrossWorkers(t *testing.T) {
+	for name, src := range goldenExamples(t) {
+		t.Run(name, func(t *testing.T) {
+			var refLoc, refBits []byte
+			for _, workers := range []int{1, 2, 4, 8} {
+				res, err := Run(src, Options{Seed: 1, SkipVerify: true, RouteWorkers: 1, PlaceWorkers: workers})
+				if err != nil {
+					t.Fatalf("place workers=%d: %v", workers, err)
+				}
+				loc, err := json.Marshal(res.Placed.Loc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if refLoc == nil {
+					refLoc, refBits = loc, res.Encoded
+					continue
+				}
+				if !bytes.Equal(loc, refLoc) {
+					t.Errorf("place workers=%d: placement differs from workers=1 run", workers)
+				}
+				if !bytes.Equal(res.Encoded, refBits) {
+					t.Errorf("place workers=%d: bitstream differs from workers=1 run", workers)
 				}
 			}
 		})

@@ -1,0 +1,60 @@
+package fpgaflow
+
+// A*-vs-Dijkstra equivalence on the golden designs: the router's cost
+// lookahead is an admissible lower bound, so directed search must change
+// how many nodes are popped, never which routes win. Each golden example
+// is placed once by the real flow at its minimum channel width, then
+// routed twice — lookahead on and off — and the route trees must be
+// byte-identical (which implies identical wirelength and routability).
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"fpgaflow/internal/route"
+	"fpgaflow/internal/rrgraph"
+)
+
+func TestLookaheadEquivalenceGolden(t *testing.T) {
+	for name, src := range goldenExamples(t) {
+		t.Run(name, func(t *testing.T) {
+			res, _ := runQoR(t, src, 0)
+			g1, err := rrgraph.Build(res.Problem.Arch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g2, err := rrgraph.Build(res.Problem.Arch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			astar, err := route.Route(res.Problem, res.Placed, g1, route.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dijkstra, err := route.Route(res.Problem, res.Placed, g2, route.Options{NoLookahead: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if astar.Success != dijkstra.Success {
+				t.Fatalf("routability differs: astar %v, dijkstra %v", astar.Success, dijkstra.Success)
+			}
+			if aw, dw := astar.WirelengthUsed(), dijkstra.WirelengthUsed(); aw != dw {
+				t.Errorf("wirelength differs: astar %d, dijkstra %d", aw, dw)
+			}
+			for ni := range astar.Routes {
+				at, err := json.Marshal(astar.Routes[ni].Paths)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dt, err := json.Marshal(dijkstra.Routes[ni].Paths)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(at, dt) {
+					t.Errorf("net %d route trees differ:\n  astar:    %s\n  dijkstra: %s", ni, at, dt)
+				}
+			}
+		})
+	}
+}

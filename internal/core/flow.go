@@ -79,6 +79,11 @@ type Options struct {
 	// PlaceSeeds runs that many independent annealing seeds in parallel and
 	// keeps the cheapest placement (0/1 = single seed).
 	PlaceSeeds int
+	// PlaceWorkers is the number of concurrent annealer move-evaluation
+	// workers (the CLI -j knob): 0 uses GOMAXPROCS, 1 evaluates serially.
+	// The placement is bit-identical for every value — see
+	// place.Options.Workers.
+	PlaceWorkers int
 	// RouteWorkers is the number of concurrent net-routing workers inside
 	// each PathFinder iteration (the CLI -j knob): 0 uses GOMAXPROCS, 1
 	// routes serially. The routing result is identical for every value —
@@ -454,7 +459,7 @@ func (res *Result) continueFromBLIF(ctx context.Context, blifText string, opts O
 	// Stage 8: VPR placement.
 	err = res.stage(ctx, &opts, "VPR place", func(sctx context.Context) error {
 		popts := place.Options{Seed: opts.Seed, InnerNum: opts.PlaceEffort, Fixed: opts.FixedPads, Obs: res.tr,
-			Ctx: sctx, Bad: opts.Defects.BadSiteSet(), Events: opts.Events}
+			Ctx: sctx, Bad: opts.Defects.BadSiteSet(), Events: opts.Events, Workers: opts.PlaceWorkers}
 		mode := "wirelength-driven"
 		if opts.TimingDrivenPlace {
 			popts.Weights = place.CriticalityWeights(res.Packing, res.Problem, 8)

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 
 	"fpgaflow/internal/obs"
 	"fpgaflow/internal/obs/events"
@@ -47,6 +49,17 @@ type Options struct {
 	// and a Fixed block pinned there is an error. An IO coordinate in Bad
 	// removes every pad sub-slot of that site.
 	Bad map[[2]int]bool
+	// Workers is the number of concurrent move-evaluation workers (the CLI
+	// -j knob): 0 uses GOMAXPROCS, 1 evaluates serially. Every worker
+	// count produces the bit-identical placement: moves are proposed
+	// serially from the main RNG against the state frozen at batch entry,
+	// their cost deltas are evaluated in parallel (pure reads of the
+	// frozen state), and commits happen serially in proposal order — a
+	// proposal invalidated by an earlier commit in its batch is re-evaluated
+	// against live state at commit time. Each proposal's Metropolis
+	// acceptance draw is taken at proposal time, so the random stream never
+	// depends on evaluation scheduling.
+	Workers int
 	// Ctx cancels annealing cooperatively: checked once per temperature
 	// step; the annealer returns the context's error. nil disables.
 	Ctx context.Context
@@ -259,6 +272,48 @@ func Place(p *Problem, opts Options) (*Placement, error) {
 	rlim := float64(max(a.Cols, a.Rows) + 2)
 	exitT := 0.005 * cost / float64(len(p.Nets))
 
+	// Snapshot-evaluate / ordered-commit move engine. Proposals are drawn
+	// serially from the main RNG against the state left by the previous
+	// batch, cost deltas are evaluated concurrently (pure reads — nothing
+	// mutates between generation and commit), and commits run serially in
+	// proposal order. A proposal whose ingredients were touched by an
+	// earlier commit in its own batch is re-evaluated against live state at
+	// commit time, so the outcome is independent of worker scheduling: any
+	// Workers value yields the bit-identical placement.
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	batch := make([]proposal, 0, moveBatchSize)
+	// touched tracks blocks and nets modified by commits in the current
+	// batch (epoch-stamped so clearing is O(1) per batch).
+	touchedBlock := make([]uint32, nBlocks)
+	touchedNet := make([]uint32, len(p.Nets))
+	batchEpoch := uint32(0)
+	commitSwap := func(b int, s site, other int, cur site) {
+		occ[cur] = -1
+		occ[s] = b
+		pl.Loc[b] = Location{s.x, s.y, s.sub}
+		if other >= 0 {
+			occ[cur] = other
+			pl.Loc[other] = Location{cur.x, cur.y, cur.sub}
+		}
+	}
+	evalProposal := func(pr *proposal) {
+		pr.nets = affectedNets(pr.b, pr.other)
+		old := 0.0
+		for _, n := range pr.nets {
+			old += netCost[n]
+		}
+		newSum := 0.0
+		l1 := Location{pr.s.x, pr.s.y, pr.s.sub}
+		l2 := Location{pr.cur.x, pr.cur.y, pr.cur.sub}
+		for _, n := range pr.nets {
+			newSum += p.netBBCostAt(pl, n, pr.b, l1, pr.other, l2)
+		}
+		pr.delta = newSum - old
+	}
+
 	for temp > exitT {
 		if opts.Ctx != nil {
 			if err := opts.Ctx.Err(); err != nil {
@@ -266,6 +321,90 @@ func Place(p *Problem, opts Options) (*Placement, error) {
 			}
 		}
 		accepted := 0
+		flush := func() {
+			if len(batch) == 0 {
+				return
+			}
+			// Parallel evaluation against the frozen state. Fan-out is capped
+			// by the work available: spawning a goroutine costs more than
+			// evaluating a handful of proposals, so each worker must have at
+			// least evalChunkMin proposals to justify its startup (tiny
+			// designs therefore evaluate serially — same result, see below).
+			w := workers
+			if most := len(batch) / evalChunkMin; w > most {
+				w = most
+			}
+			if w <= 1 {
+				for i := range batch {
+					evalProposal(&batch[i])
+				}
+			} else {
+				var wg sync.WaitGroup
+				for k := 0; k < w; k++ {
+					wg.Add(1)
+					go func(k int) {
+						defer wg.Done()
+						for i := k; i < len(batch); i += w {
+							evalProposal(&batch[i])
+						}
+					}(k)
+				}
+				wg.Wait()
+			}
+			// Ordered commit. A commit that moves a block or re-costs a net
+			// stales every later proposal overlapping it; stale proposals are
+			// re-evaluated (and re-validated) against live state.
+			batchEpoch++
+			for i := range batch {
+				pr := &batch[i]
+				pl.Moves++
+				stale := touchedBlock[pr.b] == batchEpoch ||
+					(pr.other >= 0 && touchedBlock[pr.other] == batchEpoch) ||
+					occ[pr.s] != pr.other || siteOf(pr.b) != pr.cur
+				if !stale {
+					for _, n := range pr.nets {
+						if touchedNet[n] == batchEpoch {
+							stale = true
+							break
+						}
+					}
+				}
+				b, s, cur, other, nets, delta := pr.b, pr.s, pr.cur, pr.other, pr.nets, pr.delta
+				if stale {
+					cur = siteOf(b)
+					other = occ[s]
+					if s == cur || other == b || (other >= 0 && fixed[other]) {
+						continue // degenerate or illegal after earlier commits
+					}
+					nets = affectedNets(b, other)
+					old := 0.0
+					for _, n := range nets {
+						old += netCost[n]
+					}
+					newSum := 0.0
+					l1 := Location{s.x, s.y, s.sub}
+					l2 := Location{cur.x, cur.y, cur.sub}
+					for _, n := range nets {
+						newSum += p.netBBCostAt(pl, n, b, l1, other, l2)
+					}
+					delta = newSum - old
+				}
+				if delta <= 0 || pr.u < math.Exp(-delta/temp) {
+					commitSwap(b, s, other, cur)
+					for _, n := range nets {
+						netCost[n] = p.netBBCost(pl, n)
+						touchedNet[n] = batchEpoch
+					}
+					touchedBlock[b] = batchEpoch
+					if other >= 0 {
+						touchedBlock[other] = batchEpoch
+					}
+					cost += delta
+					accepted++
+				}
+			}
+			batch = batch[:0]
+		}
 		for m := 0; m < movesPerT; m++ {
 			b := rng.Intn(nBlocks)
 			if fixed[b] {
@@ -283,42 +422,12 @@ func Place(p *Problem, opts Options) (*Placement, error) {
 			if other >= 0 && fixed[other] {
 				continue // never displace a pinned block
 			}
-			nets := affectedNets(b, other)
-			old := 0.0
-			for _, n := range nets {
-				old += netCost[n]
+			batch = append(batch, proposal{b: b, s: s, cur: cur, other: other, u: rng.Float64()})
+			if len(batch) == moveBatchSize {
+				flush()
 			}
-			// Tentatively move.
-			if other >= 0 {
-				apply(other, site{-1, -1, -1})
-			}
-			apply(b, s)
-			if other >= 0 {
-				apply(other, cur)
-			}
-			newSum := 0.0
-			for _, n := range nets {
-				newSum += p.netBBCost(pl, n)
-			}
-			delta := newSum - old
-			if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
-				for _, n := range nets {
-					netCost[n] = p.netBBCost(pl, n)
-				}
-				cost += delta
-				accepted++
-			} else {
-				// Revert.
-				if other >= 0 {
-					apply(other, site{-2, -2, -2})
-				}
-				apply(b, cur)
-				if other >= 0 {
-					apply(other, s)
-				}
-			}
-			pl.Moves++
 		}
+		flush()
 		pl.Accepted += accepted
 		tempSteps++
 		accRate := float64(accepted) / float64(movesPerT)
@@ -402,6 +511,31 @@ func publishPlaceMap(p *Problem, pl *Placement, opts Options) {
 	opts.Events.Publish(events.Event{Kind: events.KindPlaceMap, PlaceMap: pm})
 }
 
+// proposal is one speculative annealer move: block b moves from cur to s,
+// swapping with other (the occupant of s at proposal time, -1 for an empty
+// site). u is the move's Metropolis acceptance draw, taken from the main
+// RNG at proposal time so the random stream never depends on evaluation
+// scheduling. nets and delta are filled by the parallel evaluation pass.
+type proposal struct {
+	b, other int
+	s, cur   site
+	u        float64
+	nets     []int
+	delta    float64
+}
+
+// moveBatchSize proposals are generated before each parallel evaluation /
+// ordered-commit round. Larger batches amortize goroutine fan-out but
+// raise the share of proposals that go stale against an earlier commit in
+// their own batch and need a serial re-evaluation.
+const moveBatchSize = 56
+
+// evalChunkMin is the minimum number of proposals per evaluation worker:
+// below it, goroutine startup costs more than the evaluations themselves,
+// so the fan-out is capped at len(batch)/evalChunkMin workers regardless
+// of Options.Workers. The placement result is identical either way.
+const evalChunkMin = 16
+
 // trialDelta measures a move's delta then reverts it (used for the initial
 // temperature estimate); commit selects whether to keep the move.
 func (p *Problem) trialDelta(pl *Placement, occ map[site]int, b int, s site,
@@ -465,6 +599,41 @@ func (p *Problem) netBBCost(pl *Placement, netIdx int) float64 {
 	minY, maxY := 1<<30, -1
 	for _, b := range n.Blocks {
 		l := pl.Loc[b]
+		if l.X < minX {
+			minX = l.X
+		}
+		if l.X > maxX {
+			maxX = l.X
+		}
+		if l.Y < minY {
+			minY = l.Y
+		}
+		if l.Y > maxY {
+			maxY = l.Y
+		}
+	}
+	cost := crossingCount(len(n.Blocks)) * float64((maxX-minX)+(maxY-minY)+2)
+	if pl.weights != nil {
+		cost *= pl.weights[netIdx]
+	}
+	return cost
+}
+
+// netBBCostAt is netBBCost evaluated with two block positions overridden
+// (b1 at l1, b2 at l2; b2 may be -1) without mutating the placement. The
+// parallel move evaluator uses it to cost hypothetical swaps against the
+// frozen state — it must mirror netBBCost exactly.
+func (p *Problem) netBBCostAt(pl *Placement, netIdx, b1 int, l1 Location, b2 int, l2 Location) float64 {
+	n := p.Nets[netIdx]
+	minX, maxX := 1<<30, -1
+	minY, maxY := 1<<30, -1
+	for _, b := range n.Blocks {
+		l := pl.Loc[b]
+		if b == b1 {
+			l = l1
+		} else if b == b2 {
+			l = l2
+		}
 		if l.X < minX {
 			minX = l.X
 		}

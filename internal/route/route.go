@@ -12,7 +12,6 @@
 package route
 
 import (
-	"container/heap"
 	"context"
 	"errors"
 	"fmt"
@@ -38,6 +37,16 @@ type Options struct {
 	// DelayDriven weights base costs by each resource's intrinsic RC delay
 	// so paths prefer electrically fast routes, not just few hops.
 	DelayDriven bool
+	// NoLookahead disables the A* cost lookahead and falls back to plain
+	// Dijkstra. The routed result is identical either way (the lookahead
+	// is an admissible lower bound, so A* pops the same optimal paths);
+	// the flag exists so the equivalence test can prove exactly that, and
+	// as an escape hatch for debugging search behavior.
+	NoLookahead bool
+	// NoFailurePredictor disables the early abort of hopeless width
+	// trials (see predictStall); every unroutable attempt then burns the
+	// full MaxIters budget. Useful when studying long-tail convergence.
+	NoFailurePredictor bool
 	// Ctx cancels routing cooperatively: the router checks it at every
 	// rip-up-and-reroute iteration and returns the context's error. nil
 	// means no cancellation.
@@ -93,15 +102,19 @@ func (o *Options) fill() {
 type NetRoute struct {
 	// Paths[i] is the path for sink i of the net (problem order).
 	Paths [][]int
+
+	// nodes caches the deduplicated sorted node list (see NodeList). It is
+	// unexported so the JSON shape of route trees is unchanged.
+	nodes []int
 }
 
-// Nodes returns the set of RR nodes the net occupies.
+// Nodes returns the set of RR nodes the net occupies. Hot paths use
+// NodeList instead; the map form remains for callers that want set
+// membership.
 func (nr *NetRoute) Nodes() map[int]bool {
-	set := make(map[int]bool)
-	for _, path := range nr.Paths {
-		for _, n := range path {
-			set[n] = true
-		}
+	set := make(map[int]bool, len(nr.NodeList()))
+	for _, n := range nr.NodeList() {
+		set[n] = true
 	}
 	return set
 }
@@ -155,7 +168,7 @@ func Route(p *place.Problem, pl *place.Placement, g *rrgraph.Graph, opts Options
 		if nr == nil {
 			return
 		}
-		for n := range nr.Nodes() {
+		for _, n := range nr.NodeList() {
 			usage[n] += delta
 		}
 	}
@@ -171,6 +184,11 @@ func Route(p *place.Problem, pl *place.Placement, g *rrgraph.Graph, opts Options
 			}
 		}
 	}
+	// The A* lookahead: admissible cost-to-sink lower bounds derived from
+	// the graph's per-segment-type summary (built once per RR-graph and
+	// shared by every cache clone). See search.go for the admissibility
+	// argument; NoLookahead degrades to plain Dijkstra.
+	hr := newHeur(g, opts.DelayDriven, delayNorm, !opts.NoLookahead)
 	// costFor is the node-cost function net ni searches with. usage and
 	// history are frozen while a batch is in flight, so concurrent reads
 	// are safe; own excludes the net's own previous route so a net is not
@@ -184,12 +202,12 @@ func Route(p *place.Problem, pl *place.Placement, g *rrgraph.Graph, opts Options
 	// real cost difference) makes tied nets prefer different alternatives,
 	// which is exactly the symmetry breaking the serial one-net-at-a-time
 	// order used to provide.
-	costFor := func(own map[int]bool, ni int) func(int) float64 {
+	costFor := func(sc *scratch, ni int) func(int) float64 {
 		seed := uint32(ni+1) * 2654435761
 		return func(id int) float64 {
 			n := g.Nodes[id]
 			u := usage[id]
-			if own[id] {
+			if sc.isOwn(id) {
 				u--
 			}
 			over := u + 1 - n.Capacity
@@ -225,9 +243,10 @@ func Route(p *place.Problem, pl *place.Placement, g *rrgraph.Graph, opts Options
 	}
 	var netsRouted, netsParallel, overuseSum int64
 	defer func() {
-		var pops int64
+		var pops, reused int64
 		for _, sc := range scratches {
 			pops += sc.pops
+			reused += sc.reused
 		}
 		opts.Obs.SetGauge("route.workers", float64(workers))
 		opts.Obs.Add("route.iterations", int64(res.Iterations))
@@ -235,19 +254,21 @@ func Route(p *place.Problem, pl *place.Placement, g *rrgraph.Graph, opts Options
 		opts.Obs.Add("route.nets_parallel", netsParallel)
 		opts.Obs.Add("route.overuse_sum", overuseSum)
 		opts.Obs.Add("route.heap_pops", pops)
+		opts.Obs.Add("route.sinks_reused", reused)
 		opts.Obs.Gauge("route.overused_final").Set(float64(res.Overused))
 	}()
-	// touchesOveruse reports whether a net's committed route runs through a
-	// node that is currently above capacity (nil = not yet routed).
+	// overused reports whether one node is above capacity under the current
+	// usage array; touchesOveruse lifts it to a whole committed route
+	// (nil = not yet routed). Both read usage, which is frozen while a
+	// batch of workers is in flight.
+	overused := func(n int) bool { return usage[n] > g.Nodes[n].Capacity }
 	touchesOveruse := func(nr *NetRoute) bool {
 		if nr == nil {
 			return true
 		}
-		for _, path := range nr.Paths {
-			for _, n := range path {
-				if usage[n] > g.Nodes[n].Capacity {
-					return true
-				}
+		for _, n := range nr.NodeList() {
+			if overused(n) {
+				return true
 			}
 		}
 		return false
@@ -256,6 +277,24 @@ func Route(p *place.Problem, pl *place.Placement, g *rrgraph.Graph, opts Options
 	batchRoutes := make([]*NetRoute, netBatchSize)
 	batchErrs := make([]error, netBatchSize)
 	dirty := make([]int, 0, len(conns))
+	// Route-tree reuse is only a win during the early high-churn
+	// iterations, where most nets are dirty and most heap pops happen.
+	// Past that window — or as soon as an iteration fails to reduce the
+	// overused-node count — frozen subtrees stop paying the rising history
+	// costs and distort the negotiation, so reuse switches off for the
+	// rest of the run and every dirty net rips up fully, restoring the
+	// classic PathFinder endgame (and its QoR) at tight channel widths.
+	reuseOK := true
+	prevOver := 1 << 30
+	reusePrev := func(nr *NetRoute) *NetRoute {
+		if !reuseOK {
+			return nil
+		}
+		return nr
+	}
+	// Failure predictor state: the best (lowest) overused-node count seen
+	// so far and the iteration that achieved it.
+	bestOver, bestIter := 1<<30, 0
 	// prevPops and prevRouted delta the cumulative effort counters into
 	// per-iteration telemetry; only maintained while events are flowing.
 	var prevPops, prevRouted int64
@@ -294,8 +333,9 @@ func Route(p *place.Problem, pl *place.Placement, g *rrgraph.Graph, opts Options
 				sc := scratches[0]
 				for bi := lo; bi < hi; bi++ {
 					ni := dirty[bi]
+					sc.setOwn(routes[ni])
 					batchRoutes[bi-lo], batchErrs[bi-lo] = routeNet(
-						g, conns[ni].source, conns[ni].sinks, costFor(ownNodes(routes[ni]), ni), sc)
+						g, conns[ni].source, conns[ni].sinks, reusePrev(routes[ni]), overused, costFor(sc, ni), hr, sc)
 				}
 			} else {
 				var wg sync.WaitGroup
@@ -306,8 +346,9 @@ func Route(p *place.Problem, pl *place.Placement, g *rrgraph.Graph, opts Options
 						sc := scratches[k]
 						for bi := lo + k; bi < hi; bi += w {
 							ni := dirty[bi]
+							sc.setOwn(routes[ni])
 							batchRoutes[bi-lo], batchErrs[bi-lo] = routeNet(
-								g, conns[ni].source, conns[ni].sinks, costFor(ownNodes(routes[ni]), ni), sc)
+								g, conns[ni].source, conns[ni].sinks, reusePrev(routes[ni]), overused, costFor(sc, ni), hr, sc)
 						}
 					}(k)
 				}
@@ -346,7 +387,14 @@ func Route(p *place.Problem, pl *place.Placement, g *rrgraph.Graph, opts Options
 				continue
 			}
 			occupy(routes[ni], -1)
-			nr, err := routeNet(g, conns[ni].source, conns[ni].sinks, costFor(nil, ni), scratches[0])
+			// The net's own usage was just removed, so a kept path would put
+			// it back: a node survives only if re-adding one user stays
+			// within capacity. The live usage also makes own-exclusion moot
+			// (setOwn(nil) clears it).
+			sc := scratches[0]
+			sc.setOwn(nil)
+			wouldOveruse := func(n int) bool { return usage[n]+1 > g.Nodes[n].Capacity }
+			nr, err := routeNet(g, conns[ni].source, conns[ni].sinks, reusePrev(routes[ni]), wouldOveruse, costFor(sc, ni), hr, sc)
 			if err != nil {
 				return nil, fmt.Errorf("route: net %s: %w", p.Nets[ni].Signal, err)
 			}
@@ -365,6 +413,10 @@ func Route(p *place.Problem, pl *place.Placement, g *rrgraph.Graph, opts Options
 		}
 		res.Overused = over
 		overuseSum += int64(over)
+		if over >= prevOver || iter >= reuseMaxIter {
+			reuseOK = false
+		}
+		prevOver = over
 		if opts.Events.Enabled() {
 			var pops int64
 			for _, sc := range scratches {
@@ -382,11 +434,38 @@ func Route(p *place.Problem, pl *place.Placement, g *rrgraph.Graph, opts Options
 			publishCongestion(g, usage, res, &opts)
 			return res, nil
 		}
+		if over < bestOver {
+			bestOver, bestIter = over, iter
+		}
+		// Failure predictor: a converging negotiation keeps setting new
+		// overuse lows every iteration or two (rising present/history costs
+		// steadily squeeze the conflict set), while an unroutable width
+		// oscillates around a floor. Once no new low has appeared for
+		// predictStall iterations AND the best low is still far from zero,
+		// declare the width unroutable instead of burning the rest of the
+		// MaxIters budget — failing trials dominate the min-channel-width
+		// search's cost by an order of magnitude.
+		if !opts.NoFailurePredictor && iter-bestIter >= predictStall && bestOver >= predictMinOver {
+			break
+		}
 		presFac *= opts.PresFacMult
 	}
 	publishCongestion(g, usage, res, &opts)
 	return res, nil
 }
+
+// predictStall and predictMinOver gate the routing failure predictor: a
+// trial is abandoned once predictStall consecutive iterations fail to set
+// a new overused-node low while that low is still at least predictMinOver.
+// Both margins are deliberately generous — observed successful trials
+// never go more than ~3 iterations without a new low, and near-converged
+// endgames (a handful of overused nodes) are always allowed to run to
+// MaxIters — so the predictor only fires on trials that oscillate far
+// from closure.
+const (
+	predictStall   = 12
+	predictMinOver = 10
+)
 
 // publishCongestion emits the final per-channel-segment usage map as a
 // route_congestion event — the heatmap's congestion half, also emitted for
@@ -419,6 +498,13 @@ func publishCongestion(g *rrgraph.Graph, usage []int, res *Result, opts *Options
 // to 1); larger batches expose more parallelism per synchronization.
 const netBatchSize = 32
 
+// reuseMaxIter is the last PathFinder iteration whose routes may be
+// reused incrementally in the next one. The early iterations carry the
+// bulk of the rip-up churn (and heap pops); bounding reuse to them keeps
+// the endgame — where minimum-width feasibility is decided — identical in
+// character to the classic algorithm.
+const reuseMaxIter = 2
+
 // tieBreak is the deterministic per-(net, node) cost perturbation in
 // [0, 1e-4): a xorshift-style mix of the net's seed and the node ID. It is
 // a pure function, so the routing stays identical across worker counts.
@@ -428,138 +514,6 @@ func tieBreak(seed uint32, id int) float64 {
 	h *= 0x45d9f3b
 	h ^= h >> 16
 	return float64(h&0xffff) * (1e-4 / 65536)
-}
-
-// ownNodes returns the node set of a net's previous route (nil for a net
-// not yet routed), used to subtract the net's own usage during search.
-func ownNodes(nr *NetRoute) map[int]bool {
-	if nr == nil {
-		return nil
-	}
-	return nr.Nodes()
-}
-
-// scratch holds per-router search state, generation-stamped so clearing
-// between searches is O(1).
-type scratch struct {
-	dist []float64
-	prev []int32
-	gen  []uint32
-	cur  uint32
-	// pops counts priority-queue pops across searches (search effort).
-	pops int64
-}
-
-func newScratch(n int) *scratch {
-	return &scratch{dist: make([]float64, n), prev: make([]int32, n), gen: make([]uint32, n)}
-}
-
-func (s *scratch) reset() { s.cur++ }
-
-func (s *scratch) seen(n int) bool { return s.gen[n] == s.cur }
-
-func (s *scratch) set(n int, d float64, p int32) {
-	s.gen[n] = s.cur
-	s.dist[n] = d
-	s.prev[n] = p
-}
-
-// routeNet routes one net: sequential shortest paths, each seeded with the
-// tree built so far. The net's Source node is only usable for the first
-// path, pinning the net to a single output pin choice thereafter.
-func routeNet(g *rrgraph.Graph, source int, sinks []int, nodeCost func(int) float64, sc *scratch) (*NetRoute, error) {
-	nr := &NetRoute{}
-	// The tree is kept as an ordered list (plus membership set) so Dijkstra
-	// seeds deterministically: map iteration order would otherwise break
-	// tie-resolution and with it bitstream reproducibility.
-	inTree := map[int]bool{source: true}
-	treeList := []int{source}
-	sourceLocked := false
-	for _, sink := range sinks {
-		path, err := dijkstra(g, treeList, sink, source, sourceLocked, nodeCost, sc)
-		if err != nil {
-			return nil, err
-		}
-		nr.Paths = append(nr.Paths, path)
-		for _, n := range path {
-			if !inTree[n] {
-				inTree[n] = true
-				treeList = append(treeList, n)
-			}
-		}
-		sourceLocked = true
-	}
-	return nr, nil
-}
-
-type pqItem struct {
-	node int
-	cost float64
-}
-
-type pq []pqItem
-
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].cost < q[j].cost }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
-}
-
-// dijkstra finds the cheapest path from the tree to target. Tree nodes cost
-// nothing to reuse. When sourceLocked, expansion out of the source node is
-// forbidden (the output pin is already chosen).
-func dijkstra(g *rrgraph.Graph, tree []int, target, source int, sourceLocked bool, nodeCost func(int) float64, sc *scratch) ([]int, error) {
-	const unseen = -1
-	sc.reset()
-	var q pq
-	for _, n := range tree {
-		if sourceLocked && n == source {
-			continue
-		}
-		sc.set(n, 0, unseen)
-		heap.Push(&q, pqItem{n, 0})
-	}
-	reached := false
-	for q.Len() > 0 {
-		it := heap.Pop(&q).(pqItem)
-		sc.pops++
-		if it.cost > sc.dist[it.node] {
-			continue
-		}
-		if it.node == target {
-			reached = true
-			break
-		}
-		for _, e := range g.Nodes[it.node].Edges {
-			if g.Dead(e) {
-				continue // defective resource: route around it
-			}
-			c := it.cost + nodeCost(e)
-			if !sc.seen(e) || c < sc.dist[e] {
-				sc.set(e, c, int32(it.node))
-				heap.Push(&q, pqItem{e, c})
-			}
-		}
-	}
-	if !reached {
-		return nil, fmt.Errorf("%w to node %d (%s at %d,%d)",
-			ErrNoPath, target, g.Nodes[target].Type, g.Nodes[target].X, g.Nodes[target].Y)
-	}
-	var path []int
-	for n := target; n != unseen; n = int(sc.prev[n]) {
-		path = append(path, n)
-	}
-	// Reverse to source->sink order.
-	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
-		path[i], path[j] = path[j], path[i]
-	}
-	return path, nil
 }
 
 // Validate checks a successful routing: every path connected in the graph,
@@ -607,7 +561,7 @@ func (r *Result) Validate(p *place.Problem, pl *place.Placement) error {
 				return fmt.Errorf("route: net %s sink %d path detached", p.Nets[ni].Signal, si)
 			}
 		}
-		for n := range treeNodes {
+		for _, n := range nr.NodeList() {
 			usage[n]++
 		}
 	}
@@ -627,7 +581,7 @@ func (r *Result) WirelengthUsed() int {
 		if nr == nil {
 			continue
 		}
-		for n := range nr.Nodes() {
+		for _, n := range nr.NodeList() {
 			t := r.Graph.Nodes[n].Type
 			if t == rrgraph.ChanX || t == rrgraph.ChanY {
 				total += r.Graph.Nodes[n].Span

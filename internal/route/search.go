@@ -1,0 +1,498 @@
+package route
+
+// The router's search core: a non-boxing binary heap, epoch-stamped flat
+// node state reused across nets, the admissible A* cost lookahead derived
+// from rrgraph.Lookahead, and the per-net tree search with incremental
+// route-tree reuse. Everything here is a pure function of (graph, frozen
+// congestion state, net), so the parallel batches in route.go stay
+// bit-identical at every worker count.
+
+import (
+	"fmt"
+	"sort"
+
+	"fpgaflow/internal/rrgraph"
+)
+
+// pqItem is one frontier entry: f is the heap priority (the cost from the
+// tree plus the admissible cost-to-target bound), g the cost from the
+// tree alone (compared against dist to drop stale entries).
+type pqItem struct {
+	f, g float64
+	node int32
+}
+
+// pq is a plain binary min-heap ordered by f. It deliberately avoids
+// container/heap: the interface-based API boxes every item, and the
+// router pushes millions of entries per run — heap traffic is the
+// routing hot path.
+type pq []pqItem
+
+func (q *pq) push(it pqItem) {
+	*q = append(*q, it)
+	s := *q
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent].f <= s[i].f {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+func (q *pq) pop() pqItem {
+	s := *q
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*q = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && s[l].f < s[small].f {
+			small = l
+		}
+		if r < n && s[r].f < s[small].f {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+	return top
+}
+
+// scratch holds per-worker search state over flat slice-indexed RR-node
+// arrays, generation-stamped so clearing between nets and searches is
+// O(1): no per-net allocation and no clearing loops over the node array.
+type scratch struct {
+	// dist/prev/gen are the per-search Dijkstra/A* state: cost from the
+	// tree, predecessor node, and the visit epoch that invalidates both.
+	dist []float64
+	prev []int32
+	gen  []uint32
+	cur  uint32
+
+	// own marks the net's previous route (own[i] == ownCur): its usage is
+	// subtracted during cost evaluation so the net is not repelled by the
+	// congestion it itself caused last iteration.
+	own    []uint32
+	ownCur uint32
+
+	// tree marks route-tree membership while one net is routed
+	// (tree[i] == treeCur); treeList keeps the deterministic insertion
+	// order the searches seed their frontier from.
+	tree     []uint32
+	treeCur  uint32
+	treeList []int
+
+	// q is the frontier heap, reused across searches.
+	q pq
+	// pops counts priority-queue pops across searches (search effort);
+	// reused counts sinks whose route-tree paths survived a rip-up.
+	pops   int64
+	reused int64
+}
+
+func newScratch(n int) *scratch {
+	return &scratch{
+		dist: make([]float64, n), prev: make([]int32, n), gen: make([]uint32, n),
+		own: make([]uint32, n), tree: make([]uint32, n),
+	}
+}
+
+func (s *scratch) reset() { s.cur++ }
+
+func (s *scratch) seen(n int) bool { return s.gen[n] == s.cur }
+
+func (s *scratch) set(n int, d float64, p int32) {
+	s.gen[n] = s.cur
+	s.dist[n] = d
+	s.prev[n] = p
+}
+
+// setOwn stamps the node set of the net's previous route (nil = none).
+func (s *scratch) setOwn(nr *NetRoute) {
+	s.ownCur++
+	if nr == nil {
+		return
+	}
+	for _, n := range nr.NodeList() {
+		s.own[n] = s.ownCur
+	}
+}
+
+func (s *scratch) isOwn(n int) bool { return s.own[n] == s.ownCur }
+
+func (s *scratch) resetTree() {
+	s.treeCur++
+	s.treeList = s.treeList[:0]
+}
+
+func (s *scratch) addTree(n int) {
+	if s.tree[n] != s.treeCur {
+		s.tree[n] = s.treeCur
+		s.treeList = append(s.treeList, n)
+	}
+}
+
+func (s *scratch) inTree(n int) bool { return s.tree[n] == s.treeCur }
+
+// heur turns the graph's precomputed rrgraph.Lookahead into admissible
+// cost-to-target lower bounds for the A* search. Every bound is derived
+// from floors of the PathFinder node-cost function: base costs are
+// multiplied by a present factor >= 1 and have history >= 0 added, so a
+// node never costs less than its base, and masking defects only removes
+// options. The bounds therefore never overestimate, which is the whole
+// correctness requirement — A* returns exactly the paths Dijkstra would.
+type heur struct {
+	g *rrgraph.Graph
+	// lk carries the graph's precomputed lookahead, including the exact
+	// wire-hop tables on unit-segment fabrics.
+	lk *rrgraph.Lookahead
+	// minHop is the smallest possible cost of one wire node.
+	minHop float64
+	// minTile is the smallest possible wire cost per tile advanced
+	// (min over segment types of base cost / span).
+	minTile float64
+	// pinTail is the unavoidable IPin+Sink tail cost of finishing a path.
+	pinTail float64
+	// opinCost is the minimum cost of the output pin a Source still has to
+	// traverse (pins carry no RC, so this is the bare base cost).
+	opinCost float64
+	// sinkCost is the minimum cost of the final sink node alone.
+	sinkCost float64
+	maxSpan  int
+	enabled  bool
+}
+
+// newHeur builds the per-run heuristic from the graph's lookahead and the
+// run's cost options. enabled=false (Options.NoLookahead) yields nil
+// bound functions, turning the search into plain Dijkstra.
+func newHeur(g *rrgraph.Graph, delayDriven bool, delayNorm float64, enabled bool) *heur {
+	h := &heur{g: g, enabled: enabled, sinkCost: 0.1}
+	lk := g.Lookahead()
+	if lk == nil || lk.Wires == 0 || lk.MaxSpan < 1 {
+		h.enabled = false
+		return h
+	}
+	wireBase := func(rc float64) float64 {
+		if delayDriven && delayNorm > 0 {
+			return 0.3 + 2*rc/delayNorm
+		}
+		return 1.0
+	}
+	h.lk = lk
+	h.maxSpan = lk.MaxSpan
+	h.minHop = wireBase(lk.MinWireRC)
+	h.minTile = h.minHop / float64(lk.MaxSpan)
+	for span, rc := range lk.MinRCBySpan {
+		if pt := wireBase(rc) / float64(span); pt < h.minTile {
+			h.minTile = pt
+		}
+	}
+	// Pin base costs: 1.0 flat, or 0.3 delay-driven (pins have no RC, so
+	// their R*C term vanishes).
+	if delayDriven && delayNorm > 0 {
+		h.opinCost = 0.3
+		h.pinTail = 0.3 + h.sinkCost
+	} else {
+		h.opinCost = 1.0
+		h.pinTail = 1.0 + h.sinkCost
+	}
+	return h
+}
+
+// to returns the admissible lower-bound function for one target sink, or
+// nil when the lookahead is disabled.
+//
+// The wire bound is the max of two admissible floors over the remaining
+// distance (dx, dy) from the node's tile extent to the target block:
+//
+//   - hop bound: covering one axis takes at least ceil((d-2)/maxSpan)
+//     wires of that orientation (2 tiles of slack absorb switch-point
+//     overhang and the one free column/row of cross-orientation block
+//     adjacency), each costing at least minHop;
+//   - per-tile bound: a wire of span s costs at least s*minTile, so
+//     covering dx+dy tiles (minus the same slack per axis) costs at
+//     least (dx+dy-4)*minTile.
+//
+// Both orientations' wires are disjoint node sets, so the per-axis hop
+// counts add. A node that is not the target still needs an IPin and the
+// sink itself (connection boxes only reach sinks through input pins),
+// which is the pinTail term.
+func (h *heur) to(target int) func(int) float64 {
+	if !h.enabled {
+		return nil
+	}
+	t := h.g.Nodes[target]
+	tx, ty := t.X, t.Y
+	nodes := h.g.Nodes
+	return func(id int) float64 {
+		if id == target {
+			return 0
+		}
+		n := nodes[id]
+		var dx, dy int
+		srcTail := 0.0
+		switch n.Type {
+		case rrgraph.ChanX:
+			if hops, ok := h.lk.WireHops(false, n.X-tx, n.Y-ty); ok {
+				return float64(hops)*h.minHop + h.pinTail
+			}
+			dx = axisDist(n.X, n.X+n.Span-1, tx)
+			dy = minInt(absInt(n.Y-ty), absInt(n.Y+1-ty))
+		case rrgraph.ChanY:
+			if hops, ok := h.lk.WireHops(true, n.X-tx, n.Y-ty); ok {
+				return float64(hops)*h.minHop + h.pinTail
+			}
+			dy = axisDist(n.Y, n.Y+n.Span-1, ty)
+			dx = minInt(absInt(n.X-tx), absInt(n.X+1-tx))
+		case rrgraph.IPin:
+			// An input pin's only successor is its own sink.
+			return h.sinkCost
+		case rrgraph.Sink:
+			return 0
+		default: // OPin, Source
+			if n.Type == rrgraph.Source {
+				// A source still has to traverse an output pin.
+				srcTail = h.opinCost
+			}
+			if hops, ok := h.lk.BlockHops(n.X-tx, n.Y-ty); ok {
+				return float64(hops)*h.minHop + h.pinTail + srcTail
+			}
+			dx = absInt(n.X - tx)
+			dy = absInt(n.Y - ty)
+		}
+		wires := float64(hopsLB(dx, h.maxSpan)+hopsLB(dy, h.maxSpan)) * h.minHop
+		if alt := float64(dx+dy-4) * h.minTile; alt > wires {
+			wires = alt
+		}
+		return wires + h.pinTail + srcTail
+	}
+}
+
+// hopsLB lower-bounds the same-orientation wires needed to cover d tiles
+// on one axis: 2 tiles of slack, each wire advances at most maxSpan.
+func hopsLB(d, maxSpan int) int {
+	d -= 2
+	if d <= 0 {
+		return 0
+	}
+	return (d + maxSpan - 1) / maxSpan
+}
+
+func axisDist(lo, hi, t int) int {
+	if t < lo {
+		return lo - t
+	}
+	if t > hi {
+		return t - hi
+	}
+	return 0
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// search finds the cheapest path from the current tree (sc.treeList) to
+// target. With a non-nil bound function hf this is A* ordered by
+// g + hf(node); with nil it is plain Dijkstra. Tree nodes cost nothing to
+// reuse. When sourceLocked, expansion out of the source node is forbidden
+// (the output pin is already chosen).
+//
+// hf never overestimates, so the first pop of the target carries an
+// optimal cost: every other frontier entry has f >= the popped f, and any
+// path through it costs at least its f. (The relaxation re-pushes a node
+// whenever a cheaper g is found, so this holds even for bounds that are
+// admissible but not consistent.)
+//
+// The tree seeds are expanded eagerly, in treeList order, instead of
+// going through the heap: every seed has cost 0, so this is exactly what
+// the pop loop would do — except that when two seeds reach a neighbor at
+// identical cost, the winner is now fixed by tree insertion order rather
+// than by how the heap happens to order equal keys. That keeps the routed
+// tree identical whether the frontier is ordered by g (Dijkstra) or by
+// g + h (A*), which is what the lookahead equivalence test asserts.
+func (sc *scratch) search(g *rrgraph.Graph, target, source int, sourceLocked bool, nodeCost func(int) float64, hf func(int) float64) ([]int, error) {
+	const unseen = -1
+	sc.reset()
+	sc.q = sc.q[:0]
+	q := &sc.q
+	for _, n := range sc.treeList {
+		if sourceLocked && n == source {
+			continue
+		}
+		sc.set(n, 0, unseen)
+	}
+	if sc.seen(target) {
+		// The target is already part of the tree (two sink blocks packed
+		// into the same cluster share a sink node): a single-node path.
+		return []int{target}, nil
+	}
+	for _, n := range sc.treeList {
+		if sourceLocked && n == source {
+			continue
+		}
+		for _, e := range g.Nodes[n].Edges {
+			if g.Dead(e) || sc.seen(e) {
+				continue
+			}
+			c := nodeCost(e)
+			sc.set(e, c, int32(n))
+			f := c
+			if hf != nil {
+				f += hf(e)
+			}
+			q.push(pqItem{f: f, g: c, node: int32(e)})
+		}
+	}
+	reached := false
+	for len(*q) > 0 {
+		it := q.pop()
+		sc.pops++
+		id := int(it.node)
+		if it.g > sc.dist[id] {
+			continue
+		}
+		if id == target {
+			reached = true
+			break
+		}
+		for _, e := range g.Nodes[id].Edges {
+			if g.Dead(e) {
+				continue // defective resource: route around it
+			}
+			c := it.g + nodeCost(e)
+			if !sc.seen(e) || c < sc.dist[e] {
+				sc.set(e, c, it.node)
+				f := c
+				if hf != nil {
+					f += hf(e)
+				}
+				q.push(pqItem{f: f, g: c, node: int32(e)})
+			}
+		}
+	}
+	if !reached {
+		return nil, fmt.Errorf("%w to node %d (%s at %d,%d)",
+			ErrNoPath, target, g.Nodes[target].Type, g.Nodes[target].X, g.Nodes[target].Y)
+	}
+	var path []int
+	for n := target; n != unseen; n = int(sc.prev[n]) {
+		path = append(path, n)
+	}
+	// Reverse to source->sink order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, nil
+}
+
+// reuseMinFanout is the sink count at which a dirty net switches from
+// full rip-up to incremental route-tree reuse. High-fanout nets are the
+// ones whose trees are expensive to rebuild and mostly untouched by any
+// one congestion hotspot; low-fanout nets reroute whole, which keeps
+// their convergence behavior identical to the classic algorithm.
+const reuseMinFanout = 4
+
+// routeNet routes one net: sequential cheapest paths, each seeded with
+// the tree built so far. The net's Source node is only usable for the
+// first path, pinning the net to a single output pin choice thereafter.
+//
+// When prev is the net's previous route and the net has at least
+// reuseMinFanout sinks, a previous path that touches no overused (or
+// defective) node and still attaches to the tree built from the
+// earlier-indexed paths is kept verbatim: only the congested subtrees
+// are ripped up and re-searched, and the searches seed their frontier
+// from the kept tree. Sinks are processed strictly in index order for
+// keep and search alike, preserving the DRC invariant that every path
+// starts inside the tree of the paths before it. The keep decision
+// depends only on prev and the overused predicate — both frozen per
+// batch — so reuse is deterministic at every worker count.
+func routeNet(g *rrgraph.Graph, source int, sinks []int, prev *NetRoute, overused func(int) bool,
+	nodeCost func(int) float64, hr *heur, sc *scratch) (*NetRoute, error) {
+	nr := &NetRoute{Paths: make([][]int, len(sinks))}
+	sc.resetTree()
+	sc.addTree(source)
+	sourceLocked := false
+	reuse := prev != nil && len(prev.Paths) == len(sinks) && len(sinks) >= reuseMinFanout
+	for i, sink := range sinks {
+		if reuse {
+			path := prev.Paths[i]
+			keep := len(path) > 0 && sc.inTree(path[0])
+			if keep {
+				for _, n := range path {
+					if overused(n) || g.Dead(n) {
+						keep = false
+						break
+					}
+				}
+			}
+			if keep {
+				nr.Paths[i] = path
+				for _, n := range path {
+					sc.addTree(n)
+				}
+				sourceLocked = true
+				sc.reused++
+				continue
+			}
+		}
+		path, err := sc.search(g, sink, source, sourceLocked, nodeCost, hr.to(sink))
+		if err != nil {
+			return nil, err
+		}
+		nr.Paths[i] = path
+		for _, n := range path {
+			sc.addTree(n)
+		}
+		sourceLocked = true
+	}
+	return nr, nil
+}
+
+// NodeList returns the distinct RR nodes of the net in ascending ID
+// order, computed once and cached (a route tree is never mutated after
+// construction). The flat list replaces the per-call map allocations the
+// occupancy and overuse scans used to pay on every iteration.
+func (nr *NetRoute) NodeList() []int {
+	if nr.nodes != nil {
+		return nr.nodes
+	}
+	total := 0
+	for _, p := range nr.Paths {
+		total += len(p)
+	}
+	nodes := make([]int, 0, total)
+	for _, p := range nr.Paths {
+		nodes = append(nodes, p...)
+	}
+	sort.Ints(nodes)
+	w := 0
+	for _, n := range nodes {
+		if w == 0 || n != nodes[w-1] {
+			nodes[w] = n
+			w++
+		}
+	}
+	nr.nodes = nodes[:w]
+	return nr.nodes
+}

@@ -11,9 +11,11 @@ import (
 // (MarkDead) or stripped of defective switch edges (RemoveEdge) — without
 // touching the receiver. Node structs and their edge lists are copied;
 // the immutable site lookup tables (kind, source/sink/pin indices, wire
-// coordinate maps) are shared with the receiver, since nothing mutates
-// them after Build. Defect masks are NOT carried over: a clone always
-// starts with a pristine fabric.
+// coordinate maps) and the cost lookahead summary are shared with the
+// receiver, since nothing mutates them after Build (the lookahead's
+// values are lower bounds, so they remain valid for a clone whose fabric
+// is only ever shrunk by defect masking). Defect masks are NOT carried
+// over: a clone always starts with a pristine fabric.
 func (g *Graph) Clone() *Graph {
 	c := &Graph{
 		Arch:    g.Arch,
@@ -26,6 +28,7 @@ func (g *Graph) Clone() *Graph {
 		chanxID: g.chanxID,
 		chanyID: g.chanyID,
 		edges:   g.edges,
+		look:    g.look,
 	}
 	c.Nodes = make([]*Node, len(g.Nodes))
 	for i, n := range g.Nodes {

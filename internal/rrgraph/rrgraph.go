@@ -107,6 +107,218 @@ type Graph struct {
 	dead []bool
 	// deadCount caches the number of marked nodes.
 	deadCount int
+
+	// look is the per-segment-type cost lookahead summary built once per
+	// graph (immutable, shared by clones — see Lookahead).
+	look *Lookahead
+}
+
+// Lookahead is the per-segment-type delay/cost summary the router's A*
+// search derives its admissible cost-to-target lower bounds from. It is
+// built once per routing-resource graph during Build and shared by every
+// Clone, so graphs served from a Cache carry it for free: a cache hit
+// hands the router both the fabric and its precomputed lookahead.
+//
+// All values are lower bounds over the pristine fabric. Masking nodes
+// dead or removing switch edges only shrinks the graph, so the bounds
+// stay admissible for defective fabrics; congestion (present/history
+// factors) only raises node costs above their base, so they stay
+// admissible across PathFinder iterations.
+type Lookahead struct {
+	// MaxSpan is the longest wire span in tiles (segment length clipped at
+	// the fabric edge): an upper bound on the tiles one wire hop advances.
+	MaxSpan int
+	// MinWireRC is the smallest R*C product over all channel wires: the
+	// floor for any delay-driven wire base cost.
+	MinWireRC float64
+	// MinRCBySpan maps each wire span class to the smallest R*C product of
+	// wires with that span (the per-segment-type delay table).
+	MinRCBySpan map[int]float64
+	// Wires is the number of channel wire nodes (0 disables lookahead:
+	// a fabric with no wires has nothing to estimate over).
+	Wires int
+
+	// Exact wire-hop distance tables, built for unit-length segments (the
+	// paper architecture). The disjoint switch box never changes a path's
+	// track, and for SegmentLength 1 every track's channel graph is the
+	// same translation-invariant lattice, so the minimum number of wire
+	// nodes between a wire and a target block depends only on the
+	// orientation and the (dx, dy) offset. distX/distY hold a BFS over
+	// that lattice on an unbounded virtual fabric: the real fabric is a
+	// subgraph (edges clip wires away, defects remove more), so the table
+	// never overestimates the hops a real path needs — which keeps the
+	// A* bound admissible — while being exact away from the fabric edge.
+	distX, distY []uint16
+	offX, offY   int // table center: index = (dx+offX) + (dy+offY)*nx
+	nx, ny       int
+}
+
+// hopsUnreachable marks offsets the hop-table BFS never reached.
+const hopsUnreachable = ^uint16(0)
+
+// WireHops returns the minimum number of further wire nodes needed from a
+// wire at offset (dx, dy) = (wire - target block) to reach a channel
+// adjacent to the target block, for a vertical (ChanY) or horizontal
+// (ChanX) wire. ok is false when no exact table exists (SegmentLength >
+// 1) or the offset falls outside it; callers fall back to an analytic
+// bound.
+func (lk *Lookahead) WireHops(vertical bool, dx, dy int) (int, bool) {
+	if lk.distX == nil {
+		return 0, false
+	}
+	ix, iy := dx+lk.offX, dy+lk.offY
+	if ix < 0 || ix >= lk.nx || iy < 0 || iy >= lk.ny {
+		return 0, false
+	}
+	t := lk.distX
+	if vertical {
+		t = lk.distY
+	}
+	d := t[ix+iy*lk.nx]
+	if d == hopsUnreachable {
+		return 0, false
+	}
+	return int(d), true
+}
+
+// BlockHops returns the minimum number of wire nodes on any path between
+// a pin of a block at offset (dx, dy) from the target block and a channel
+// adjacent to the target block: one hop onto the cheapest of the source
+// block's four adjacent channel positions, plus that wire's table
+// distance.
+func (lk *Lookahead) BlockHops(dx, dy int) (int, bool) {
+	if lk.distX == nil {
+		return 0, false
+	}
+	best, any := 0, false
+	try := func(h int, ok bool) {
+		if ok && (!any || h < best) {
+			best, any = h, true
+		}
+	}
+	// channelsAdjacent order: chanx below/above, chany left/right.
+	try(lk.WireHops(false, dx, dy-1))
+	try(lk.WireHops(false, dx, dy))
+	try(lk.WireHops(true, dx-1, dy))
+	try(lk.WireHops(true, dx, dy))
+	if !any {
+		return 0, false
+	}
+	return best + 1, true
+}
+
+// Lookahead returns the graph's cost-lookahead summary (never nil for a
+// graph produced by Build or Clone).
+func (g *Graph) Lookahead() *Lookahead { return g.look }
+
+// buildLookahead scans the wire nodes once and fills g.look.
+func (g *Graph) buildLookahead() {
+	lk := &Lookahead{MinRCBySpan: make(map[int]float64)}
+	for _, n := range g.Nodes {
+		if n.Type != ChanX && n.Type != ChanY {
+			continue
+		}
+		lk.Wires++
+		if n.Span > lk.MaxSpan {
+			lk.MaxSpan = n.Span
+		}
+		rc := n.R * n.C
+		if lk.Wires == 1 || rc < lk.MinWireRC {
+			lk.MinWireRC = rc
+		}
+		if cur, ok := lk.MinRCBySpan[n.Span]; !ok || rc < cur {
+			lk.MinRCBySpan[n.Span] = rc
+		}
+	}
+	if g.Arch.Routing.SegmentLength == 1 && lk.Wires > 0 {
+		lk.buildHopTables(g.Arch.Cols, g.Arch.Rows)
+	}
+	g.look = lk
+}
+
+// buildHopTables runs the translation-invariant BFS behind WireHops. The
+// virtual lattice is padded a few tiles past the largest queried offset
+// so near-edge detours resolve inside the table; one flat uint16 grid per
+// wire orientation, a few hundred KB at most.
+func (lk *Lookahead) buildHopTables(cols, rows int) {
+	const pad = 4
+	lk.offX, lk.offY = cols+pad, rows+1+pad
+	lk.nx, lk.ny = 2*lk.offX+1, 2*lk.offY+1
+	n := lk.nx * lk.ny
+	lk.distX = make([]uint16, n)
+	lk.distY = make([]uint16, n)
+	for i := range lk.distX {
+		lk.distX[i] = hopsUnreachable
+		lk.distY[i] = hopsUnreachable
+	}
+	idx := func(dx, dy int) (int, bool) {
+		ix, iy := dx+lk.offX, dy+lk.offY
+		if ix < 0 || ix >= lk.nx || iy < 0 || iy >= lk.ny {
+			return 0, false
+		}
+		return ix + iy*lk.nx, true
+	}
+	type state struct {
+		vertical bool
+		dx, dy   int
+	}
+	var queue []state
+	seed := func(vertical bool, dx, dy int) {
+		t := lk.distX
+		if vertical {
+			t = lk.distY
+		}
+		if i, ok := idx(dx, dy); ok && t[i] == hopsUnreachable {
+			t[i] = 0
+			queue = append(queue, state{vertical, dx, dy})
+		}
+	}
+	// Distance 0: the four channel positions adjacent to the target block
+	// at the origin (chanx below/above, chany left/right) — a wire there
+	// can feed the block's input pins directly.
+	seed(false, 0, -1)
+	seed(false, 0, 0)
+	seed(true, -1, 0)
+	seed(true, 0, 0)
+	relax := func(d uint16, vertical bool, dx, dy int) {
+		t := lk.distX
+		if vertical {
+			t = lk.distY
+		}
+		if i, ok := idx(dx, dy); ok && d+1 < t[i] {
+			t[i] = d + 1
+			queue = append(queue, state{vertical, dx, dy})
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		s := queue[qi]
+		var d uint16
+		if i, _ := idx(s.dx, s.dy); s.vertical {
+			d = lk.distY[i]
+		} else {
+			d = lk.distX[i]
+		}
+		// The BFS runs backward, but every switch-box connection is a
+		// bidirectional pass transistor, so forward adjacency applies. A
+		// chanx wire at (x, y) touches switch points (x-1, y) and (x, y);
+		// each switch point (px, py) joins chanx (px, py), (px+1, py) and
+		// chany (px, py), (px, py+1) on the same track.
+		if !s.vertical {
+			relax(d, false, s.dx-1, s.dy)
+			relax(d, false, s.dx+1, s.dy)
+			relax(d, true, s.dx-1, s.dy)
+			relax(d, true, s.dx-1, s.dy+1)
+			relax(d, true, s.dx, s.dy)
+			relax(d, true, s.dx, s.dy+1)
+		} else {
+			relax(d, true, s.dx, s.dy-1)
+			relax(d, true, s.dx, s.dy+1)
+			relax(d, false, s.dx, s.dy-1)
+			relax(d, false, s.dx+1, s.dy-1)
+			relax(d, false, s.dx, s.dy)
+			relax(d, false, s.dx+1, s.dy)
+		}
+	}
 }
 
 type chanKey struct{ x, y, track int }
@@ -264,6 +476,7 @@ func Build(a *arch.Arch) (*Graph, error) {
 	g.buildWires()
 	g.buildConnectionBoxes()
 	g.buildSwitchBoxes()
+	g.buildLookahead()
 	for _, n := range g.Nodes {
 		g.edges += len(n.Edges)
 	}
