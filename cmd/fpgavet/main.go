@@ -25,10 +25,19 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"fpgaflow/internal/obs"
 	"fpgaflow/tools/analyzers"
 )
+
+// jsonlEnv names the environment variable that, when set to a file path,
+// makes every package run append its diagnostics — suppressed ones included
+// — as JSON lines to that file. `make vet-fix-list` uses it to publish the
+// suppression-burndown report as a CI artifact. Single-line O_APPEND writes
+// keep records intact across the per-package tool processes cmd/go runs in
+// parallel.
+const jsonlEnv = "FPGAVET_JSONL"
 
 // vetConfig mirrors the fields of the cfg JSON that cmd/go writes for each
 // vetted package (x/tools unitchecker.Config).
@@ -76,7 +85,9 @@ func main() {
 
 // printVersion emits the fingerprint line cmd/go uses to key the vet cache:
 // the final field must be a buildID; hash the executable so the cache
-// invalidates when the tool changes.
+// invalidates when the tool changes. A report run (FPGAVET_JSONL set) mixes
+// the wall clock into the fingerprint so cmd/go never serves cached vet
+// results — the report is a side effect the cache would otherwise skip.
 func printVersion() {
 	h := sha256.New()
 	if exe, err := os.Executable(); err == nil {
@@ -84,6 +95,9 @@ func printVersion() {
 			_, _ = io.Copy(h, f) // best-effort fingerprint; a zero hash still works
 			_ = f.Close()
 		}
+	}
+	if report := os.Getenv(jsonlEnv); report != "" {
+		fmt.Fprintf(h, "jsonl:%s:%d", report, time.Now().UnixNano())
 	}
 	fmt.Printf("fpgavet version devel comments-go-here buildID=%x\n", h.Sum(nil))
 }
@@ -162,13 +176,70 @@ func checkPackage(cfgPath string) int {
 	}
 
 	diags := analyzers.Run(analyzers.All(), fset, files, pkg, info)
+	if report := os.Getenv(jsonlEnv); report != "" {
+		if err := appendJSONL(report, cfg.ImportPath, diags); err != nil {
+			return fatal(err)
+		}
+	}
+	// Suppressed findings stay in the JSONL burndown report but are neither
+	// printed nor counted against the exit code: an //fpgavet:ignore with a
+	// reason is the sanctioned way to accept a finding.
+	failing := 0
 	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		failing++
 		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", d.Pos, d.Message, d.Analyzer)
 	}
-	if len(diags) > 0 {
+	if failing > 0 {
 		return 2
 	}
 	return 0
+}
+
+// jsonlRecord is one burndown-report line.
+type jsonlRecord struct {
+	Package    string `json:"package"`
+	Analyzer   string `json:"analyzer"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// appendJSONL appends every diagnostic of one package to the report file in
+// a single write, so concurrent per-package tool processes interleave only
+// at record boundaries.
+func appendJSONL(path, pkg string, diags []analyzers.Diagnostic) error {
+	if len(diags) == 0 {
+		return nil
+	}
+	var buf []byte
+	for _, d := range diags {
+		rec := jsonlRecord{
+			Package: pkg, Analyzer: d.Analyzer,
+			File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+			Message: d.Message, Suppressed: d.Suppressed, Reason: d.SuppressReason,
+		}
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) int {

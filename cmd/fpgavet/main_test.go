@@ -1,0 +1,178 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles fpgavet into a temp dir and returns its path.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	tool := filepath.Join(t.TempDir(), "fpgavet")
+	cmd := exec.Command("go", "build", "-o", tool, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building fpgavet: %v\n%s", err, out)
+	}
+	return tool
+}
+
+// writeModule lays out a throwaway module with the given files and returns
+// its directory.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// runVet runs `go vet -vettool=tool ./...` in dir with extra environment
+// entries and returns combined output plus the error (nil on exit 0).
+func runVet(t *testing.T, tool, dir string, env ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), env...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+const fixtureGoMod = "module fixturemod\n\ngo 1.22\n"
+
+func TestVetToolFailsOnFinding(t *testing.T) {
+	tool := buildTool(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod": fixtureGoMod,
+		"bad.go": `package fixturemod
+
+func mayFail() error { return nil }
+
+func run() { mayFail() }
+`,
+	})
+	out, err := runVet(t, tool, dir)
+	if err == nil {
+		t.Fatalf("go vet succeeded on a dropped error; output:\n%s", out)
+	}
+	if !strings.Contains(out, "silently dropped") || !strings.Contains(out, "[droppederror]") {
+		t.Errorf("diagnostic text missing message or analyzer tag:\n%s", out)
+	}
+	if !strings.Contains(out, "bad.go:5:") {
+		t.Errorf("diagnostic not positioned at bad.go:5:\n%s", out)
+	}
+}
+
+func TestVetToolSuppressionPassesAndReports(t *testing.T) {
+	tool := buildTool(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod": fixtureGoMod,
+		"bad.go": `package fixturemod
+
+func mayFail() error { return nil }
+
+func run() {
+	//fpgavet:ignore droppederror best-effort notification, failure is benign
+	mayFail()
+}
+`,
+	})
+	report := filepath.Join(t.TempDir(), "report.jsonl")
+	out, err := runVet(t, tool, dir, "FPGAVET_JSONL="+report)
+	if err != nil {
+		t.Fatalf("go vet failed despite a reasoned suppression: %v\n%s", err, out)
+	}
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatalf("JSONL report not written: %v", err)
+	}
+	var recs []jsonlRecord
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	for sc.Scan() {
+		var r jsonlRecord
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, r)
+	}
+	var found *jsonlRecord
+	for i := range recs {
+		if recs[i].Analyzer == "droppederror" {
+			found = &recs[i]
+		}
+	}
+	if found == nil {
+		t.Fatalf("suppressed finding absent from burndown report: %+v", recs)
+	}
+	if !found.Suppressed || found.Reason != "best-effort notification, failure is benign" {
+		t.Errorf("report record lost suppression state or reason: %+v", found)
+	}
+	if found.Package != "fixturemod" || found.Line != 7 {
+		t.Errorf("report record mispositioned: %+v", found)
+	}
+}
+
+func TestVetToolFailsOnReasonlessSuppression(t *testing.T) {
+	tool := buildTool(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod": fixtureGoMod,
+		"bad.go": `package fixturemod
+
+func mayFail() error { return nil }
+
+func run() {
+	//fpgavet:ignore droppederror
+	mayFail()
+}
+`,
+	})
+	out, err := runVet(t, tool, dir)
+	if err == nil {
+		t.Fatalf("go vet accepted a reasonless suppression; output:\n%s", out)
+	}
+	if !strings.Contains(out, "missing a reason") || !strings.Contains(out, "[fpgavet]") {
+		t.Errorf("directive-lint diagnostic missing:\n%s", out)
+	}
+}
+
+func TestVetToolFailsOnStaleSuppression(t *testing.T) {
+	tool := buildTool(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod": fixtureGoMod,
+		"ok.go": `package fixturemod
+
+func fine() int {
+	//fpgavet:ignore droppederror there was a call here once
+	return 1
+}
+`,
+	})
+	out, err := runVet(t, tool, dir)
+	if err == nil {
+		t.Fatalf("go vet accepted a stale suppression; output:\n%s", out)
+	}
+	if !strings.Contains(out, "stale //fpgavet:ignore") {
+		t.Errorf("staleness diagnostic missing:\n%s", out)
+	}
+}
+
+func TestVetToolCleanModulePasses(t *testing.T) {
+	tool := buildTool(t)
+	dir := writeModule(t, map[string]string{
+		"go.mod": fixtureGoMod,
+		"ok.go": `package fixturemod
+
+func fine() int { return 1 }
+`,
+	})
+	if out, err := runVet(t, tool, dir); err != nil {
+		t.Fatalf("go vet failed on a clean module: %v\n%s", err, out)
+	}
+}

@@ -676,6 +676,7 @@ func (res *Result) stage(ctx context.Context, opts *Options, tool string, fn fun
 	}
 	defer cancel()
 	sp := res.tr.Start(tool)
+	//fpgavet:ignore walltime stage wall-clock is telemetry only and never feeds QoR decisions
 	start := time.Now()
 	res.Stages = append(res.Stages, Stage{Tool: tool})
 	var err error
@@ -705,6 +706,7 @@ func (res *Result) stage(ctx context.Context, opts *Options, tool string, fn fun
 		st.CPU = sp.CPU
 		st.AllocBytes = sp.AllocBytes
 	} else {
+		//fpgavet:ignore walltime fallback duration telemetry when spans are disabled; reporting only
 		st.Duration = time.Since(start)
 	}
 	res.tr.Add("flow.stages", 1)

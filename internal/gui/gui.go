@@ -433,7 +433,9 @@ func (s *Server) Run(ctx context.Context, addr string, grace time.Duration) erro
 		return err
 	case <-ctx.Done():
 	}
-	sdCtx, cancel := context.WithTimeout(context.Background(), grace)
+	// Shutdown runs after ctx is already done, so the grace window must not
+	// inherit its cancellation — only its values.
+	sdCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), grace)
 	defer cancel()
 	err := srv.Shutdown(sdCtx)
 	if serveErr := <-errc; serveErr != nil && serveErr != http.ErrServerClosed {

@@ -430,9 +430,11 @@ func (p *Packing) ExternalNets() []*Net {
 	}
 	out := make([]*Net, 0, len(nets))
 	for _, n := range nets {
-		sort.Slice(n.SinkClusters, func(i, j int) bool { return n.SinkClusters[i].ID < n.SinkClusters[j].ID })
 		out = append(out, n)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Signal < out[j].Signal })
+	for _, n := range out {
+		sort.Slice(n.SinkClusters, func(i, j int) bool { return n.SinkClusters[i].ID < n.SinkClusters[j].ID })
+	}
 	return out
 }

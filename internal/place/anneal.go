@@ -131,9 +131,17 @@ func Place(p *Problem, opts Options) (*Placement, error) {
 	for _, s := range ioSites {
 		occ[s] = -1
 	}
-	// Fixed blocks claim their sites first.
+	// Fixed blocks claim their sites first, in sorted-name order: which
+	// conflict is reported (and therefore the whole error path) must not
+	// depend on map iteration order.
 	fixed := make([]bool, len(p.Blocks))
-	for name, loc := range opts.Fixed {
+	fixedNames := make([]string, 0, len(opts.Fixed))
+	for name := range opts.Fixed {
+		fixedNames = append(fixedNames, name)
+	}
+	sort.Strings(fixedNames)
+	for _, name := range fixedNames {
+		loc := opts.Fixed[name]
 		id := p.BlockByName(name)
 		if id < 0 {
 			return nil, fmt.Errorf("place: fixed block %q does not exist", name)
@@ -207,24 +215,29 @@ func Place(p *Problem, opts Options) (*Placement, error) {
 		l := pl.Loc[b]
 		return site{l.X, l.Y, l.Sub}
 	}
-	affectedNets := func(b1, b2 int) []int {
-		nets := append([]int(nil), p.Blocks[b1].Nets...)
+	// affectedNetsInto collects the nets touching b1 (and b2, when the move
+	// is a swap) into dst, which is truncated and reused: proposal slots keep
+	// their nets buffers across batches so steady-state evaluation allocates
+	// nothing.
+	affectedNetsInto := func(dst []int, b1, b2 int) []int {
+		dst = append(dst[:0], p.Blocks[b1].Nets...)
 		if b2 >= 0 {
 			for _, n := range p.Blocks[b2].Nets {
 				dup := false
-				for _, m := range nets {
+				for _, m := range dst {
 					if m == n {
 						dup = true
 						break
 					}
 				}
 				if !dup {
-					nets = append(nets, n)
+					dst = append(dst, n)
 				}
 			}
 		}
-		return nets
+		return dst
 	}
+	affectedNets := func(b1, b2 int) []int { return affectedNetsInto(nil, b1, b2) }
 	apply := func(b int, s site) {
 		occ[siteOf(b)] = -1
 		occ[s] = b
@@ -285,6 +298,9 @@ func Place(p *Problem, opts Options) (*Placement, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	batch := make([]proposal, 0, moveBatchSize)
+	// staleNets is the serial commit loop's scratch for re-evaluated
+	// proposals; it grows once and is reused for the rest of the anneal.
+	var staleNets []int
 	// touched tracks blocks and nets modified by commits in the current
 	// batch (epoch-stamped so clearing is O(1) per batch).
 	touchedBlock := make([]uint32, nBlocks)
@@ -300,7 +316,7 @@ func Place(p *Problem, opts Options) (*Placement, error) {
 		}
 	}
 	evalProposal := func(pr *proposal) {
-		pr.nets = affectedNets(pr.b, pr.other)
+		pr.nets = affectedNetsInto(pr.nets, pr.b, pr.other)
 		old := 0.0
 		for _, n := range pr.nets {
 			old += netCost[n]
@@ -355,6 +371,7 @@ func Place(p *Problem, opts Options) (*Placement, error) {
 			// stales every later proposal overlapping it; stale proposals are
 			// re-evaluated (and re-validated) against live state.
 			batchEpoch++
+			//fpga:hotloop
 			for i := range batch {
 				pr := &batch[i]
 				pl.Moves++
@@ -376,7 +393,8 @@ func Place(p *Problem, opts Options) (*Placement, error) {
 					if s == cur || other == b || (other >= 0 && fixed[other]) {
 						continue // degenerate or illegal after earlier commits
 					}
-					nets = affectedNets(b, other)
+					staleNets = affectedNetsInto(staleNets, b, other)
+					nets = staleNets
 					old := 0.0
 					for _, n := range nets {
 						old += netCost[n]
@@ -405,6 +423,7 @@ func Place(p *Problem, opts Options) (*Placement, error) {
 			}
 			batch = batch[:0]
 		}
+		//fpga:hotloop
 		for m := 0; m < movesPerT; m++ {
 			b := rng.Intn(nBlocks)
 			if fixed[b] {
@@ -422,7 +441,11 @@ func Place(p *Problem, opts Options) (*Placement, error) {
 			if other >= 0 && fixed[other] {
 				continue // never displace a pinned block
 			}
-			batch = append(batch, proposal{b: b, s: s, cur: cur, other: other, u: rng.Float64()})
+			// Reuse the slot in place (cap is moveBatchSize and flush fires at
+			// the cap) so each slot's nets buffer survives across batches.
+			batch = batch[:len(batch)+1]
+			pr := &batch[len(batch)-1]
+			pr.b, pr.s, pr.cur, pr.other, pr.u = b, s, cur, other, rng.Float64()
 			if len(batch) == moveBatchSize {
 				flush()
 			}

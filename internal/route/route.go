@@ -404,6 +404,7 @@ func Route(p *place.Problem, pl *place.Placement, g *rrgraph.Graph, opts Options
 		}
 
 		over, overUnits := 0, 0
+		//fpga:hotloop
 		for id, n := range g.Nodes {
 			if usage[id] > n.Capacity {
 				over++

@@ -365,6 +365,7 @@ func (sc *scratch) search(g *rrgraph.Graph, target, source int, sourceLocked boo
 		}
 	}
 	reached := false
+	//fpga:hotloop
 	for len(*q) > 0 {
 		it := q.pop()
 		sc.pops++

@@ -1,6 +1,7 @@
 package rrgraph
 
 import (
+	"sort"
 	"sync"
 
 	"fpgaflow/internal/arch"
@@ -121,18 +122,21 @@ func (c *Cache) Get(a *arch.Arch, tr *obs.Trace) (*Graph, error) {
 }
 
 // evictLocked removes the least recently used entry once the cache is at
-// capacity. Caller holds c.mu.
+// capacity. Caller holds c.mu. The scan walks keys in sorted order so the
+// victim is deterministic even if use ticks ever tie.
 func (c *Cache) evictLocked() {
 	if len(c.entries) < c.max {
 		return
 	}
-	var oldestKey string
-	var oldest uint64
-	first := true
-	for k, e := range c.entries {
-		if first || e.used < oldest {
-			oldestKey, oldest = k, e.used
-			first = false
+	keys := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	oldestKey := keys[0]
+	for _, k := range keys[1:] {
+		if c.entries[k].used < c.entries[oldestKey].used {
+			oldestKey = k
 		}
 	}
 	delete(c.entries, oldestKey)

@@ -4,6 +4,29 @@
 // the standard library only, because the repository is deliberately
 // dependency-free. cmd/fpgavet adapts these passes to the `go vet -vettool`
 // unitchecker protocol so they run over every package in CI.
+//
+// Beyond the general hygiene passes (seededrand, spanclose, droppederror)
+// the suite enforces the framework's central determinism contract — the
+// parallel placer and router are bit-identical at every worker count — at
+// compile time: maporder, walltime, globalrand, sharedwrite and ctxdeadline
+// police the deterministic flow-stage packages, and hotalloc polices loops
+// marked //fpga:hotloop anywhere. See docs/STATIC_ANALYSIS.md for the
+// catalogue.
+//
+// # Suppression
+//
+// A finding that is understood and accepted is burned down explicitly with
+// an inline directive carrying a mandatory reason:
+//
+//	//fpgavet:ignore <analyzer> <reason>
+//
+// placed on the flagged line or on the line directly above it. Suppressed
+// diagnostics stay in the report (Diagnostic.Suppressed) so the burndown is
+// auditable, but they do not fail the build. The directives themselves are
+// linted: a reasonless directive, a directive naming an unknown analyzer,
+// and a stale directive that no longer matches any diagnostic each produce
+// an error-severity "fpgavet" diagnostic, so the committed suppression
+// baseline can never rot silently.
 package analyzers
 
 import (
@@ -12,6 +35,7 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 )
 
 // Analyzer is one static-analysis pass.
@@ -19,7 +43,13 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description of what the pass enforces.
 	Doc string
-	Run func(*Pass)
+	// FlowStagesOnly restricts the pass to the deterministic flow-stage
+	// packages (see flowStagePkg): the code whose outputs are committed to
+	// artifacts and must be a pure function of inputs and seeds.
+	FlowStagesOnly bool
+	// SkipTests excludes *_test.go files from the pass.
+	SkipTests bool
+	Run       func(*Pass)
 }
 
 // Pass carries one type-checked package through an Analyzer.
@@ -47,23 +77,69 @@ type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	// Suppressed marks a finding matched by a //fpgavet:ignore directive:
+	// reported for auditability (the burndown report includes it) but not a
+	// build failure. SuppressReason is the directive's mandatory reason.
+	Suppressed     bool
+	SuppressReason string
+}
+
+// flowStagePkgs are the deterministic flow-stage packages: everything they
+// commit to an artifact (placement, routes, bitstream, defect maps, cached
+// RR graphs) must be reproducible bit-for-bit from inputs and seeds.
+var flowStagePkgs = map[string]bool{
+	"fpgaflow/internal/place":   true,
+	"fpgaflow/internal/route":   true,
+	"fpgaflow/internal/pack":    true,
+	"fpgaflow/internal/core":    true,
+	"fpgaflow/internal/rrgraph": true,
+	"fpgaflow/internal/fault":   true,
+}
+
+// flowStagePkg reports whether a package path is flow-stage code. Vet runs
+// test variants under paths like "pkg [pkg.test]"; the variant carries the
+// same non-test sources, so it is matched by its base path.
+func flowStagePkg(path string) bool {
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		path = path[:i]
+	}
+	return flowStagePkgs[path]
 }
 
 // All returns every registered analyzer, sorted by name.
 func All() []*Analyzer {
-	out := []*Analyzer{SeededRand, SpanClose, DroppedError}
+	out := []*Analyzer{
+		SeededRand, SpanClose, DroppedError,
+		MapOrder, WallTime, GlobalRand, SharedWrite, HotAlloc, CtxDeadline,
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
-// Run applies the analyzers to one type-checked package and returns the
-// findings sorted by position.
+// Run applies the analyzers to one type-checked package, applies the
+// //fpgavet:ignore suppressions, and returns all findings — suppressed ones
+// included, flagged — sorted by position across files (then by analyzer and
+// message) so the output is byte-stable for CI.
 func Run(as []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []Diagnostic {
 	var diags []Diagnostic
+	ran := map[string]bool{}
 	for _, a := range as {
+		ran[a.Name] = true
+		if a.FlowStagesOnly && !flowStagePkg(pkg.Path()) {
+			continue
+		}
+		pfiles := files
+		if a.SkipTests {
+			pfiles = nil
+			for _, f := range files {
+				if !strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go") {
+					pfiles = append(pfiles, f)
+				}
+			}
+		}
 		pass := &Pass{
 			Fset:      fset,
-			Files:     files,
+			Files:     pfiles,
 			Pkg:       pkg,
 			TypesInfo: info,
 			analyzer:  a,
@@ -71,6 +147,7 @@ func Run(as []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Pack
 		}
 		a.Run(pass)
 	}
+	diags = applySuppressions(fset, files, diags, ran)
 	sort.Slice(diags, func(i, j int) bool {
 		pi, pj := diags[i].Pos, diags[j].Pos
 		if pi.Filename != pj.Filename {
@@ -79,7 +156,102 @@ func Run(as []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Pack
 		if pi.Line != pj.Line {
 			return pi.Line < pj.Line
 		}
-		return pi.Column < pj.Column
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Message < diags[j].Message
 	})
+	return diags
+}
+
+// ignoreDirective is one parsed //fpgavet:ignore comment.
+type ignoreDirective struct {
+	analyzer string
+	reason   string
+	pos      token.Pos
+	file     string
+	line     int
+	used     bool
+}
+
+const ignorePrefix = "fpgavet:ignore"
+
+// parseIgnores extracts every //fpgavet:ignore directive from the files.
+func parseIgnores(fset *token.FileSet, files []*ast.File) []*ignoreDirective {
+	var out []*ignoreDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				p := fset.Position(c.Pos())
+				d := &ignoreDirective{pos: c.Pos(), file: p.Filename, line: p.Line}
+				if i := strings.IndexAny(rest, " \t"); i >= 0 {
+					d.analyzer, d.reason = rest[:i], strings.TrimSpace(rest[i+1:])
+				} else {
+					d.analyzer = rest
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// applySuppressions matches directives to diagnostics (same file, same
+// analyzer, on the directive's line or the line directly below it) and
+// lints the directives themselves. ran restricts staleness checking to
+// analyzers that actually executed, so partial runs (tests exercising one
+// pass) never report another pass's directives as stale.
+func applySuppressions(fset *token.FileSet, files []*ast.File, diags []Diagnostic, ran map[string]bool) []Diagnostic {
+	directives := parseIgnores(fset, files)
+	if len(directives) == 0 {
+		return diags
+	}
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	for i := range diags {
+		d := &diags[i]
+		for _, dir := range directives {
+			if dir.analyzer != d.Analyzer || dir.file != d.Pos.Filename {
+				continue
+			}
+			if d.Pos.Line == dir.line || d.Pos.Line == dir.line+1 {
+				dir.used = true
+				if dir.reason != "" {
+					d.Suppressed = true
+					d.SuppressReason = dir.reason
+				}
+			}
+		}
+	}
+	for _, dir := range directives {
+		switch {
+		case !known[dir.analyzer]:
+			diags = append(diags, Diagnostic{
+				Analyzer: "fpgavet", Pos: fset.Position(dir.pos),
+				Message: fmt.Sprintf("//fpgavet:ignore names unknown analyzer %q", dir.analyzer),
+			})
+		case dir.reason == "":
+			diags = append(diags, Diagnostic{
+				Analyzer: "fpgavet", Pos: fset.Position(dir.pos),
+				Message: fmt.Sprintf("//fpgavet:ignore %s is missing a reason: every suppression must say why", dir.analyzer),
+			})
+		case !dir.used && ran[dir.analyzer]:
+			diags = append(diags, Diagnostic{
+				Analyzer: "fpgavet", Pos: fset.Position(dir.pos),
+				Message: fmt.Sprintf("stale //fpgavet:ignore: no %s diagnostic here anymore; delete the directive", dir.analyzer),
+			})
+		}
+	}
 	return diags
 }

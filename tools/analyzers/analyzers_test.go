@@ -15,6 +15,22 @@ import (
 // and runs every analyzer over the result.
 func analyze(t *testing.T, sources ...string) []Diagnostic {
 	t.Helper()
+	return analyzeAs(t, "p", sources...)
+}
+
+// analyzeAs is analyze with an explicit import path, so the fixtures can
+// masquerade as flow-stage packages (fpgaflow/internal/...) and exercise
+// the FlowStagesOnly gating.
+func analyzeAs(t *testing.T, path string, sources ...string) []Diagnostic {
+	t.Helper()
+	fset, files, pkg, info := typecheckFixture(t, path, sources...)
+	return Run(All(), fset, files, pkg, info)
+}
+
+// typecheckFixture parses and typechecks fixture sources under an import
+// path, for tests that drive Run with a specific analyzer subset.
+func typecheckFixture(t *testing.T, path string, sources ...string) (*token.FileSet, []*ast.File, *types.Package, *types.Info) {
+	t.Helper()
 	fset := token.NewFileSet()
 	var files []*ast.File
 	for i, src := range sources {
@@ -34,11 +50,11 @@ func analyze(t *testing.T, sources ...string) []Diagnostic {
 		Scopes:     map[ast.Node]*types.Scope{},
 	}
 	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
-	pkg, err := conf.Check("p", fset, files, info)
+	pkg, err := conf.Check(path, fset, files, info)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return Run(All(), fset, files, pkg, info)
+	return fset, files, pkg, info
 }
 
 func messages(diags []Diagnostic, analyzer string) []string {

@@ -1,0 +1,119 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxDeadline protects the hardened runner's contract (internal/core): a
+// stage entry point that accepts a context.Context must actually honor it —
+// pass it onward or check cancellation — and must not silently replace the
+// caller's context with a fresh Background/TODO. A named ctx parameter that
+// the body never references means the per-stage deadlines, retry
+// cancellation and graceful-shutdown paths all dead-end at that function:
+// the flow looks cancellable but is not. (An anonymous `_`/unnamed
+// context.Context parameter is the explicit opt-out for interface
+// conformance and stays allowed — what cannot be named cannot be
+// mis-dropped.)
+var CtxDeadline = &Analyzer{
+	Name:      "ctxdeadline",
+	Doc:       "a named context.Context parameter must be used (threaded onward or checked), and functions taking one must not call context.Background/TODO",
+	SkipTests: true,
+	Run:       runCtxDeadline,
+}
+
+func runCtxDeadline(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			params := ctxParams(pass, fn.Type)
+			if len(params) == 0 {
+				return true
+			}
+			for _, p := range params {
+				if !usedIn(pass, fn.Body, p.obj) {
+					pass.Reportf(p.id.Pos(), "context parameter %q is never used: thread it into sub-calls or check ctx.Err() so cancellation and stage deadlines propagate through %s", p.id.Name, fn.Name.Name)
+				}
+			}
+			checkFreshContext(pass, fn)
+			return true
+		})
+	}
+}
+
+type ctxParam struct {
+	id  *ast.Ident
+	obj types.Object
+}
+
+// ctxParams returns the named, non-blank context.Context parameters of a
+// function type.
+func ctxParams(pass *Pass, ft *ast.FuncType) []ctxParam {
+	var out []ctxParam
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		if !isContextType(pass.TypesInfo.TypeOf(field.Type)) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				out = append(out, ctxParam{id: name, obj: obj})
+			}
+		}
+	}
+	return out
+}
+
+// isContextType matches context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// usedIn reports whether the body references the object.
+func usedIn(pass *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkFreshContext flags context.Background()/context.TODO() calls inside
+// a function that already received a context: minting a fresh root context
+// there severs the caller's deadline and cancellation.
+func checkFreshContext(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+		if !ok || pn.Imported().Path() != "context" {
+			return true
+		}
+		if sel.Sel.Name == "Background" || sel.Sel.Name == "TODO" {
+			pass.Reportf(sel.Pos(), "context.%s inside %s, which already receives a ctx: this severs the caller's deadline and cancellation; derive from the parameter instead", sel.Sel.Name, fn.Name.Name)
+		}
+		return true
+	})
+}

@@ -1,0 +1,416 @@
+package analyzers
+
+// Golden fixture harness for the determinism suite. Each fixture is one
+// source file typechecked under a chosen import path (flow-stage paths
+// exercise the FlowStagesOnly gating) and annotated inline: a line whose
+// trailing comment reads `// WANT: <substring>` must produce exactly one
+// unsuppressed diagnostic of the case's analyzer on that line, whose
+// message contains the substring. Unannotated lines must stay clean —
+// the harness compares the full diagnostic list, so fixtures pin both
+// the positives and the negatives (the sanctioned idioms).
+
+import (
+	"strings"
+	"testing"
+)
+
+type finding struct {
+	line   int
+	substr string
+}
+
+// wantsFrom extracts the `// WANT:` expectations from a fixture, in line
+// order (matching the sorted diagnostic order Run guarantees).
+func wantsFrom(src string) []finding {
+	const marker = "// WANT: "
+	var out []finding
+	for i, line := range strings.Split(src, "\n") {
+		if j := strings.Index(line, marker); j >= 0 {
+			out = append(out, finding{line: i + 1, substr: strings.TrimSpace(line[j+len(marker):])})
+		}
+	}
+	return out
+}
+
+func TestDeterminismFixtures(t *testing.T) {
+	tests := []struct {
+		name     string
+		pkg      string
+		analyzer string
+		src      string
+	}{
+		{
+			name:     "maporder",
+			pkg:      "fpgaflow/internal/pack",
+			analyzer: "maporder",
+			src: `package pack
+
+import "sort"
+
+func counts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func unsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // WANT: never sorted
+	}
+	return out
+}
+
+func last(m map[string]int) string {
+	var got string
+	for k := range m {
+		got = k // WANT: plain write
+	}
+	return got
+}
+
+func firstEffect(m map[string]func()) {
+	for _, f := range m {
+		f() // WANT: unknown ordering effects
+	}
+}
+
+func minVal(m map[string]int) int {
+	best := 1 << 30
+	for _, v := range m {
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+func hasNeg(m map[string]int) bool {
+	for _, v := range m {
+		if v < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func prune(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+`,
+		},
+		{
+			name:     "walltime",
+			pkg:      "fpgaflow/internal/core",
+			analyzer: "walltime",
+			src: `package core
+
+import "time"
+
+func stamp() int64 {
+	return time.Now().UnixNano() // WANT: wall-clock read time.Now
+}
+
+func deadlineIn(t0 time.Time) time.Duration {
+	return time.Until(t0) // WANT: wall-clock read time.Until
+}
+
+func pace(d time.Duration) {
+	time.Sleep(d)
+}
+`,
+		},
+		{
+			name:     "globalrand",
+			pkg:      "fpgaflow/internal/place",
+			analyzer: "globalrand",
+			src: `package place
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+func entropy(b []byte) (int, error) {
+	return crand.Read(b) // WANT: non-deterministic by design
+}
+
+func autoSeeded() uint64 {
+	return randv2.Uint64() // WANT: auto-seeded
+}
+
+func hiddenSource(src rand.Source) *rand.Rand {
+	return rand.New(src) // WANT: without an inline rand.NewSource
+}
+
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+`,
+		},
+		{
+			name:     "sharedwrite",
+			pkg:      "fpgaflow/internal/route",
+			analyzer: "sharedwrite",
+			src: `package route
+
+import "sync"
+
+func fanOut(items []int) ([]int, int) {
+	out := make([]int, len(items))
+	seen := make(map[int]bool)
+	total := 0
+	ptr := &total
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(items); i += 2 {
+				v := items[i] * 2
+				out[i] = v
+				total += v     // WANT: writes captured variable
+				seen[i] = true // WANT: writes captured map
+				*ptr = v       // WANT: through captured pointer
+			}
+		}(w)
+	}
+	wg.Wait()
+	return out, total
+}
+`,
+		},
+		{
+			name:     "hotalloc",
+			pkg:      "p", // not flow-gated: hot loops are policed everywhere
+			analyzer: "hotalloc",
+			src: `package p
+
+type point struct{ x, y int }
+
+func hot(items []int) []int {
+	out := make([]int, 0, len(items))
+	scratch := make([]int, 0, 8)
+	//fpga:hotloop
+	for _, it := range items {
+		scratch = append(scratch, it)
+		out = append(out, it*2)
+		p := point{x: it, y: it}
+		_ = p
+		buf := make([]int, 4) // WANT: make inside
+		_ = buf
+		f := func() int { return it } // WANT: closure literal
+		_ = f
+		grown := append(items, it) // WANT: does not feed back
+		_ = grown
+		pair := []int{it, it} // WANT: slice literal
+		_ = pair
+		for j := 0; j < it; j++ {
+			inner := make([]int, 1) // WANT: make inside
+			_ = inner
+		}
+	}
+	for range items {
+		cold := make([]int, 1)
+		_ = cold
+	}
+	return out
+}
+`,
+		},
+		{
+			name:     "ctxdeadline",
+			pkg:      "p", // not flow-gated: the runner contract spans the repo
+			analyzer: "ctxdeadline",
+			src: `package p
+
+import "context"
+
+func dropped(ctx context.Context, n int) int { return n * 2 } // WANT: never used
+
+func severed(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c2, cancel := context.WithTimeout(context.Background(), 0) // WANT: severs the caller
+	defer cancel()
+	return c2.Err()
+}
+
+func threaded(ctx context.Context) error { return worker(ctx) }
+
+func worker(ctx context.Context) error { return ctx.Err() }
+
+func optOut(_ context.Context) {}
+`,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			want := wantsFrom(tc.src)
+			var got []Diagnostic
+			for _, d := range analyzeAs(t, tc.pkg, tc.src) {
+				if d.Analyzer == tc.analyzer && !d.Suppressed {
+					got = append(got, d)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s: got %d diagnostics, want %d:\n%+v", tc.analyzer, len(got), len(want), got)
+			}
+			for i, w := range want {
+				if got[i].Pos.Line != w.line || !strings.Contains(got[i].Message, w.substr) {
+					t.Errorf("finding %d: got line %d %q, want line %d containing %q",
+						i, got[i].Pos.Line, got[i].Message, w.line, w.substr)
+				}
+			}
+		})
+	}
+}
+
+func TestFlowStageGating(t *testing.T) {
+	src := `package x
+
+import "time"
+
+var t0 = time.Now()
+`
+	if got := messages(analyzeAs(t, "example.com/outside", src), "walltime"); len(got) != 0 {
+		t.Errorf("walltime fired outside flow-stage packages: %v", got)
+	}
+	if got := messages(analyzeAs(t, "fpgaflow/internal/route", src), "walltime"); len(got) != 1 {
+		t.Errorf("walltime found %d issues in a flow-stage package, want 1: %v", len(got), got)
+	}
+	// Vet runs test variants under "pkg [pkg.test]"; the variant carries the
+	// same non-test sources and must stay gated in.
+	variant := "fpgaflow/internal/route [fpgaflow/internal/route.test]"
+	if got := messages(analyzeAs(t, variant, src), "walltime"); len(got) != 1 {
+		t.Errorf("walltime found %d issues in the test variant, want 1: %v", len(got), got)
+	}
+}
+
+func TestSuppressionDirectives(t *testing.T) {
+	diags := analyzeAs(t, "fpgaflow/internal/place", `package place
+
+import "time"
+
+func a() time.Time {
+	//fpgavet:ignore walltime stage telemetry, never in artifacts
+	return time.Now()
+}
+
+func b() time.Time {
+	//fpgavet:ignore walltime
+	return time.Now()
+}
+
+//fpgavet:ignore nosuchpass it seemed wise
+func c() {}
+
+func d() int {
+	//fpgavet:ignore walltime this finding is long gone
+	return 1
+}
+`)
+	var wall []Diagnostic
+	for _, d := range diags {
+		if d.Analyzer == "walltime" {
+			wall = append(wall, d)
+		}
+	}
+	if len(wall) != 2 {
+		t.Fatalf("want 2 walltime diagnostics (one suppressed, one not), got %+v", wall)
+	}
+	if !wall[0].Suppressed || wall[0].SuppressReason != "stage telemetry, never in artifacts" {
+		t.Errorf("reasoned directive did not suppress with its reason: %+v", wall[0])
+	}
+	if wall[1].Suppressed {
+		t.Errorf("reasonless directive must not suppress: %+v", wall[1])
+	}
+	lint := messages(diags, "fpgavet")
+	if len(lint) != 3 {
+		t.Fatalf("want 3 directive-lint diagnostics, got %v", lint)
+	}
+	for i, substr := range []string{"missing a reason", "unknown analyzer", "stale"} {
+		found := false
+		for _, m := range lint {
+			if strings.Contains(m, substr) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("directive-lint diagnostic %d: none of %v contains %q", i, lint, substr)
+		}
+	}
+}
+
+func TestStalenessOnlyForRanAnalyzers(t *testing.T) {
+	// A partial run (one analyzer) must not call another pass's directive
+	// stale: Run only checks staleness for analyzers that executed.
+	src := `package place
+
+func f() int {
+	//fpgavet:ignore walltime telemetry only
+	return 1
+}
+`
+	fset, files, pkg, info := typecheckFixture(t, "fpgaflow/internal/place", src)
+	diags := Run([]*Analyzer{DroppedError}, fset, files, pkg, info)
+	if got := messages(diags, "fpgavet"); len(got) != 0 {
+		t.Errorf("partial run reported staleness for a pass that never ran: %v", got)
+	}
+	diags = Run([]*Analyzer{WallTime}, fset, files, pkg, info)
+	if got := messages(diags, "fpgavet"); len(got) != 1 || !strings.Contains(got[0], "stale") {
+		t.Errorf("full run should report the stale directive, got %v", got)
+	}
+}
+
+func TestDiagnosticsSortedAcrossFiles(t *testing.T) {
+	fileA := `package route
+
+import "time"
+
+var a0 = time.Now()
+
+var a1 = time.Now()
+`
+	fileB := `package route
+
+import "time"
+
+var b0 = time.Now()
+`
+	diags := analyzeAs(t, "fpgaflow/internal/route", fileA, fileB)
+	if len(diags) < 3 {
+		t.Fatalf("want at least 3 diagnostics, got %+v", diags)
+	}
+	for i := 1; i < len(diags); i++ {
+		p, q := diags[i-1].Pos, diags[i].Pos
+		if p.Filename > q.Filename || (p.Filename == q.Filename && p.Line > q.Line) {
+			t.Errorf("diagnostics not sorted: %s:%d before %s:%d", p.Filename, p.Line, q.Filename, q.Line)
+		}
+	}
+}

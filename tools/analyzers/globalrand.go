@@ -1,0 +1,95 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GlobalRand extends seededrand inside the deterministic flow-stage
+// packages: all randomness there must visibly flow from the stage's plumbed
+// seed. seededrand (which runs everywhere) already bans the global
+// math/rand source; this pass additionally forbids
+//
+//   - math/rand/v2, whose package-level functions are auto-seeded from the
+//     runtime and cannot be made reproducible;
+//   - crypto/rand, which is non-deterministic by design;
+//   - rand.New whose argument is anything but an inline
+//     rand.NewSource(seed) call — constructing the source elsewhere hides
+//     the seed's provenance from review, which is exactly how an unseeded
+//     or time-seeded source slips into a stage.
+var GlobalRand = &Analyzer{
+	Name:           "globalrand",
+	Doc:            "flow-stage randomness must be rand.New(rand.NewSource(seed)) from the plumbed seed; no math/rand/v2 or crypto/rand",
+	FlowStagesOnly: true,
+	SkipTests:      true,
+	Run:            runGlobalRand,
+}
+
+func runGlobalRand(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pn.Imported().Path() {
+			case "math/rand/v2":
+				pass.Reportf(sel.Pos(), "math/rand/v2.%s is auto-seeded and unreproducible: use math/rand with rand.New(rand.NewSource(seed))", sel.Sel.Name)
+			case "crypto/rand":
+				pass.Reportf(sel.Pos(), "crypto/rand.%s is non-deterministic by design: flow stages must draw from the plumbed seed", sel.Sel.Name)
+			case "math/rand":
+				if sel.Sel.Name == "New" {
+					checkRandNew(pass, sel)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkRandNew requires every rand.New call in stage code to take an inline
+// rand.NewSource(...) argument so the seed is auditable at the call site.
+func checkRandNew(pass *Pass, sel *ast.SelectorExpr) {
+	call := enclosingCall(pass, sel)
+	if call == nil {
+		return // rand.New used as a value; out of scope
+	}
+	if len(call.Args) == 1 {
+		if src, ok := call.Args[0].(*ast.CallExpr); ok {
+			if ssel, ok := src.Fun.(*ast.SelectorExpr); ok && ssel.Sel.Name == "NewSource" {
+				return
+			}
+		}
+	}
+	pass.Reportf(call.Pos(), "rand.New without an inline rand.NewSource(seed): construct the generator as rand.New(rand.NewSource(seed)) so the seed's provenance is visible")
+}
+
+// enclosingCall finds the CallExpr whose Fun is exactly sel, by re-walking
+// the files (the framework passes no parent links).
+func enclosingCall(pass *Pass, sel *ast.SelectorExpr) *ast.CallExpr {
+	var found *ast.CallExpr
+	for _, f := range pass.Files {
+		if sel.Pos() < f.Pos() || sel.Pos() > f.End() {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok && call.Fun == sel {
+				found = call
+				return false
+			}
+			return true
+		})
+	}
+	return found
+}

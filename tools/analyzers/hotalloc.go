@@ -1,0 +1,133 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc enforces alloc-free inner loops. A loop annotated with a
+// //fpga:hotloop comment (on the line directly above the `for`) is a
+// declared hot path — the router's frontier pop loop, the annealer's
+// ordered-commit loop — where a per-iteration heap allocation multiplies
+// into millions of allocations per run (the obs span alloc deltas make the
+// damage visible; this pass stops it from landing). Inside a marked loop,
+// including nested loops, the pass flags
+//
+//   - make(...) and new(...);
+//   - &T{...} and slice/map composite literals (heap allocations);
+//   - function literals (the closure header allocates every iteration);
+//   - append whose result does not feed straight back into its own first
+//     argument (`x = append(x, ...)` reuses x's backing array and is the
+//     sanctioned arena idiom; anything else can grow or escape).
+//
+// Value struct literals, calls, and arithmetic are free and stay allowed.
+// The check is syntactic and per-loop: allocations inside functions called
+// from the loop are attributed to those functions' own marked loops.
+var HotAlloc = &Analyzer{
+	Name:      "hotalloc",
+	Doc:       "forbid make/new/closure/composite-literal/growing-append allocations inside loops marked //fpga:hotloop",
+	SkipTests: true,
+	Run:       runHotAlloc,
+}
+
+const hotLoopMarker = "fpga:hotloop"
+
+func runHotAlloc(pass *Pass) {
+	for _, f := range pass.Files {
+		marks := hotLoopLines(pass, f)
+		if len(marks) == 0 {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch l := n.(type) {
+			case *ast.ForStmt:
+				body = l.Body
+			case *ast.RangeStmt:
+				body = l.Body
+			default:
+				return true
+			}
+			line := pass.Fset.Position(n.Pos()).Line
+			if !marks[line-1] && !marks[line] {
+				return true
+			}
+			checkHotLoop(pass, body)
+			return false // nested loops are already covered by the walk
+		})
+	}
+}
+
+// hotLoopLines returns the set of source lines carrying a hotloop marker.
+func hotLoopLines(pass *Pass, f *ast.File) map[int]bool {
+	marks := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, hotLoopMarker) {
+				marks[pass.Fset.Position(c.End()).Line] = true
+			}
+		}
+	}
+	return marks
+}
+
+// checkHotLoop flags allocation sites in one hot loop body. Function
+// literals are reported but not descended into (the literal itself is the
+// allocation; its body runs under its own accounting).
+func checkHotLoop(pass *Pass, body *ast.BlockStmt) {
+	selfAppend := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || asg.Tok != token.ASSIGN || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+			return true
+		}
+		if call, ok := asg.Rhs[0].(*ast.CallExpr); ok && isBuiltin(pass, call, "append") &&
+			len(call.Args) > 0 && types.ExprString(call.Args[0]) == types.ExprString(asg.Lhs[0]) {
+			selfAppend[call] = true
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(e.Pos(), "closure literal inside //fpga:hotloop loop allocates every iteration: hoist it out of the loop")
+			return false
+		case *ast.CallExpr:
+			if isBuiltin(pass, e, "make") || isBuiltin(pass, e, "new") {
+				pass.Reportf(e.Pos(), "%s inside //fpga:hotloop loop allocates every iteration: hoist the buffer out and reuse it", e.Fun.(*ast.Ident).Name)
+			} else if isBuiltin(pass, e, "append") && !selfAppend[e] {
+				pass.Reportf(e.Pos(), "append inside //fpga:hotloop loop does not feed back into its first argument: it can grow or escape every iteration (use x = append(x, ...) over a reused buffer)")
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if _, isLit := e.X.(*ast.CompositeLit); isLit {
+					pass.Reportf(e.Pos(), "&composite literal inside //fpga:hotloop loop heap-allocates every iteration: reuse a hoisted value")
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			t := pass.TypesInfo.TypeOf(e)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				pass.Reportf(e.Pos(), "%s literal inside //fpga:hotloop loop allocates every iteration: hoist and reuse it", typeKindName(t))
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func typeKindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return "composite"
+}

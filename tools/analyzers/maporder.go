@@ -1,0 +1,353 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder is the determinism suite's highest-value pass: inside the
+// deterministic flow-stage packages it flags `range` over a map whose
+// iteration order can leak into a returned or committed value. Go's map
+// order is deliberately randomized, so one such leak makes the placement,
+// routing or bitstream differ run-to-run — the exact property the golden
+// QoR suite, rrgraph.Cache reuse and the worker-count determinism sweeps
+// all depend on. The runtime sweeps only sample schedules; this pass closes
+// the class at compile time.
+//
+// A map range is accepted only when its body is provably order-insensitive:
+//
+//   - commutative accumulation: x += e, x -= e, bit-ors/ands/xors, x++/x--;
+//   - writes keyed by the iteration variable (m2[k] = v, delete(m2, k)):
+//     each iteration touches a distinct key, so order cannot matter;
+//   - min/max updates: `if cand < best { best = cand }` (any comparison
+//     direction), the idiom reductions use;
+//   - membership-style early returns of constants (`return true`);
+//   - sorted-key extraction: appending keys/values to a slice that the same
+//     function later passes to a sort.* or slices.Sort* call — the
+//     canonical fix for every other shape.
+//
+// Everything else (appends never sorted, calls with side effects, writes to
+// plain variables, non-constant returns, break) is flagged.
+var MapOrder = &Analyzer{
+	Name:           "maporder",
+	Doc:            "forbid map iteration whose order can reach a committed result in flow-stage packages; extract sorted keys or keep the body order-insensitive",
+	FlowStagesOnly: true,
+	SkipTests:      true,
+	Run:            runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkMapRanges(pass, body)
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRanges inspects one function body (nested function literals get
+// their own visit) for order-sensitive map ranges.
+func checkMapRanges(pass *Pass, fnBody *ast.BlockStmt) {
+	walkShallow(fnBody, func(n ast.Node) {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return
+		}
+		mo := &mapOrderCheck{pass: pass, fnBody: fnBody, rs: rs}
+		mo.noteLoopVar(rs.Key)
+		mo.noteLoopVar(rs.Value)
+		if ok := mo.orderInsensitive(rs.Body); !ok {
+			return // already reported with a specific position
+		}
+		// Every append target must be sorted later in this function.
+		for obj, pos := range mo.appended {
+			if !sortedInFunc(pass, fnBody, obj) {
+				pass.Reportf(pos, "keys of map range over %s are collected into %q but never sorted: sort the slice before its order can reach the result",
+					types.ExprString(rs.X), obj.Name())
+			}
+		}
+	})
+}
+
+type mapOrderCheck struct {
+	pass   *Pass
+	fnBody *ast.BlockStmt
+	rs     *ast.RangeStmt
+	// loopVars are the range's key/value objects plus locals declared from
+	// them inside the body; indexing a sink by one of these is per-key and
+	// therefore order-free.
+	loopVars map[types.Object]bool
+	// appended maps each slice object the body appends to, to the position
+	// of the first append (for reporting when it is never sorted).
+	appended map[*types.Var]token.Pos
+}
+
+func (mo *mapOrderCheck) noteLoopVar(e ast.Expr) {
+	if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+		if obj := mo.pass.TypesInfo.Defs[id]; obj != nil {
+			if mo.loopVars == nil {
+				mo.loopVars = map[types.Object]bool{}
+			}
+			mo.loopVars[obj] = true
+		}
+	}
+}
+
+func (mo *mapOrderCheck) report(pos token.Pos, what string) bool {
+	mo.pass.Reportf(pos, "map iteration order reaches the result (%s) in range over %s: extract sorted keys or restructure the loop to be order-insensitive",
+		what, types.ExprString(mo.rs.X))
+	return false
+}
+
+// orderInsensitive walks one statement list, reporting and returning false
+// at the first order-sensitive construct.
+func (mo *mapOrderCheck) orderInsensitive(body *ast.BlockStmt) bool {
+	for _, st := range body.List {
+		if !mo.stmtOK(st) {
+			return false
+		}
+	}
+	return true
+}
+
+func (mo *mapOrderCheck) stmtOK(st ast.Stmt) bool {
+	switch s := st.(type) {
+	case *ast.IncDecStmt:
+		return true
+	case *ast.DeclStmt, *ast.EmptyStmt:
+		return true
+	case *ast.BranchStmt:
+		if s.Tok == token.CONTINUE {
+			return true
+		}
+		return mo.report(s.Pos(), "loop exit depends on which key comes first")
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if !isConstExpr(mo.pass, r) {
+				return mo.report(s.Pos(), "early return of a key-dependent value")
+			}
+		}
+		return true
+	case *ast.AssignStmt:
+		return mo.assignOK(s)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok && isBuiltin(mo.pass, call, "delete") {
+			return true
+		}
+		return mo.report(s.Pos(), "call with unknown ordering effects")
+	case *ast.IfStmt:
+		if isMinMaxUpdate(s) {
+			return true
+		}
+		if !mo.orderInsensitive(s.Body) {
+			return false
+		}
+		switch e := s.Else.(type) {
+		case nil:
+			return true
+		case *ast.BlockStmt:
+			return mo.orderInsensitive(e)
+		case *ast.IfStmt:
+			return mo.stmtOK(e)
+		}
+		return mo.report(s.Else.Pos(), "unsupported else branch")
+	case *ast.BlockStmt:
+		return mo.orderInsensitive(s)
+	case *ast.RangeStmt, *ast.ForStmt:
+		var b *ast.BlockStmt
+		if r, ok := s.(*ast.RangeStmt); ok {
+			b = r.Body
+		} else {
+			b = s.(*ast.ForStmt).Body
+		}
+		return mo.orderInsensitive(b)
+	}
+	return mo.report(st.Pos(), "unsupported statement kind")
+}
+
+// assignOK classifies one assignment inside a map-range body.
+func (mo *mapOrderCheck) assignOK(s *ast.AssignStmt) bool {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN,
+		token.AND_ASSIGN, token.XOR_ASSIGN, token.MUL_ASSIGN:
+		return true // commutative accumulation
+	case token.DEFINE:
+		// Locals derived from the loop variables stay per-key sinks.
+		for _, l := range s.Lhs {
+			mo.noteLoopVar(l)
+		}
+		return true
+	case token.ASSIGN:
+		// x = append(x, ...) collects into a slice; the slice must later be
+		// sorted (checked by the caller).
+		if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+			if call, ok := s.Rhs[0].(*ast.CallExpr); ok && isBuiltin(mo.pass, call, "append") &&
+				len(call.Args) > 0 && types.ExprString(call.Args[0]) == types.ExprString(s.Lhs[0]) {
+				if obj := rootVar(mo.pass, s.Lhs[0]); obj != nil {
+					if mo.appended == nil {
+						mo.appended = map[*types.Var]token.Pos{}
+					}
+					if _, seen := mo.appended[obj]; !seen {
+						mo.appended[obj] = s.Pos()
+					}
+					return true
+				}
+			}
+		}
+		for _, l := range s.Lhs {
+			if !mo.lhsOK(l) {
+				return mo.report(s.Pos(), "plain write whose final value depends on iteration order")
+			}
+		}
+		return true
+	}
+	return mo.report(s.Pos(), "unsupported assignment")
+}
+
+// lhsOK accepts order-free plain-assignment targets: the blank identifier,
+// a body-local variable, and index writes keyed by a loop variable.
+func (mo *mapOrderCheck) lhsOK(l ast.Expr) bool {
+	switch e := l.(type) {
+	case *ast.Ident:
+		if e.Name == "_" {
+			return true
+		}
+		obj := mo.pass.TypesInfo.Uses[e]
+		return obj != nil && mo.loopVars[obj]
+	case *ast.IndexExpr:
+		return mo.mentionsLoopVar(e.Index)
+	}
+	return false
+}
+
+// mentionsLoopVar reports whether the expression references a range key or
+// value variable (a per-key index).
+func (mo *mapOrderCheck) mentionsLoopVar(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := mo.pass.TypesInfo.Uses[id]; obj != nil && mo.loopVars[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isMinMaxUpdate matches `if cand OP best { best = cand }` for a comparison
+// OP — the running-extremum idiom, which commutes. The optional init
+// statement (`if cand := f(); cand < best { ... }`) is allowed.
+func isMinMaxUpdate(s *ast.IfStmt) bool {
+	cmp, ok := s.Cond.(*ast.BinaryExpr)
+	if !ok || s.Else != nil || len(s.Body.List) != 1 {
+		return false
+	}
+	switch cmp.Op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ:
+	default:
+		return false
+	}
+	asg, ok := s.Body.List[0].(*ast.AssignStmt)
+	if !ok || asg.Tok != token.ASSIGN || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	lhs, rhs := types.ExprString(asg.Lhs[0]), types.ExprString(asg.Rhs[0])
+	x, y := types.ExprString(cmp.X), types.ExprString(cmp.Y)
+	return (lhs == x && rhs == y) || (lhs == y && rhs == x)
+}
+
+// sortedInFunc reports whether fnBody contains a sort.*/slices.Sort* call
+// taking obj as an argument.
+func sortedInFunc(pass *Pass, fnBody *ast.BlockStmt, obj *types.Var) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if aid, ok := arg.(*ast.Ident); ok && pass.TypesInfo.Uses[aid] == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// rootVar resolves an assignable expression to its base variable.
+func rootVar(pass *Pass, e ast.Expr) *types.Var {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			v, _ := pass.TypesInfo.Uses[x].(*types.Var)
+			if v == nil {
+				v, _ = pass.TypesInfo.Defs[x].(*types.Var)
+			}
+			return v
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isBuiltin reports whether call invokes the named builtin.
+func isBuiltin(pass *Pass, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, builtin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return builtin
+}
+
+// isConstExpr reports whether the expression is a compile-time constant
+// (an early `return true` in a membership scan is order-free).
+func isConstExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}

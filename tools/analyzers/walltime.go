@@ -1,0 +1,56 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallTime forbids wall-clock reads (time.Now, time.Since, time.Until) in
+// the deterministic flow-stage packages. A stage result that depends on the
+// clock is unreproducible by construction: the same netlist, seed and
+// worker count must yield the bit-identical placement, routing and
+// bitstream, or the golden QoR suite and the rrgraph cache's fingerprint
+// reuse are unsound. Timing telemetry belongs in internal/obs spans and
+// event timestamps, which live outside the stage packages; a measurement
+// that genuinely must stay inline is suppressed with a reasoned
+// //fpgavet:ignore (the two stage-span reads in internal/core are the
+// committed baseline).
+var WallTime = &Analyzer{
+	Name:           "walltime",
+	Doc:            "forbid time.Now/Since/Until in deterministic flow-stage code; timing belongs in internal/obs spans",
+	FlowStagesOnly: true,
+	SkipTests:      true,
+	Run:            runWallTime,
+}
+
+// wallTimeBanned are the time package members that read the wall clock.
+// Durations, timers and tickers (time.After in the stage-abandonment path)
+// schedule work; they do not leak the clock into a computed result.
+var wallTimeBanned = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func runWallTime(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "time" {
+				return true
+			}
+			if wallTimeBanned[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(), "wall-clock read time.%s in deterministic stage code: stage results must be a pure function of inputs and seed (move timing into internal/obs spans)", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}
