@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test short bench race cover tools experiments clean lint bench-gate baseline staticcheck vet-fix-list check-examples fuzz faultcheck
+.PHONY: all build test short bench race cover tools experiments clean lint bench-gate baseline staticcheck vet-fix-list check-examples fuzz faultcheck soak
 
 all: build test
 
@@ -52,6 +52,8 @@ fuzz:
 	$(GO) test ./internal/vhdl/ -run='^$$' -fuzz=FuzzParse -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/bitstream/ -run='^$$' -fuzz=FuzzDecode -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/edif/ -run='^$$' -fuzz=FuzzRead -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/jobs/ -run='^$$' -fuzz=FuzzDecodeSpec -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/jobs/ -run='^$$' -fuzz=FuzzParseRecord -fuzztime=$(FUZZTIME)
 
 # faultcheck runs the fault-injection and hardened-runner suites under the
 # race detector: defect-aware place/route, corruption handling, stage
@@ -59,6 +61,17 @@ fuzz:
 # isolation regression.
 faultcheck:
 	$(GO) test -race -count=1 ./internal/fault/ ./internal/core/ ./internal/route/ -run 'Fault|Defect|Corrupt|Stuck|Stage|Retry|Escalat|Dead|Flip|Truncate|Garble'
+
+# soak is the compile-farm chaos soak: SOAK_TENANTS tenants submit
+# SOAK_JOBS jobs each across SOAK_KILLS simulated-SIGKILL/restart cycles,
+# under the race detector, asserting zero lost and zero double-completed
+# jobs (internal/jobs chaos harness). CI's farm-soak job runs this.
+SOAK_TENANTS ?= 6
+SOAK_JOBS ?= 8
+SOAK_KILLS ?= 5
+soak:
+	$(GO) test -race -count=1 ./internal/jobs/ -run 'TestFarmSoak|TestKill|TestWALTailCorruption|TestNoOrphanedGoroutines' \
+		-soak-tenants=$(SOAK_TENANTS) -soak-jobs=$(SOAK_JOBS) -soak-kills=$(SOAK_KILLS) -v
 
 # bench-gate reruns the small suite and fails on tier-1 QoR drift vs the
 # committed baseline (the same gate CI runs).

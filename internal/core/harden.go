@@ -176,8 +176,13 @@ func runRetry(ctx context.Context, opts Options, attempt func(context.Context, O
 			t := time.NewTimer(backoff)
 			select {
 			case <-ctx.Done():
+				// A caller cancelling during backoff must get back promptly
+				// and see the cancellation (errors.Is(err, context.Canceled))
+				// alongside the stage failure that triggered the retry — and
+				// no further attempt may run.
 				t.Stop()
-				return res, se
+				return res, &StageError{Stage: se.Stage, Attempt: se.Attempt,
+					Partial: se.Partial, Err: errors.Join(se.Err, context.Cause(ctx))}
 			case <-t.C:
 			}
 			backoff *= 2

@@ -20,6 +20,7 @@ import (
 
 	"fpgaflow/internal/core"
 	"fpgaflow/internal/edif"
+	"fpgaflow/internal/jobs"
 	"fpgaflow/internal/netlist"
 	"fpgaflow/internal/obs"
 	"fpgaflow/internal/obs/events"
@@ -46,13 +47,25 @@ type Server struct {
 	// publishes its iteration events here, and /events (SSE) and /heatmap
 	// serve from it live.
 	Bus *events.Bus
+	// Jobs is the crash-safe job service behind the /jobs lifecycle API
+	// (nil = the API is disabled). Run drains it on shutdown.
+	Jobs *jobs.Service
+	// JobsTrace carries the jobs.* counters and queue gauges; /metrics
+	// serves it alongside the last flow run's trace.
+	JobsTrace *obs.Trace
 	// runs counts full flow executions since server start.
 	runs int64
+
+	// closing is closed when Run begins its shutdown, waking every live SSE
+	// stream so a stuck subscriber cannot hold the drain past its deadline.
+	closing   chan struct{}
+	closeOnce sync.Once
 }
 
 // NewServer returns a GUI server with paper-default options.
 func NewServer() *Server {
-	return &Server{Opts: core.Options{Seed: 1}, Bus: events.NewBus(0)}
+	return &Server{Opts: core.Options{Seed: 1}, Bus: events.NewBus(0),
+		closing: make(chan struct{})}
 }
 
 // Handler returns the HTTP handler implementing the six GUI stages.
@@ -69,6 +82,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/layout", s.handleLayout)
 	mux.HandleFunc("/docs", s.handleDocs)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	s.registerJobs(mux)
 	s.registerLive(mux)
 	return mux
 }
@@ -191,9 +205,19 @@ func (s *Server) handleHome(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// maxUploadBytes bounds an /upload form body: the job spec's source limit
+// plus form-encoding slack. Larger posts are rejected before the server
+// buffers them.
+const maxUploadBytes = jobs.MaxSourceBytes + 64*1024
+
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Redirect(w, r, "/", http.StatusSeeOther)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxUploadBytes)
+	if err := r.ParseForm(); err != nil {
+		http.Error(w, "upload too large or malformed", http.StatusRequestEntityTooLarge)
 		return
 	}
 	s.mu.Lock()
@@ -378,12 +402,24 @@ func (s *Server) handleBitstream(w http.ResponseWriter, r *http.Request) {
 // run count plus the full span/counter summary of the last flow execution
 // (the same schema fpgaflow -metrics writes).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	type jobsDoc struct {
+		jobs.Stats
+		// Counters and Gauges are the jobs.* namespace from the service's
+		// trace (jobs.submitted, jobs.queue_depth, ...).
+		Counters map[string]int64   `json:"counters,omitempty"`
+		Gauges   map[string]float64 `json:"gauges,omitempty"`
+	}
 	s.mu.Lock()
 	doc := struct {
 		Runs int64        `json:"runs"`
 		Last *obs.Summary `json:"last_run,omitempty"`
+		Jobs *jobsDoc     `json:"jobs,omitempty"`
 	}{Runs: s.runs, Last: s.LastTrace.Summary()}
 	s.mu.Unlock()
+	if s.Jobs != nil {
+		doc.Jobs = &jobsDoc{Stats: s.Jobs.Snapshot(),
+			Counters: s.JobsTrace.Counters(), Gauges: s.JobsTrace.Gauges()}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -437,7 +473,23 @@ func (s *Server) Run(ctx context.Context, addr string, grace time.Duration) erro
 	// inherit its cancellation — only its values.
 	sdCtx, cancel := context.WithTimeout(context.WithoutCancel(ctx), grace)
 	defer cancel()
+	// Wake every live SSE stream before Shutdown: those handlers block on
+	// the event bus, not the request body, so a subscriber that never
+	// disconnects would otherwise hold Shutdown open for the whole grace
+	// window. The drain signal makes them exit immediately.
+	s.closeOnce.Do(func() {
+		if s.closing != nil {
+			close(s.closing)
+		}
+	})
 	err := srv.Shutdown(sdCtx)
+	if s.Jobs != nil {
+		// Drain the job service under the same deadline: stop admitting,
+		// let workers finish or checkpoint, flush the WAL.
+		if jerr := s.Jobs.Close(sdCtx); err == nil {
+			err = jerr
+		}
+	}
 	if serveErr := <-errc; serveErr != nil && serveErr != http.ErrServerClosed {
 		return serveErr
 	}

@@ -1,0 +1,154 @@
+// Job lifecycle API: the compile-farm face of fpgaweb. The endpoints are a
+// thin veneer over internal/jobs — admission, durability, quotas and
+// recovery all live in the service; this file only translates HTTP to
+// Service calls and typed service errors to status codes:
+//
+//	POST   /jobs                      submit a job spec (JSON)  -> 202
+//	GET    /jobs[?tenant=t]           list jobs                 -> 200
+//	GET    /jobs/{id}                 job status                -> 200
+//	DELETE /jobs/{id}                 cancel                    -> 200
+//	GET    /jobs/{id}/artifacts       artifact names            -> 200
+//	GET    /jobs/{id}/artifacts/{name} artifact bytes           -> 200
+//
+// Error classes: invalid spec -> 400, over quota or backlog -> 429 with
+// Retry-After, draining -> 503 with Retry-After, unknown job -> 404.
+package gui
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+
+	"fpgaflow/internal/jobs"
+)
+
+// maxJobBodyBytes bounds a POST /jobs body: the spec's source limit plus
+// slack for the JSON envelope. MaxBytesReader enforces it per request, so a
+// hostile client cannot buffer unbounded bytes into the server.
+const maxJobBodyBytes = jobs.MaxSourceBytes + 64*1024
+
+// registerJobs wires the job lifecycle endpoints onto the GUI mux.
+func (s *Server) registerJobs(mux *http.ServeMux) {
+	mux.HandleFunc("POST /jobs", s.withJobs(s.handleJobSubmit))
+	mux.HandleFunc("GET /jobs", s.withJobs(s.handleJobList))
+	mux.HandleFunc("GET /jobs/{id}", s.withJobs(s.handleJobGet))
+	mux.HandleFunc("DELETE /jobs/{id}", s.withJobs(s.handleJobCancel))
+	mux.HandleFunc("GET /jobs/{id}/artifacts", s.withJobs(s.handleJobArtifacts))
+	mux.HandleFunc("GET /jobs/{id}/artifacts/{name}", s.withJobs(s.handleJobArtifactFile))
+}
+
+// withJobs gates an endpoint on the job service being configured.
+func (s *Server) withJobs(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.Jobs == nil {
+			http.Error(w, "job service not enabled (start fpgaweb with -jobs-dir)", http.StatusNotFound)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// jobError maps the service's typed errors onto HTTP statuses. Quota
+// rejections carry the token-bucket's own hint as a Retry-After header, so
+// well-behaved clients back off exactly as long as the bucket needs.
+func jobError(w http.ResponseWriter, err error) {
+	var qe *jobs.QuotaError
+	switch {
+	case errors.As(err, &qe):
+		retry := int(math.Ceil(qe.RetryAfter.Seconds()))
+		if retry < 1 {
+			retry = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, jobs.ErrBadSpec):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	case errors.Is(err, jobs.ErrDraining):
+		w.Header().Set("Retry-After", "10")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, jobs.ErrNotFound):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // response write errors are client disconnects
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxJobBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			http.Error(w, "job spec exceeds the request size limit", http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	spec, err := jobs.DecodeSpec(body)
+	if err != nil {
+		jobError(w, err)
+		return
+	}
+	st, err := s.Jobs.Submit(r.Context(), spec)
+	if err != nil {
+		jobError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/jobs/"+st.ID)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs.List(r.URL.Query().Get("tenant")))
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Jobs.Get(r.PathValue("id"))
+	if err != nil {
+		jobError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Jobs.Cancel(r.PathValue("id"))
+	if err != nil {
+		jobError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleJobArtifacts(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	names, err := s.Jobs.ArtifactNames(id)
+	if err != nil {
+		jobError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		ID        string   `json:"id"`
+		Artifacts []string `json:"artifacts"`
+	}{ID: id, Artifacts: names})
+}
+
+func (s *Server) handleJobArtifactFile(w http.ResponseWriter, r *http.Request) {
+	path, err := s.Jobs.ArtifactPath(r.PathValue("id"), r.PathValue("name"))
+	if err != nil {
+		jobError(w, err)
+		return
+	}
+	http.ServeFile(w, r, path)
+}

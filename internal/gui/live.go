@@ -14,6 +14,10 @@ import (
 	"fpgaflow/internal/obs/events"
 )
 
+// maxSSEReplay caps how much buffered history a new /events subscriber is
+// sent before going live.
+const maxSSEReplay = 512
+
 // registerLive wires the introspection endpoints onto the GUI mux.
 func (s *Server) registerLive(mux *http.ServeMux) {
 	mux.HandleFunc("/events", s.handleEvents)
@@ -47,6 +51,12 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 	id, ch, replay := s.Bus.Subscribe(256)
 	defer s.Bus.Unsubscribe(id)
+	// Bound the replay: a late subscriber catches up from recent history,
+	// not from the bus's entire ring — a large run would otherwise turn
+	// every new SSE connection into a multi-megabyte burst.
+	if len(replay) > maxSSEReplay {
+		replay = replay[len(replay)-maxSSEReplay:]
+	}
 
 	write := func(ev events.Event) bool {
 		data, err := json.Marshal(ev)
@@ -67,6 +77,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	for {
 		select {
 		case <-r.Context().Done():
+			return
+		case <-s.closing:
+			// Server shutdown: end the stream now so graceful drain never
+			// waits on a subscriber that keeps its connection open.
 			return
 		case ev, ok := <-ch:
 			if !ok {

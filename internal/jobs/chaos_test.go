@@ -1,0 +1,338 @@
+// Chaos harness for the job service: simulated SIGKILLs mid-stage, WAL
+// tail corruption, and a multi-tenant soak with random kill/restart cycles.
+// Each scenario re-opens the service on the surviving state directory and
+// asserts the recovery invariants the package promises:
+//
+//  1. no lost acked job — every Submit that returned success reaches a
+//     terminal state on some later generation of the service;
+//  2. no double-completed job — at most one terminal (done) WAL record
+//     per job across all generations;
+//  3. no orphaned goroutines — every generation's workers exit.
+package jobs
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"fpgaflow/internal/core"
+)
+
+var (
+	soakTenants = flag.Int("soak-tenants", 3, "tenants in TestFarmSoak")
+	soakJobs    = flag.Int("soak-jobs", 4, "jobs per tenant in TestFarmSoak")
+	soakKills   = flag.Int("soak-kills", 2, "kill/restart cycles in TestFarmSoak")
+)
+
+// soakSpec builds a unique spec per (tenant, index): the seed feeds the
+// fingerprint, so no two soak jobs coalesce.
+func soakSpec(tenant string, seed int64) Spec {
+	sp := specFixture(tenant)
+	sp.Options.Seed = seed
+	return sp
+}
+
+// countDoneRecords replays a WAL file and tallies terminal records per job.
+func countDoneRecords(t *testing.T, path string) map[string]int {
+	t.Helper()
+	records, _, _, err := replayWAL(path)
+	if err != nil {
+		t.Fatalf("replaying WAL for invariant check: %v", err)
+	}
+	done := map[string]int{}
+	for _, rec := range records {
+		if rec.Kind == RecDone {
+			done[rec.Job]++
+		}
+	}
+	return done
+}
+
+// TestKillMidStageRecovery kills the service while workers are inside the
+// flow, then reopens the state directory and verifies every acked job still
+// reaches exactly one terminal state.
+func TestKillMidStageRecovery(t *testing.T) {
+	dir := t.TempDir()
+	started := make(chan string, 4)
+	cfg := Config{Dir: dir, Workers: 2,
+		Runner: gateRunner(started, make(chan struct{}))} // blocks until killed
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acked []string
+	for i := int64(0); i < 3; i++ {
+		st, err := s.Submit(context.Background(), soakSpec("alice", i))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		acked = append(acked, st.ID)
+	}
+	<-started
+	<-started // both workers are mid-stage
+	s.Kill()
+
+	// The "dead" service refuses new work like a dead process would.
+	if _, err := s.Submit(context.Background(), soakSpec("alice", 99)); err == nil {
+		t.Fatal("killed service accepted a submission")
+	}
+
+	// Restart: recovery replays the WAL and re-queues all three jobs (two
+	// were mid-flight with start records, one still queued).
+	s2, err := Open(Config{Dir: dir, Workers: 2, Runner: instantRunner})
+	if err != nil {
+		t.Fatalf("reopen after kill: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s2.Close(ctx)
+	}()
+	if s2.TailDamage != nil {
+		t.Fatalf("clean kill reported tail damage: %v", s2.TailDamage)
+	}
+	for _, id := range acked {
+		st := waitTerminal(t, s2, id)
+		if st.State != StateSucceeded {
+			t.Fatalf("recovered job %s finished %s (%s)", id, st.State, st.Error)
+		}
+		if st.Attempt < 1 {
+			t.Fatalf("recovered job %s has attempt %d", id, st.Attempt)
+		}
+	}
+	for id, n := range countDoneRecords(t, s2.walPath()) {
+		if n != 1 {
+			t.Fatalf("job %s has %d terminal records; exactly one allowed", id, n)
+		}
+	}
+}
+
+// TestKillBeforeTerminalCommit crashes the service the instant a job's flow
+// finishes, before its terminal record can be written. On restart the job
+// must re-run (the flow is deterministic) and land exactly one terminal
+// record — the no-lost-ack and no-double-complete invariants together.
+func TestKillBeforeTerminalCommit(t *testing.T) {
+	dir := t.TempDir()
+	var svc *Service
+	cfg := Config{Dir: dir, Workers: 1,
+		Runner: func(ctx context.Context, spec Spec) (*core.Result, error) {
+			// The "process" dies as the stage returns: flip the kill switch
+			// directly (Kill() would self-deadlock waiting on this worker)
+			// so the terminal append right after us is suppressed.
+			svc.killed.Store(true)
+			svc.qcond.Broadcast()
+			return &core.Result{Encoded: []byte("doomed")}, nil
+		}}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc = s
+	st, err := s.Submit(context.Background(), soakSpec("alice", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.wg.Wait() // workers observe the kill and exit
+	_ = s.wal.close()
+
+	s2, err := Open(Config{Dir: dir, Workers: 1, Runner: instantRunner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s2.Close(ctx)
+	}()
+	final := waitTerminal(t, s2, st.ID)
+	if final.State != StateSucceeded {
+		t.Fatalf("job finished %s after crash-before-commit", final.State)
+	}
+	if n := countDoneRecords(t, s2.walPath())[st.ID]; n != 1 {
+		t.Fatalf("%d terminal records for %s, want exactly 1", n, st.ID)
+	}
+}
+
+// TestWALTailCorruptionRecovery completes jobs, then corrupts the WAL tail
+// (garbage bytes and a torn record, as a crashed disk would leave) and
+// reopens. Terminal jobs stay terminal exactly once; a job whose terminal
+// record was destroyed is re-run, not lost.
+func TestWALTailCorruptionRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir, Workers: 1, Runner: instantRunner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Submit(context.Background(), soakSpec("alice", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, s, a.ID)
+	b, err := s.Submit(context.Background(), soakSpec("alice", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, s, b.ID)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	s.Close(ctx)
+	cancel()
+
+	// Corrupt the tail: garbage over the final bytes plus a torn record.
+	// Job b's done record is the last line, so the damage destroys it.
+	wal := s.walPath()
+	data, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(data) - 20
+	corrupted := append(append([]byte{}, data[:cut]...), []byte("\x00\xfe garbage {\"seq\":")...)
+	if err := os.WriteFile(wal, corrupted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(Config{Dir: dir, Workers: 1, Runner: instantRunner})
+	if err != nil {
+		t.Fatalf("reopen over corrupt tail: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s2.Close(ctx)
+	}()
+	if s2.TailDamage == nil {
+		t.Fatal("tail corruption not reported")
+	}
+	// Job a (fully before the damage) is still terminal; job b re-runs.
+	sta, err := s2.Get(a.ID)
+	if err != nil || sta.State != StateSucceeded {
+		t.Fatalf("job a after corruption: %+v, %v", sta, err)
+	}
+	stb := waitTerminal(t, s2, b.ID)
+	if stb.State != StateSucceeded {
+		t.Fatalf("job b after corruption finished %s", stb.State)
+	}
+	for id, n := range countDoneRecords(t, wal) {
+		if n != 1 {
+			t.Fatalf("job %s has %d terminal records after repair", id, n)
+		}
+	}
+}
+
+// TestNoOrphanedGoroutines: opening, working and closing a service leaves
+// no worker or runner goroutines behind.
+func TestNoOrphanedGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for cycle := 0; cycle < 3; cycle++ {
+		s, err := Open(Config{Dir: t.TempDir(), Workers: 4, Runner: instantRunner})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := int64(0); i < 4; i++ {
+			st, err := s.Submit(context.Background(), soakSpec("alice", i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			waitTerminal(t, s, st.ID)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		err = s.Close(ctx)
+		cancel()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Goroutine counts settle asynchronously; poll with a deadline.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d -> %d\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestFarmSoak is the randomized multi-tenant farm soak: N tenants submit M
+// jobs each across several service generations, with a simulated SIGKILL
+// between generations at a random moment, and a final drained generation.
+// Scale it up with -soak-tenants/-soak-jobs/-soak-kills (CI's farm-soak job
+// and `make soak` do).
+func TestFarmSoak(t *testing.T) {
+	dir := t.TempDir()
+	seed := time.Now().UnixNano()
+	rng := rand.New(rand.NewSource(seed))
+	t.Logf("soak seed %d: %d tenants x %d jobs, %d kill cycles",
+		seed, *soakTenants, *soakJobs, *soakKills)
+
+	// The soak runner sleeps a random few milliseconds (so kills land at
+	// arbitrary points of the flow) and then succeeds.
+	runner := func(ctx context.Context, spec Spec) (*core.Result, error) {
+		d := time.Duration(1+spec.Options.Seed%7) * time.Millisecond
+		select {
+		case <-time.After(d):
+			return &core.Result{Encoded: []byte("soak:" + spec.Fingerprint())}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+
+	acked := map[string]string{} // job ID -> tenant
+	next := 0                    // next global job index to submit
+	total := *soakTenants * *soakJobs
+	generations := *soakKills + 1
+
+	for g := 0; g < generations; g++ {
+		s, err := Open(Config{Dir: dir, Workers: 3, MaxAttempts: generations + 2, Runner: runner})
+		if err != nil {
+			t.Fatalf("generation %d: Open: %v", g, err)
+		}
+		// Submit this generation's share of the job matrix, round-robin
+		// over tenants.
+		share := total/generations + 1
+		for n := 0; n < share && next < total; n, next = n+1, next+1 {
+			tenant := fmt.Sprintf("tenant%d", next%*soakTenants)
+			st, err := s.Submit(context.Background(), soakSpec(tenant, int64(next)))
+			if err != nil {
+				t.Fatalf("generation %d: submit %d: %v", g, next, err)
+			}
+			acked[st.ID] = tenant
+		}
+		if g < *soakKills {
+			// Let the farm run for a random slice, then pull the plug.
+			time.Sleep(time.Duration(rng.Intn(20)) * time.Millisecond)
+			s.Kill()
+			continue
+		}
+		// Final generation: every acked job must reach a terminal state.
+		for id := range acked {
+			st := waitTerminal(t, s, id)
+			if st.State != StateSucceeded {
+				t.Fatalf("job %s (%s) finished %s: %s", id, acked[id], st.State, st.Error)
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		err = s.Close(ctx)
+		cancel()
+		if err != nil {
+			t.Fatalf("final drain: %v", err)
+		}
+		if len(acked) != total {
+			t.Fatalf("acked %d jobs, want %d", len(acked), total)
+		}
+		done := countDoneRecords(t, s.walPath())
+		for id := range acked {
+			if done[id] != 1 {
+				t.Fatalf("job %s has %d terminal records, want exactly 1", id, done[id])
+			}
+		}
+	}
+}

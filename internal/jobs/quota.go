@@ -1,0 +1,116 @@
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Admission control: a token bucket per tenant bounds the submit rate, and
+// a global queue-depth bound provides backpressure when the farm is behind.
+// Both failure modes surface as a *QuotaError carrying a Retry-After hint,
+// which the HTTP layer maps to 429; one tenant hammering the service
+// drains only its own bucket, so other tenants' submissions are unaffected
+// until the shared queue itself is full.
+
+// ErrOverQuota is the sentinel wrapped by every admission rejection.
+var ErrOverQuota = errors.New("jobs: over quota")
+
+// QuotaError is a rejected submission: which tenant, why, and when a retry
+// can succeed. It wraps ErrOverQuota.
+type QuotaError struct {
+	Tenant string
+	// Reason is "rate" (the tenant's token bucket is empty) or "backlog"
+	// (the shared queue is full).
+	Reason string
+	// RetryAfter is the earliest useful retry delay.
+	RetryAfter time.Duration
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("jobs: tenant %q over quota (%s): retry after %s", e.Tenant, e.Reason, e.RetryAfter)
+}
+
+// Unwrap ties every QuotaError to the ErrOverQuota class.
+func (e *QuotaError) Unwrap() error { return ErrOverQuota }
+
+// tokenBucket is one tenant's admission budget: capacity burst, refilled
+// at rate tokens per second. Time is passed in, never read, so the bucket
+// is a pure function of its call sequence (the service owns the single
+// wall-clock read; tests drive a fake clock).
+type tokenBucket struct {
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// take spends one token if available, refilling for the elapsed time
+// first. On failure it reports how long until a full token accumulates.
+func (b *tokenBucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
+	if !b.last.IsZero() && now.After(b.last) {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	if b.rate <= 0 {
+		return false, time.Hour
+	}
+	deficit := 1 - b.tokens
+	return false, time.Duration(deficit / b.rate * float64(time.Second))
+}
+
+// quotas is the per-tenant bucket table.
+type quotas struct {
+	mu      sync.Mutex
+	rate    float64
+	burst   int
+	buckets map[string]*tokenBucket
+}
+
+func newQuotas(rate float64, burst int) *quotas {
+	return &quotas{rate: rate, burst: burst, buckets: make(map[string]*tokenBucket)}
+}
+
+// admit charges one submission to the tenant's bucket. A non-positive
+// configured rate disables rate limiting entirely.
+func (q *quotas) admit(tenant string, now time.Time) error {
+	if q.rate <= 0 {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.buckets[tenant]
+	if b == nil {
+		b = &tokenBucket{rate: q.rate, burst: float64(q.burst), tokens: float64(q.burst)}
+		if b.burst < 1 {
+			b.burst, b.tokens = 1, 1
+		}
+		q.buckets[tenant] = b
+	}
+	ok, retry := b.take(now)
+	if !ok {
+		return &QuotaError{Tenant: tenant, Reason: "rate", RetryAfter: retry}
+	}
+	return nil
+}
+
+// tenants returns the tenants with buckets, sorted (introspection only).
+func (q *quotas) tenants() []string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	names := make([]string, 0, len(q.buckets))
+	for t := range q.buckets {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	return names
+}

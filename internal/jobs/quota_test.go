@@ -1,0 +1,121 @@
+package jobs
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestTokenBucketBurstThenRefill(t *testing.T) {
+	q := newQuotas(1, 2) // 1 token/s, burst of 2
+	t0 := time.Unix(1000, 0)
+
+	// The burst is available immediately.
+	if err := q.admit("alice", t0); err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	if err := q.admit("alice", t0); err != nil {
+		t.Fatalf("second admit (burst): %v", err)
+	}
+
+	// The third at the same instant is rejected with a useful hint.
+	err := q.admit("alice", t0)
+	if err == nil {
+		t.Fatal("third admit at t0 accepted; burst is 2")
+	}
+	if !errors.Is(err, ErrOverQuota) {
+		t.Fatalf("rejection %v does not wrap ErrOverQuota", err)
+	}
+	var qe *QuotaError
+	if !errors.As(err, &qe) {
+		t.Fatalf("rejection %T is not a *QuotaError", err)
+	}
+	if qe.Tenant != "alice" || qe.Reason != "rate" {
+		t.Fatalf("rejection = %+v", qe)
+	}
+	if qe.RetryAfter <= 0 || qe.RetryAfter > 2*time.Second {
+		t.Fatalf("RetryAfter = %v, want (0, 2s] at 1 token/s", qe.RetryAfter)
+	}
+
+	// After the hinted wait, a token has accumulated.
+	if err := q.admit("alice", t0.Add(qe.RetryAfter)); err != nil {
+		t.Fatalf("admit after RetryAfter: %v", err)
+	}
+}
+
+func TestTokenBucketRefillCapsAtBurst(t *testing.T) {
+	q := newQuotas(10, 3)
+	t0 := time.Unix(1000, 0)
+	if err := q.admit("bob", t0); err != nil {
+		t.Fatal(err)
+	}
+	// An hour idle refills to burst (3), not rate*3600.
+	late := t0.Add(time.Hour)
+	for i := 0; i < 3; i++ {
+		if err := q.admit("bob", late); err != nil {
+			t.Fatalf("admit %d after idle: %v", i, err)
+		}
+	}
+	if err := q.admit("bob", late); err == nil {
+		t.Fatal("4th admit accepted: refill exceeded burst")
+	}
+}
+
+// TestQuotaTenantIsolation: one tenant exhausting its bucket must not
+// affect another tenant's admissions at the same instant.
+func TestQuotaTenantIsolation(t *testing.T) {
+	q := newQuotas(1, 1)
+	t0 := time.Unix(1000, 0)
+	if err := q.admit("noisy", t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.admit("noisy", t0); err == nil {
+		t.Fatal("noisy tenant's second admit accepted")
+	}
+	if err := q.admit("quiet", t0); err != nil {
+		t.Fatalf("quiet tenant rejected because of noisy tenant: %v", err)
+	}
+}
+
+func TestQuotaDisabledWhenRateZero(t *testing.T) {
+	q := newQuotas(0, 1)
+	t0 := time.Unix(1000, 0)
+	for i := 0; i < 100; i++ {
+		if err := q.admit("anyone", t0); err != nil {
+			t.Fatalf("admit %d with rate 0: %v", i, err)
+		}
+	}
+	if got := q.tenants(); len(got) != 0 {
+		t.Fatalf("disabled quotas tracked tenants: %v", got)
+	}
+}
+
+func TestQuotaClockGoingBackwardIsSafe(t *testing.T) {
+	q := newQuotas(1, 1)
+	t0 := time.Unix(1000, 0)
+	if err := q.admit("carol", t0); err != nil {
+		t.Fatal(err)
+	}
+	// A clock step backwards must not mint tokens or panic.
+	if err := q.admit("carol", t0.Add(-time.Hour)); err == nil {
+		t.Fatal("backwards clock minted a token")
+	}
+}
+
+func TestQuotaTenantsSorted(t *testing.T) {
+	q := newQuotas(1, 1)
+	t0 := time.Unix(1000, 0)
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		q.admit(name, t0)
+	}
+	got := q.tenants()
+	want := []string{"alpha", "mid", "zeta"}
+	if len(got) != len(want) {
+		t.Fatalf("tenants = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tenants = %v, want %v", got, want)
+		}
+	}
+}

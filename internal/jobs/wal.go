@@ -1,0 +1,300 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// The write-ahead log is the service's only durable state: one JSON object
+// per line, append-only, fsynced before the write is acknowledged to the
+// caller. A killed process replays the log on startup and rebuilds the job
+// table; a record that made it to the log is never lost, and a record that
+// did not is as if the transition never happened — the job simply re-runs.
+//
+// Tail corruption (a crash mid-write, a torn sector, garbage appended by a
+// failing disk) is expected, not exceptional: replay accepts every valid
+// record up to the first damaged line, reports the damage as a typed
+// *TailError, and recovery truncates the file back to the last valid
+// record before appending again.
+
+// RecordKind discriminates WAL records.
+type RecordKind string
+
+const (
+	// RecSubmit acknowledges a job: the spec is durable from here on.
+	RecSubmit RecordKind = "submit"
+	// RecStart marks a worker picking the job up (one per attempt).
+	RecStart RecordKind = "start"
+	// RecDone commits the job's terminal state (exactly one effective per
+	// job; duplicates from replayed tails are ignored idempotently).
+	RecDone RecordKind = "done"
+	// RecCancel records a cancellation request (the terminal state still
+	// arrives as a RecDone with StateCanceled).
+	RecCancel RecordKind = "cancel"
+)
+
+// Record is one WAL entry. Exactly the fields for its Kind are set.
+type Record struct {
+	// Seq is the 1-based log sequence number, strictly increasing within
+	// one file.
+	Seq uint64 `json:"seq"`
+	// TNS is the wall-clock stamp in nanoseconds since the Unix epoch
+	// (observability only; replay never depends on it).
+	TNS int64 `json:"t_ns,omitempty"`
+	// Kind selects the record type.
+	Kind RecordKind `json:"kind"`
+	// Job is the subject job ID.
+	Job string `json:"job"`
+
+	// Spec is the submitted job (RecSubmit only).
+	Spec *Spec `json:"spec,omitempty"`
+	// Fingerprint is the spec's content identity (RecSubmit only).
+	Fingerprint string `json:"fp,omitempty"`
+	// Attempt is the 1-based execution attempt (RecStart only).
+	Attempt int `json:"attempt,omitempty"`
+	// State is the terminal state (RecDone only).
+	State State `json:"state,omitempty"`
+	// Error is the failure detail (RecDone with StateFailed).
+	Error string `json:"error,omitempty"`
+	// Artifact is the hex SHA-256 of the encoded bitstream (RecDone with
+	// StateSucceeded and a bitstream present).
+	Artifact string `json:"artifact,omitempty"`
+}
+
+// ErrCorruptWAL is the sentinel wrapped by every WAL parse failure.
+var ErrCorruptWAL = errors.New("jobs: corrupt WAL record")
+
+// RecordError reports one undecodable or invalid WAL record. It wraps
+// ErrCorruptWAL.
+type RecordError struct {
+	// Line is the 1-based line number in the log file (0 when parsing a
+	// standalone record).
+	Line   int
+	Reason string
+}
+
+func (e *RecordError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("jobs: corrupt WAL record at line %d: %s", e.Line, e.Reason)
+	}
+	return fmt.Sprintf("jobs: corrupt WAL record: %s", e.Reason)
+}
+
+// Unwrap ties every RecordError to the ErrCorruptWAL class.
+func (e *RecordError) Unwrap() error { return ErrCorruptWAL }
+
+// TailError reports a damaged WAL tail discovered during replay: every
+// record before Line was recovered; the file content from Offset on is
+// unusable and recovery truncates it away. It wraps the underlying
+// *RecordError (and therefore ErrCorruptWAL).
+type TailError struct {
+	// Offset is the byte offset of the first damaged line.
+	Offset int64
+	// Lost is how many non-empty lines were discarded.
+	Lost int
+	// Cause is the parse failure on the first damaged line.
+	Cause error
+}
+
+func (e *TailError) Error() string {
+	return fmt.Sprintf("jobs: WAL tail damaged at byte %d (%d lines dropped): %v", e.Offset, e.Lost, e.Cause)
+}
+
+func (e *TailError) Unwrap() error { return e.Cause }
+
+// ParseRecord decodes and validates one WAL line. Arbitrary input —
+// truncated, duplicated, garbage — must come back as a *RecordError, never
+// a panic (the FuzzParseRecord target enforces this).
+func ParseRecord(data []byte) (Record, error) {
+	var r Record
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Record{}, &RecordError{Reason: err.Error()}
+	}
+	if err := r.validate(); err != nil {
+		return Record{}, err
+	}
+	return r, nil
+}
+
+func (r *Record) validate() error {
+	if r.Seq == 0 {
+		return &RecordError{Reason: "seq 0 (records are 1-based)"}
+	}
+	if r.Job == "" {
+		return &RecordError{Reason: "empty job ID"}
+	}
+	switch r.Kind {
+	case RecSubmit:
+		if r.Spec == nil {
+			return &RecordError{Reason: "submit record without spec"}
+		}
+		if err := r.Spec.Validate(); err != nil {
+			return &RecordError{Reason: fmt.Sprintf("submit spec: %v", err)}
+		}
+	case RecStart:
+		if r.Attempt < 1 {
+			return &RecordError{Reason: fmt.Sprintf("start record with attempt %d", r.Attempt)}
+		}
+	case RecDone:
+		switch r.State {
+		case StateSucceeded, StateFailed, StateCanceled:
+		default:
+			return &RecordError{Reason: fmt.Sprintf("done record with non-terminal state %q", r.State)}
+		}
+	case RecCancel:
+	default:
+		return &RecordError{Reason: fmt.Sprintf("unknown record kind %q", r.Kind)}
+	}
+	return nil
+}
+
+// wal is the append side of the log: exclusive, fsync-on-commit.
+type wal struct {
+	mu   sync.Mutex
+	f    *os.File
+	seq  uint64
+	path string
+}
+
+// replayWAL reads every valid record from the log at path. A missing file
+// is an empty log. Damage is split from data: records holds everything
+// recoverable, and tail (non-nil only when the file ends in garbage)
+// describes what recovery must truncate. Any other error (I/O) is fatal.
+func replayWAL(path string) (records []Record, validOff int64, tail *TailError, err error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, nil, nil
+	}
+	if err != nil {
+		return nil, 0, nil, fmt.Errorf("jobs: reading WAL: %w", err)
+	}
+	var off int64
+	line := 0
+	for len(data) > 0 {
+		line++
+		var row []byte
+		nl := bytes.IndexByte(data, '\n')
+		rowLen := 0
+		if nl < 0 {
+			// A final line without its newline is by definition a torn
+			// append: even if it happens to parse, the fsync for it never
+			// completed, so it was never acknowledged. Drop it.
+			row, rowLen = data, len(data)
+			lost := 1
+			if len(bytes.TrimSpace(row)) == 0 {
+				lost = 0
+			}
+			return records, off, &TailError{Offset: off, Lost: lost,
+				Cause: &RecordError{Line: line, Reason: "torn final record (no trailing newline)"}}, nil
+		}
+		row, rowLen = data[:nl], nl+1
+		if len(bytes.TrimSpace(row)) != 0 {
+			rec, perr := ParseRecord(row)
+			if perr != nil {
+				lost := 1 + countLines(data[rowLen:])
+				var re *RecordError
+				if errors.As(perr, &re) {
+					re.Line = line
+				}
+				return records, off, &TailError{Offset: off, Lost: lost, Cause: perr}, nil
+			}
+			records = append(records, rec)
+		}
+		data = data[rowLen:]
+		off += int64(rowLen)
+	}
+	return records, off, nil, nil
+}
+
+func countLines(data []byte) int {
+	n := 0
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			if len(bytes.TrimSpace(data)) != 0 {
+				n++
+			}
+			break
+		}
+		if len(bytes.TrimSpace(data[:nl])) != 0 {
+			n++
+		}
+		data = data[nl+1:]
+	}
+	return n
+}
+
+// openWAL opens the log for appending, truncating to validOff first (the
+// replay-certified prefix) so a damaged tail can never be re-read, and
+// fsyncing both the file and its directory so the truncation itself is
+// durable. lastSeq seeds the sequence counter.
+func openWAL(path string, validOff int64, lastSeq uint64) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: opening WAL: %w", err)
+	}
+	if err := f.Truncate(validOff); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("jobs: truncating damaged WAL tail: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("jobs: seeking WAL: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("jobs: syncing WAL: %w", err)
+	}
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = dir.Sync() // directory fsync is best-effort (not all filesystems support it)
+		_ = dir.Close()
+	}
+	return &wal{f: f, seq: lastSeq, path: path}, nil
+}
+
+// append commits one record: stamp the sequence number, write the JSON
+// line, fsync. The record is acknowledged (and its side effects may be
+// admitted) only after append returns nil.
+func (w *wal) append(rec *Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return errors.New("jobs: WAL closed")
+	}
+	w.seq++
+	rec.Seq = w.seq
+	data, err := json.Marshal(rec)
+	if err != nil {
+		w.seq--
+		return fmt.Errorf("jobs: encoding WAL record: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := w.f.Write(data); err != nil {
+		return fmt.Errorf("jobs: appending WAL record: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("jobs: fsyncing WAL: %w", err)
+	}
+	return nil
+}
+
+// close flushes and closes the log file.
+func (w *wal) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}

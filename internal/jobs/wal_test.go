@@ -1,0 +1,207 @@
+package jobs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func specFixture(tenant string) Spec {
+	return Spec{Tenant: tenant, Name: "adder",
+		Source: ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n"}
+}
+
+func TestWALAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	w, err := openWAL(path, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := specFixture("alice")
+	in := []Record{
+		{Kind: RecSubmit, Job: "j000001", Spec: &spec, Fingerprint: spec.Fingerprint()},
+		{Kind: RecStart, Job: "j000001", Attempt: 1},
+		{Kind: RecDone, Job: "j000001", State: StateSucceeded, Artifact: "abc123"},
+	}
+	for i := range in {
+		if err := w.append(&in[i]); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	out, off, tail, err := replayWAL(path)
+	if err != nil || tail != nil {
+		t.Fatalf("replay: err=%v tail=%v", err, tail)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("replayed %d records, want %d", len(out), len(in))
+	}
+	for i, rec := range out {
+		if rec.Seq != uint64(i+1) {
+			t.Errorf("record %d: seq %d", i, rec.Seq)
+		}
+		if rec.Kind != in[i].Kind || rec.Job != in[i].Job {
+			t.Errorf("record %d: %+v != %+v", i, rec, in[i])
+		}
+	}
+	fi, _ := os.Stat(path)
+	if off != fi.Size() {
+		t.Errorf("valid offset %d != file size %d", off, fi.Size())
+	}
+	if out[0].Spec == nil || out[0].Spec.Tenant != "alice" {
+		t.Error("submit record lost its spec")
+	}
+}
+
+func TestWALReplayMissingFileIsEmpty(t *testing.T) {
+	recs, off, tail, err := replayWAL(filepath.Join(t.TempDir(), "nope.jsonl"))
+	if err != nil || tail != nil || off != 0 || len(recs) != 0 {
+		t.Fatalf("missing WAL: recs=%d off=%d tail=%v err=%v", len(recs), off, tail, err)
+	}
+}
+
+// TestWALTornTail covers the crash-mid-append case: the final line lacks
+// its newline. Even a syntactically complete JSON object there was never
+// acknowledged (its fsync did not complete), so replay must drop it and
+// report a typed TailError; recovery truncates and the log accepts new
+// appends.
+func TestWALTornTail(t *testing.T) {
+	for _, tc := range []struct {
+		name, tail string
+	}{
+		{"half-record", `{"seq":3,"kind":"done","job":"j00`},
+		{"complete-but-unterminated", `{"seq":3,"kind":"start","job":"j000001","attempt":2}`},
+		{"binary-garbage", "\x00\xff\x13garbage"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "wal.jsonl")
+			w, err := openWAL(path, 0, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec := specFixture("bob")
+			if err := w.append(&Record{Kind: RecSubmit, Job: "j000001", Spec: &spec}); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.append(&Record{Kind: RecStart, Job: "j000001", Attempt: 1}); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.close(); err != nil {
+				t.Fatal(err)
+			}
+			f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.WriteString(tc.tail); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+
+			recs, off, tail, err := replayWAL(path)
+			if err != nil {
+				t.Fatalf("replay must recover from a torn tail, got fatal: %v", err)
+			}
+			if tail == nil {
+				t.Fatal("torn tail not reported")
+			}
+			if !errors.Is(tail, ErrCorruptWAL) {
+				t.Fatalf("tail error %v does not wrap ErrCorruptWAL", tail)
+			}
+			if len(recs) != 2 {
+				t.Fatalf("recovered %d records, want the 2 acked ones", len(recs))
+			}
+
+			// Recovery truncates to the certified prefix and appends cleanly.
+			w2, err := openWAL(path, off, recs[len(recs)-1].Seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w2.append(&Record{Kind: RecDone, Job: "j000001", State: StateFailed, Error: "x"}); err != nil {
+				t.Fatal(err)
+			}
+			if err := w2.close(); err != nil {
+				t.Fatal(err)
+			}
+			recs2, _, tail2, err := replayWAL(path)
+			if err != nil || tail2 != nil {
+				t.Fatalf("post-repair replay: err=%v tail=%v", err, tail2)
+			}
+			if len(recs2) != 3 || recs2[2].Seq != 3 {
+				t.Fatalf("post-repair log wrong: %+v", recs2)
+			}
+		})
+	}
+}
+
+// TestWALGarbageTailMultiline: damage spanning several lines is all
+// attributed to the tail and dropped as a unit.
+func TestWALGarbageTailMultiline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	w, err := openWAL(path, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := specFixture("carol")
+	if err := w.append(&Record{Kind: RecSubmit, Job: "j000001", Spec: &spec}); err != nil {
+		t.Fatal(err)
+	}
+	w.close()
+	f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	f.WriteString("not json at all\n{\"seq\":9,\"kind\":\"done\"\nmore trash")
+	f.Close()
+
+	recs, _, tail, err := replayWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tail == nil || tail.Lost != 3 {
+		t.Fatalf("tail = %+v, want 3 lost lines", tail)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("recovered %d records, want 1", len(recs))
+	}
+}
+
+func TestParseRecordTypedErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"not-json":         "hello",
+		"wrong-type":       `[1,2,3]`,
+		"zero-seq":         `{"seq":0,"kind":"start","job":"j1","attempt":1}`,
+		"no-job":           `{"seq":1,"kind":"start","attempt":1}`,
+		"unknown-kind":     `{"seq":1,"kind":"frobnicate","job":"j1"}`,
+		"submit-no-spec":   `{"seq":1,"kind":"submit","job":"j1"}`,
+		"submit-bad-spec":  `{"seq":1,"kind":"submit","job":"j1","spec":{"tenant":"UPPER","source":"x"}}`,
+		"start-no-attempt": `{"seq":1,"kind":"start","job":"j1"}`,
+		"done-no-state":    `{"seq":1,"kind":"done","job":"j1"}`,
+		"done-nonterminal": `{"seq":1,"kind":"done","job":"j1","state":"running"}`,
+	}
+	for name, line := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, err := ParseRecord([]byte(line))
+			if err == nil {
+				t.Fatalf("ParseRecord(%q) accepted", line)
+			}
+			if !errors.Is(err, ErrCorruptWAL) {
+				t.Fatalf("error %v does not wrap ErrCorruptWAL", err)
+			}
+			var re *RecordError
+			if !errors.As(err, &re) {
+				t.Fatalf("error %T is not a *RecordError", err)
+			}
+		})
+	}
+}
+
+func TestRecordErrorMentionsLine(t *testing.T) {
+	e := &RecordError{Line: 7, Reason: "boom"}
+	if !strings.Contains(e.Error(), "line 7") {
+		t.Fatalf("error %q does not mention the line", e.Error())
+	}
+}

@@ -150,6 +150,17 @@ func (b *Bus) Unsubscribe(id int) {
 	b.mu.Unlock()
 }
 
+// Subscribers reports the number of live subscribers (leak tests use it to
+// verify every departed SSE client unsubscribed).
+func (b *Bus) Subscribers() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
 // Snapshot returns the ring contents, oldest first.
 func (b *Bus) Snapshot() []Event {
 	if b == nil {

@@ -42,6 +42,9 @@ const (
 	// KindFlow is a hardened-runner decision: attempt, retry, escalation
 	// (flow).
 	KindFlow Kind = "flow"
+	// KindJob is a job-service lifecycle transition: submitted, start,
+	// requeued, cancel, done, recovered (job).
+	KindJob Kind = "job"
 )
 
 // PlaceStep is the annealer's per-temperature telemetry: where the VPR
@@ -165,6 +168,25 @@ type FlowEvent struct {
 	Reason string `json:"reason,omitempty"`
 }
 
+// JobEvent is one job-service lifecycle transition (internal/jobs): the
+// compile farm publishes these alongside the convergence telemetry of the
+// flows it runs, so one SSE stream shows both the farm and the CAD.
+type JobEvent struct {
+	// ID is the job identifier ("j000042").
+	ID string `json:"id"`
+	// Tenant is the submitting principal.
+	Tenant string `json:"tenant"`
+	// Action is the transition: "submitted", "start", "requeued",
+	// "cancel", "done", "recovered".
+	Action string `json:"action"`
+	// State is the job state after the transition.
+	State string `json:"state"`
+	// Attempt is the execution attempt the transition belongs to.
+	Attempt int `json:"attempt,omitempty"`
+	// Reason annotates failures and cancellations.
+	Reason string `json:"reason,omitempty"`
+}
+
 // Event is one element of the telemetry stream. Seq and TimeNS are stamped
 // by the bus at publish time; exactly one payload field is non-nil.
 type Event struct {
@@ -180,6 +202,7 @@ type Event struct {
 	RouteCongestion *RouteCongestion `json:"route_congestion,omitempty"`
 	Stage           *StageEvent      `json:"stage,omitempty"`
 	Flow            *FlowEvent       `json:"flow,omitempty"`
+	Job             *JobEvent        `json:"job,omitempty"`
 }
 
 // Validate checks the Kind/payload pairing invariant.
@@ -203,6 +226,9 @@ func (e *Event) Validate() error {
 	}
 	if e.Flow != nil {
 		want, set = KindFlow, set+1
+	}
+	if e.Job != nil {
+		want, set = KindJob, set+1
 	}
 	if set != 1 {
 		return fmt.Errorf("events: %d payloads set (want exactly 1)", set)

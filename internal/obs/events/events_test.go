@@ -34,6 +34,10 @@ func sampleEvents() []Event {
 		}},
 		{Kind: KindStage, Stage: &StageEvent{Stage: "VPR route", Phase: "end", WallNS: 1e6}},
 		{Kind: KindFlow, Flow: &FlowEvent{Action: "retry", Attempt: 2, Seed: 104730, Reason: "route: unroutable"}},
+		{Kind: KindJob, Job: &JobEvent{
+			ID: "j000042", Tenant: "alice", Action: "done",
+			State: "failed", Attempt: 3, Reason: "VPR route: unroutable",
+		}},
 	}
 }
 
