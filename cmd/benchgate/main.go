@@ -39,10 +39,15 @@ type DesignReport struct {
 	// Routing QoR and effort: wire segments used, signal nets routed, and
 	// PathFinder heap pops (a deterministic proxy for routing runtime that
 	// is stable in CI where wall time is not).
-	Wirelength    int64   `json:"wirelength"`
-	RoutedNets    int64   `json:"routed_nets"`
-	RouteHeapPops int64   `json:"route_heap_pops"`
-	WallMS        float64 `json:"wall_ms"`
+	Wirelength    int64 `json:"wirelength"`
+	RoutedNets    int64 `json:"routed_nets"`
+	RouteHeapPops int64 `json:"route_heap_pops"`
+	// Timing/power QoR: post-route critical path (picoseconds) and energy
+	// per clock cycle (femtojoules), gated by -delay-tol and -energy-tol.
+	// Integer units keep the JSON byte-stable run to run.
+	CriticalPathPS int64   `json:"critical_path_ps"`
+	EnergyFJ       int64   `json:"energy_fj"`
+	WallMS         float64 `json:"wall_ms"`
 	// Metrics is the full obs summary for the run (informational; not
 	// compared by the gate).
 	Metrics *obs.Summary `json:"metrics,omitempty"`
@@ -61,6 +66,8 @@ func main() {
 	update := flag.String("update", "", "run the suite and (over)write this baseline file")
 	tol := flag.Float64("tol", 0.05, "allowed relative drift per tier-1 metric")
 	popsTol := flag.Float64("pops-tol", 0, "allowed relative drift for route_heap_pops (0 = 4×tol)")
+	delayTol := flag.Float64("delay-tol", 0, "allowed relative drift for critical_path_ps (0 = tol)")
+	energyTol := flag.Float64("energy-tol", 0, "allowed relative drift for energy_fj (0 = tol)")
 	md := flag.String("md", "", "append a markdown comparison table to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	seed := flag.Int64("seed", 1, "flow seed (must match the baseline's)")
 	full := flag.Bool("summaries", false, "embed full obs summaries in the emitted report")
@@ -95,13 +102,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	pt := *popsTol
-	if pt == 0 {
-		pt = 4 * *tol
+	bd := bands{tol: *tol, pops: *popsTol, delay: *delayTol, energy: *energyTol}
+	if bd.pops == 0 {
+		bd.pops = 4 * *tol
 	}
-	cmpErr := compare(base, rep, *tol, pt)
+	if bd.delay == 0 {
+		bd.delay = *tol
+	}
+	if bd.energy == 0 {
+		bd.energy = *tol
+	}
+	cmpErr := compare(base, rep, bd)
 	if *md != "" {
-		if err := appendFile(*md, markdown(base, rep, *tol, pt, *baseline)); err != nil {
+		if err := appendFile(*md, markdown(base, rep, bd, *baseline)); err != nil {
 			fatal(err)
 		}
 	}
@@ -111,6 +124,12 @@ func main() {
 	}
 	fmt.Printf("benchgate: OK — %d designs within %.0f%% of %s\n",
 		len(rep.Designs), *tol*100, *baseline)
+}
+
+// bands holds the per-metric tolerance bands: tol for structural QoR,
+// pops for routing effort, delay/energy for the timing and power gates.
+type bands struct {
+	tol, pops, delay, energy float64
 }
 
 // run pushes the small suite through the flow, one obs trace per design.
@@ -130,16 +149,19 @@ func run(seed int64, embedSummaries bool) (*Report, error) {
 			return nil, fmt.Errorf("benchgate: %s: %w", bench.Name, err)
 		}
 		counters := tr.Counters()
+		gauges := tr.Gauges()
 		d := DesignReport{
-			Name:          bench.Name,
-			LUTs:          counters["flow.luts"],
-			CLBs:          counters["flow.clbs"],
-			ChannelWidth:  counters["flow.channel_width"],
-			BitstreamBits: counters["flow.bitstream_bits"],
-			Wirelength:    counters["route.wirelength"],
-			RoutedNets:    counters["flow.nets"],
-			RouteHeapPops: counters["route.heap_pops"],
-			WallMS:        float64(time.Since(start).Microseconds()) / 1000,
+			Name:           bench.Name,
+			LUTs:           counters["flow.luts"],
+			CLBs:           counters["flow.clbs"],
+			ChannelWidth:   counters["flow.channel_width"],
+			BitstreamBits:  counters["flow.bitstream_bits"],
+			Wirelength:     counters["route.wirelength"],
+			RoutedNets:     counters["flow.nets"],
+			RouteHeapPops:  counters["route.heap_pops"],
+			CriticalPathPS: int64(math.Round(gauges["timing.critical_path_ns"] * 1e3)),
+			EnergyFJ:       int64(math.Round(gauges["power.energy_pj"] * 1e3)),
+			WallMS:         float64(time.Since(start).Microseconds()) / 1000,
 		}
 		if embedSummaries {
 			d.Metrics = tr.Summary()
@@ -150,10 +172,12 @@ func run(seed int64, embedSummaries bool) (*Report, error) {
 }
 
 // compare checks every tier-1 metric of every design against the baseline.
-// All drifts are reported, not just the first. popsTol is the separate
-// band for route_heap_pops (routing effort moves more than QoR under
-// benign heuristic tweaks, so it usually gets a looser tolerance).
-func compare(base, cur *Report, tol, popsTol float64) error {
+// All drifts are reported, not just the first. Each metric family uses its
+// band from bd: routing effort (heap pops) moves more than QoR under
+// benign heuristic tweaks so it usually gets a looser tolerance, while
+// delay and energy get their own bands so timing/power regressions gate
+// independently of the structural metrics.
+func compare(base, cur *Report, bd bands) error {
 	baseBy := make(map[string]DesignReport, len(base.Designs))
 	for _, d := range base.Designs {
 		baseBy[d.Name] = d
@@ -166,22 +190,21 @@ func compare(base, cur *Report, tol, popsTol float64) error {
 			continue
 		}
 		delete(baseBy, d.Name)
-		check := func(metric string, baseV, curV int64) {
-			if drift := relDrift(baseV, curV); drift > tol {
+		check := func(metric string, baseV, curV int64, band float64) {
+			if drift := relDrift(baseV, curV); drift > band {
 				failures = append(failures, fmt.Sprintf("%s: %s drifted %.1f%% (baseline %d, current %d)",
 					d.Name, metric, drift*100, baseV, curV))
 			}
 		}
-		check("luts", b.LUTs, d.LUTs)
-		check("clbs", b.CLBs, d.CLBs)
-		check("channel_width", b.ChannelWidth, d.ChannelWidth)
-		check("bitstream_bits", b.BitstreamBits, d.BitstreamBits)
-		check("wirelength", b.Wirelength, d.Wirelength)
-		check("routed_nets", b.RoutedNets, d.RoutedNets)
-		if drift := relDrift(b.RouteHeapPops, d.RouteHeapPops); drift > popsTol {
-			failures = append(failures, fmt.Sprintf("%s: route_heap_pops drifted %.1f%% (baseline %d, current %d)",
-				d.Name, drift*100, b.RouteHeapPops, d.RouteHeapPops))
-		}
+		check("luts", b.LUTs, d.LUTs, bd.tol)
+		check("clbs", b.CLBs, d.CLBs, bd.tol)
+		check("channel_width", b.ChannelWidth, d.ChannelWidth, bd.tol)
+		check("bitstream_bits", b.BitstreamBits, d.BitstreamBits, bd.tol)
+		check("wirelength", b.Wirelength, d.Wirelength, bd.tol)
+		check("routed_nets", b.RoutedNets, d.RoutedNets, bd.tol)
+		check("route_heap_pops", b.RouteHeapPops, d.RouteHeapPops, bd.pops)
+		check("critical_path_ps", b.CriticalPathPS, d.CriticalPathPS, bd.delay)
+		check("energy_fj", b.EnergyFJ, d.EnergyFJ, bd.energy)
 	}
 	for name := range baseBy {
 		failures = append(failures, fmt.Sprintf("%s: in baseline but not in current run", name))
@@ -200,20 +223,20 @@ func compare(base, cur *Report, tol, popsTol float64) error {
 // table, one row per design, cells showing "base → cur" where the metric
 // moved. Written to $GITHUB_STEP_SUMMARY by CI so the drift is readable
 // without downloading artifacts.
-func markdown(base, cur *Report, tol, popsTol float64, baselinePath string) string {
+func markdown(base, cur *Report, bd bands, baselinePath string) string {
 	baseBy := make(map[string]DesignReport, len(base.Designs))
 	for _, d := range base.Designs {
 		baseBy[d.Name] = d
 	}
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "### benchgate: tier-1 QoR vs `%s` (tol %.0f%%, heap-pop tol %.0f%%)\n\n",
-		baselinePath, tol*100, popsTol*100)
-	sb.WriteString("| design | LUTs | CLBs | W | bits | wirelength | nets | heap pops | wall ms | status |\n")
-	sb.WriteString("|---|---|---|---|---|---|---|---|---|---|\n")
+	fmt.Fprintf(&sb, "### benchgate: tier-1 QoR vs `%s` (tol %.0f%%, heap-pop tol %.0f%%, delay tol %.0f%%, energy tol %.0f%%)\n\n",
+		baselinePath, bd.tol*100, bd.pops*100, bd.delay*100, bd.energy*100)
+	sb.WriteString("| design | LUTs | CLBs | W | bits | wirelength | nets | heap pops | crit ps | energy fJ | wall ms | status |\n")
+	sb.WriteString("|---|---|---|---|---|---|---|---|---|---|---|---|\n")
 	for _, d := range cur.Designs {
 		b, ok := baseBy[d.Name]
 		if !ok {
-			fmt.Fprintf(&sb, "| %s | – | – | – | – | – | – | – | %.1f | ❌ missing from baseline |\n",
+			fmt.Fprintf(&sb, "| %s | – | – | – | – | – | – | – | – | – | %.1f | ❌ missing from baseline |\n",
 				d.Name, d.WallMS)
 			continue
 		}
@@ -231,15 +254,17 @@ func markdown(base, cur *Report, tol, popsTol float64, baselinePath string) stri
 			}
 			return s
 		}
-		row := fmt.Sprintf("| %s | %s | %s | %s | %s | %s | %s | %s | %.1f |",
+		row := fmt.Sprintf("| %s | %s | %s | %s | %s | %s | %s | %s | %s | %s | %.1f |",
 			d.Name,
-			cell(b.LUTs, d.LUTs, tol),
-			cell(b.CLBs, d.CLBs, tol),
-			cell(b.ChannelWidth, d.ChannelWidth, tol),
-			cell(b.BitstreamBits, d.BitstreamBits, tol),
-			cell(b.Wirelength, d.Wirelength, tol),
-			cell(b.RoutedNets, d.RoutedNets, tol),
-			cell(b.RouteHeapPops, d.RouteHeapPops, popsTol),
+			cell(b.LUTs, d.LUTs, bd.tol),
+			cell(b.CLBs, d.CLBs, bd.tol),
+			cell(b.ChannelWidth, d.ChannelWidth, bd.tol),
+			cell(b.BitstreamBits, d.BitstreamBits, bd.tol),
+			cell(b.Wirelength, d.Wirelength, bd.tol),
+			cell(b.RoutedNets, d.RoutedNets, bd.tol),
+			cell(b.RouteHeapPops, d.RouteHeapPops, bd.pops),
+			cell(b.CriticalPathPS, d.CriticalPathPS, bd.delay),
+			cell(b.EnergyFJ, d.EnergyFJ, bd.energy),
 			d.WallMS)
 		if ok {
 			row += " ✅ |"
@@ -249,7 +274,7 @@ func markdown(base, cur *Report, tol, popsTol float64, baselinePath string) stri
 		sb.WriteString(row + "\n")
 	}
 	for name := range baseBy {
-		fmt.Fprintf(&sb, "| %s | – | – | – | – | – | – | – | – | ❌ in baseline but not run |\n", name)
+		fmt.Fprintf(&sb, "| %s | – | – | – | – | – | – | – | – | – | – | ❌ in baseline but not run |\n", name)
 	}
 	sb.WriteString("\n")
 	return sb.String()

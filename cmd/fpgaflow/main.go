@@ -23,6 +23,7 @@ func main() {
 	greedy := flag.Bool("greedy", false, "greedy LUT mapper instead of FlowMap")
 	noVerify := flag.Bool("no-verify", false, "skip the closing bitstream equivalence check")
 	timing := flag.Bool("timing", false, "timing-driven placement and routing")
+	profile := flag.String("profile", "", "QoR objective: balanced (default), min-delay, min-energy, min-area")
 	seeds := flag.Int("place-seeds", 1, "parallel placement seeds (keep the best)")
 	clock := flag.Float64("clock", 0, "power-estimation clock in MHz (0 = fmax)")
 	archFile := flag.String("arch", "", "DUTYS architecture file")
@@ -46,10 +47,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	prof, err := core.ParseProfile(*profile)
+	if err != nil {
+		fatal(err)
+	}
 	tr, finishObs := obsFlags.Start("fpgaflow")
 	opts := core.Options{
 		Top: *top, Seed: *seed, MinChannelWidth: *minW,
 		SkipVerify: *noVerify, ClockHz: *clock * 1e6,
+		Profile:           prof,
 		TimingDrivenPlace: *timing, TimingDrivenRoute: *timing,
 		PlaceSeeds: *seeds, PlaceWorkers: *jobs, RouteWorkers: *jobs, Obs: tr,
 		Events: obsFlags.Bus,

@@ -57,6 +57,74 @@ func TestRoutingDeterminismAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestRouteWorkersDeterminismMinDelay sweeps the router worker knob under
+// the min-delay profile: the criticality-aware PathFinder recomputes
+// per-net slack from the committed routing after every iteration, and that
+// recompute must be a pure function of the (worker-count-independent)
+// committed routes — so route trees and bitstreams stay byte-identical for
+// -j 1/2/4/8 exactly as in the wirelength-driven mode.
+func TestRouteWorkersDeterminismMinDelay(t *testing.T) {
+	for name, src := range goldenExamples(t) {
+		t.Run(name, func(t *testing.T) {
+			var refTrees, refBits []byte
+			for _, workers := range []int{1, 2, 4, 8} {
+				res, err := Run(src, Options{Seed: 1, Profile: ProfileMinDelay, SkipVerify: true,
+					RouteWorkers: workers, PlaceWorkers: 1})
+				if err != nil {
+					t.Fatalf("min-delay route workers=%d: %v", workers, err)
+				}
+				trees, err := json.Marshal(res.Routed.Routes)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if refTrees == nil {
+					refTrees, refBits = trees, res.Encoded
+					continue
+				}
+				if !bytes.Equal(trees, refTrees) {
+					t.Errorf("min-delay route workers=%d: route trees differ from workers=1 run", workers)
+				}
+				if !bytes.Equal(res.Encoded, refBits) {
+					t.Errorf("min-delay route workers=%d: bitstream differs from workers=1 run", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestPlaceWorkersDeterminismMinDelay sweeps the annealer worker knob
+// under the min-delay profile (timing-driven placement weights active,
+// routing pinned serial): bit-identical placements and bitstreams for
+// every -j value.
+func TestPlaceWorkersDeterminismMinDelay(t *testing.T) {
+	for name, src := range goldenExamples(t) {
+		t.Run(name, func(t *testing.T) {
+			var refLoc, refBits []byte
+			for _, workers := range []int{1, 2, 4, 8} {
+				res, err := Run(src, Options{Seed: 1, Profile: ProfileMinDelay, SkipVerify: true,
+					RouteWorkers: 1, PlaceWorkers: workers})
+				if err != nil {
+					t.Fatalf("min-delay place workers=%d: %v", workers, err)
+				}
+				loc, err := json.Marshal(res.Placed.Loc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if refLoc == nil {
+					refLoc, refBits = loc, res.Encoded
+					continue
+				}
+				if !bytes.Equal(loc, refLoc) {
+					t.Errorf("min-delay place workers=%d: placement differs from workers=1 run", workers)
+				}
+				if !bytes.Equal(res.Encoded, refBits) {
+					t.Errorf("min-delay place workers=%d: bitstream differs from workers=1 run", workers)
+				}
+			}
+		})
+	}
+}
+
 // TestPlacementDeterminismAcrossWorkers sweeps the annealer worker knob in
 // isolation (routing pinned serial) and requires the bit-identical
 // placement and bitstream from every value on every golden design.

@@ -44,6 +44,17 @@ const (
 	MapGreedy  = core.MapGreedy
 )
 
+// Profile re-exports the QoR objective profiles (Options.Profile).
+type Profile = core.Profile
+
+// QoR objective profiles: the fpgaflow -profile values.
+const (
+	ProfileBalanced  = core.ProfileBalanced
+	ProfileMinDelay  = core.ProfileMinDelay
+	ProfileMinEnergy = core.ProfileMinEnergy
+	ProfileMinArea   = core.ProfileMinArea
+)
+
 // PaperArch returns the architecture selected by the paper (§3): N=5, K=4,
 // I=12, DETFFs, gated clocks, disjoint switch boxes with 10x pass
 // transistors on length-1 wires at minimum width and double spacing.

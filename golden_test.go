@@ -22,17 +22,37 @@ import (
 
 var updateGolden = flag.Bool("update", false, "rewrite testdata/golden QoR files")
 
-// GoldenQoR is the committed quality-of-results record for one design.
+// GoldenQoR is the committed quality-of-results record for one design
+// under one set of flow options.
 type GoldenQoR struct {
-	// ChannelWidth is the minimum routable W found by the binary search.
+	// ChannelWidth is the routed channel width (the minimum found by the
+	// binary search when the options request it, the architecture's fixed
+	// width otherwise).
 	ChannelWidth int `json:"channel_width"`
 	// Wirelength is the number of wire segments the routing uses at that W.
 	Wirelength int `json:"wirelength"`
 	// CriticalPathNS is the post-route critical path in nanoseconds.
 	CriticalPathNS float64 `json:"critical_path_ns"`
+	// EnergyPJ is the estimated energy per clock cycle in picojoules.
+	EnergyPJ float64 `json:"energy_pj"`
 	// RoutedNets is the number of signal nets carried by the fabric.
 	RoutedNets int `json:"routed_nets"`
 }
+
+// GoldenRecord is one design's committed QoR file: the baseline (balanced
+// flow with minimum-channel-width search, the historical golden record)
+// plus one record per optimization profile.
+type GoldenRecord struct {
+	GoldenQoR
+	// Profiles records min-delay, min-energy and min-area QoR. The delay
+	// and energy profiles route at the architecture's fixed channel width
+	// (router freedom is the point of those objectives); min-area runs the
+	// width search.
+	Profiles map[string]GoldenQoR `json:"profiles"`
+}
+
+// goldenProfiles are the optimization profiles every golden file records.
+var goldenProfiles = []Profile{ProfileMinDelay, ProfileMinEnergy, ProfileMinArea}
 
 // goldenExamples returns the committed example netlists covered by the
 // golden suite: every .blif under examples/netlists except the
@@ -61,11 +81,18 @@ func goldenExamples(t testing.TB) map[string]string {
 	return out
 }
 
-// runQoR compiles one example with the golden-suite options (min channel
-// width search, fixed seed) and extracts its QoR record.
+// runQoR compiles one example with the golden-suite baseline options (min
+// channel width search, fixed seed) and extracts its QoR record.
 func runQoR(t testing.TB, src string, workers int) (*Result, GoldenQoR) {
 	t.Helper()
-	res, err := Run(src, Options{Seed: 1, MinChannelWidth: true, SkipVerify: true, RouteWorkers: workers})
+	return runQoRWith(t, src, Options{Seed: 1, MinChannelWidth: true, SkipVerify: true, RouteWorkers: workers})
+}
+
+// runQoRWith compiles one example under arbitrary flow options and
+// extracts its QoR record.
+func runQoRWith(t testing.TB, src string, opts Options) (*Result, GoldenQoR) {
+	t.Helper()
+	res, err := Run(src, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,14 +106,27 @@ func runQoR(t testing.TB, src string, workers int) (*Result, GoldenQoR) {
 		ChannelWidth:   res.Metrics.ChannelWidth,
 		Wirelength:     res.Metrics.WirelengthUsed,
 		CriticalPathNS: res.Metrics.CriticalPath * 1e9,
+		EnergyPJ:       res.Metrics.EnergyPJ,
 		RoutedNets:     routed,
 	}
+}
+
+// profileOptions are the golden-suite options for one optimization
+// profile: fixed seed, the profile's own channel-width policy (min-area
+// searches; min-delay and min-energy route at the architecture width).
+func profileOptions(prof Profile) Options {
+	return Options{Seed: 1, Profile: prof, SkipVerify: true}
 }
 
 func TestGoldenQoR(t *testing.T) {
 	for name, src := range goldenExamples(t) {
 		t.Run(name, func(t *testing.T) {
-			_, got := runQoR(t, src, 0)
+			_, base := runQoR(t, src, 0)
+			got := GoldenRecord{GoldenQoR: base, Profiles: map[string]GoldenQoR{}}
+			for _, prof := range goldenProfiles {
+				_, q := runQoRWith(t, src, profileOptions(prof))
+				got.Profiles[string(prof)] = q
+			}
 			path := filepath.Join("testdata", "golden", name+".json")
 			if *updateGolden {
 				b, err := json.MarshalIndent(got, "", "  ")
@@ -106,29 +146,69 @@ func TestGoldenQoR(t *testing.T) {
 			if err != nil {
 				t.Fatalf("missing golden (regenerate with -update): %v", err)
 			}
-			var want GoldenQoR
+			var want GoldenRecord
 			if err := json.Unmarshal(b, &want); err != nil {
 				t.Fatalf("%s: %v", path, err)
 			}
-			// Structural counts are exact; wire cost and delay get a small
-			// tolerance band so harmless cost-function tweaks do not churn
-			// the goldens.
-			if got.ChannelWidth != want.ChannelWidth {
-				t.Errorf("channel width = %d, want %d", got.ChannelWidth, want.ChannelWidth)
-			}
-			if got.RoutedNets != want.RoutedNets {
-				t.Errorf("routed nets = %d, want %d", got.RoutedNets, want.RoutedNets)
-			}
-			if drift(float64(got.Wirelength), float64(want.Wirelength)) > 0.05 {
-				t.Errorf("wirelength = %d, want %d (±5%%)", got.Wirelength, want.Wirelength)
-			}
-			if drift(got.CriticalPathNS, want.CriticalPathNS) > 0.05 {
-				t.Errorf("critical path = %.3f ns, want %.3f ns (±5%%)", got.CriticalPathNS, want.CriticalPathNS)
+			compareQoR(t, "baseline", got.GoldenQoR, want.GoldenQoR)
+			for _, prof := range goldenProfiles {
+				w, ok := want.Profiles[string(prof)]
+				if !ok {
+					t.Errorf("golden file has no %q record (regenerate with -update)", prof)
+					continue
+				}
+				compareQoR(t, string(prof), got.Profiles[string(prof)], w)
 			}
 			if t.Failed() {
 				t.Logf("after an intentional QoR change: go test -run TestGoldenQoR -update .")
 			}
 		})
+	}
+}
+
+// compareQoR holds one QoR record against its golden value: structural
+// counts are exact; wire cost, delay and energy get a small tolerance band
+// so harmless cost-function tweaks do not churn the goldens.
+func compareQoR(t *testing.T, label string, got, want GoldenQoR) {
+	t.Helper()
+	if got.ChannelWidth != want.ChannelWidth {
+		t.Errorf("%s: channel width = %d, want %d", label, got.ChannelWidth, want.ChannelWidth)
+	}
+	if got.RoutedNets != want.RoutedNets {
+		t.Errorf("%s: routed nets = %d, want %d", label, got.RoutedNets, want.RoutedNets)
+	}
+	if drift(float64(got.Wirelength), float64(want.Wirelength)) > 0.05 {
+		t.Errorf("%s: wirelength = %d, want %d (±5%%)", label, got.Wirelength, want.Wirelength)
+	}
+	if drift(got.CriticalPathNS, want.CriticalPathNS) > 0.05 {
+		t.Errorf("%s: critical path = %.3f ns, want %.3f ns (±5%%)", label, got.CriticalPathNS, want.CriticalPathNS)
+	}
+	if drift(got.EnergyPJ, want.EnergyPJ) > 0.05 {
+		t.Errorf("%s: energy = %.3f pJ, want %.3f pJ (±5%%)", label, got.EnergyPJ, want.EnergyPJ)
+	}
+}
+
+// TestMinDelayProfileImprovesCriticalPath is the acceptance property of
+// the timing-driven stack: at the architecture's fixed channel width, the
+// min-delay profile must beat (strictly) the balanced flow's critical path
+// on at least half of the committed examples and never lose on the rest by
+// more than a small fraction.
+func TestMinDelayProfileImprovesCriticalPath(t *testing.T) {
+	examples := goldenExamples(t)
+	improved := 0
+	for name, src := range examples {
+		_, base := runQoRWith(t, src, Options{Seed: 1, SkipVerify: true})
+		_, fast := runQoRWith(t, src, profileOptions(ProfileMinDelay))
+		t.Logf("%s: balanced %.3f ns -> min-delay %.3f ns", name, base.CriticalPathNS, fast.CriticalPathNS)
+		if fast.CriticalPathNS < base.CriticalPathNS {
+			improved++
+		} else if fast.CriticalPathNS > base.CriticalPathNS*1.10 {
+			t.Errorf("%s: min-delay regressed the critical path %.3f -> %.3f ns (> 10%%)",
+				name, base.CriticalPathNS, fast.CriticalPathNS)
+		}
+	}
+	if improved*2 < len(examples) {
+		t.Errorf("min-delay improved only %d of %d examples; want at least half", improved, len(examples))
 	}
 }
 

@@ -71,11 +71,34 @@ type Options struct {
 	// MinChannelWidth binary-searches the smallest routable W instead of
 	// using the architecture's fixed width.
 	MinChannelWidth bool
+	// Profile selects a named QoR objective (min-delay, min-energy,
+	// min-area) that turns on the matching option flags below; see
+	// ParseProfile. The zero value is the balanced wirelength-driven flow.
+	Profile Profile
 	// TimingDrivenPlace weights placement cost by net criticality (depth
 	// through the mapped netlist), trading wirelength for critical path.
 	TimingDrivenPlace bool
 	// TimingDrivenRoute weights routing base costs by resource RC delay.
 	TimingDrivenRoute bool
+	// CriticalityDrivenRoute closes the timing loop inside the router:
+	// per-net criticalities (static depth estimate before the first
+	// PathFinder iteration, slack-derived from the committed routing after
+	// every iteration) blend into the congestion cost so critical nets take
+	// fast paths while relaxed nets absorb detours. Implies
+	// TimingDrivenRoute. Bit-identical for every worker count: the
+	// recompute is a pure function of the committed routing.
+	CriticalityDrivenRoute bool
+	// EnergyDrivenRoute weights routing base costs by node capacitance so
+	// nets prefer low-C resources. Ignored when a timing-driven route mode
+	// is on.
+	EnergyDrivenRoute bool
+	// PowerAwarePack groups registered BLEs into shared clusters so gated
+	// clock trees cover fewer CLBs (pack.Params.GroupGated).
+	PowerAwarePack bool
+	// PlaceCritAlpha is the timing-driven placement trade-off between
+	// wirelength and criticality weighting (place.CriticalityWeights
+	// alpha); 0 selects the default of 8.
+	PlaceCritAlpha float64
 	// PlaceSeeds runs that many independent annealing seeds in parallel and
 	// keeps the cheapest placement (0/1 = single seed).
 	PlaceSeeds int
@@ -157,8 +180,18 @@ func (o *Options) trace() *obs.Trace {
 }
 
 func (o *Options) fill() {
+	o.Profile.apply(o)
+	if o.CriticalityDrivenRoute {
+		o.TimingDrivenRoute = true
+	}
+	if o.TimingDrivenRoute {
+		o.EnergyDrivenRoute = false
+	}
 	if o.PlaceEffort == 0 {
 		o.PlaceEffort = 1
+	}
+	if o.PlaceCritAlpha == 0 {
+		o.PlaceCritAlpha = 8
 	}
 	if o.ActivityCycles == 0 {
 		o.ActivityCycles = 500
@@ -228,8 +261,12 @@ type Metrics struct {
 	MaxClockMHz    float64
 	DataRateMbps   float64
 	PowerTotalMW   float64
-	BitstreamBits  int
-	Utilization    float64
+	// EnergyPJ is the energy per clock cycle in picojoules: total power at
+	// the power-model clock divided by that clock. The min-energy profile
+	// and benchgate's -energy-tol gate optimize and police this number.
+	EnergyPJ      float64
+	BitstreamBits int
+	Utilization   float64
 	// AreaUnits is the fabric area in minimum-width transistor areas
 	// (the VPR area model over the sized grid).
 	AreaUnits float64
@@ -413,7 +450,8 @@ func (res *Result) continueFromBLIF(ctx context.Context, blifText string, opts O
 
 	// Stage 6: T-VPack.
 	err = res.stage(ctx, &opts, "T-VPack", func(context.Context) error {
-		pk, err := pack.Pack(res.Mapped.Netlist, pack.Params{N: a.CLB.N, K: a.CLB.K, I: a.CLB.I})
+		pk, err := pack.Pack(res.Mapped.Netlist, pack.Params{
+			N: a.CLB.N, K: a.CLB.K, I: a.CLB.I, GroupGated: opts.PowerAwarePack})
 		if err != nil {
 			return err
 		}
@@ -422,8 +460,11 @@ func (res *Result) continueFromBLIF(ctx context.Context, blifText string, opts O
 		res.Metrics.CLBs = len(pk.Clusters)
 		res.Metrics.Utilization = pk.Utilization()
 		res.tr.Add("flow.clbs", int64(len(pk.Clusters)))
-		res.Stages[len(res.Stages)-1].Detail = fmt.Sprintf("%d CLBs, %.0f%% BLE utilization",
-			len(pk.Clusters), 100*pk.Utilization())
+		detail := fmt.Sprintf("%d CLBs, %.0f%% BLE utilization", len(pk.Clusters), 100*pk.Utilization())
+		if opts.PowerAwarePack {
+			detail += fmt.Sprintf(", %d clocked", pk.ClockedClusters())
+		}
+		res.Stages[len(res.Stages)-1].Detail = detail
 		return res.runChecks(&opts, check.StagePack, &check.Artifacts{Packing: pk})
 	})
 	if err != nil {
@@ -462,7 +503,9 @@ func (res *Result) continueFromBLIF(ctx context.Context, blifText string, opts O
 			Ctx: sctx, Bad: opts.Defects.BadSiteSet(), Events: opts.Events, Workers: opts.PlaceWorkers}
 		mode := "wirelength-driven"
 		if opts.TimingDrivenPlace {
-			popts.Weights = place.CriticalityWeights(res.Packing, res.Problem, 8)
+			// Recomputed here (inside the stage closure) so every hardened-
+			// runner attempt weights against the attempt's own packing.
+			popts.Weights = place.CriticalityWeights(res.Packing, res.Problem, opts.PlaceCritAlpha)
 			mode = "timing-driven"
 		}
 		var pl *place.Placement
@@ -486,8 +529,24 @@ func (res *Result) continueFromBLIF(ctx context.Context, blifText string, opts O
 
 	// Stage 9: VPR routing.
 	err = res.stage(ctx, &opts, "VPR route", func(sctx context.Context) error {
-		ropts := route.Options{MaxIters: opts.RouteMaxIters, DelayDriven: opts.TimingDrivenRoute, Obs: res.tr, Ctx: sctx,
+		ropts := route.Options{MaxIters: opts.RouteMaxIters, DelayDriven: opts.TimingDrivenRoute,
+			EnergyDriven: opts.EnergyDrivenRoute, Obs: res.tr, Ctx: sctx,
 			Workers: opts.RouteWorkers, Cache: opts.RRCache, Events: opts.Events}
+		if opts.CriticalityDrivenRoute {
+			pk, p, pl := res.Packing, res.Problem, res.Placed
+			ropts.Criticality = func(g *rrgraph.Graph, routes []*route.NetRoute) []float64 {
+				if routes == nil {
+					// First iteration: no routed delays yet; seed with the
+					// combinational-depth estimate.
+					return timing.StaticNetCriticalities(pk, p)
+				}
+				nc, err := timing.AnalyzeNetCriticalities(pk, p, pl, &route.Result{Routes: routes, Graph: g})
+				if err != nil {
+					return nil // keep last criticalities on a mid-route analysis failure
+				}
+				return nc
+			}
+		}
 		if opts.Defects != nil {
 			// Re-applied at every channel-width trial: defects are keyed by
 			// structural coordinates, so they survive RR-graph rebuilds and
@@ -576,13 +635,30 @@ func (res *Result) continueFromBLIF(ctx context.Context, blifText string, opts O
 		}
 		res.Power = rep
 		res.Metrics.PowerTotalMW = rep.Total * 1e3
+		res.Metrics.EnergyPJ = rep.Total / clock * 1e12
 		res.tr.SetGauge("power.total_mw", rep.Total*1e3)
+		res.tr.SetGauge("power.energy_pj", res.Metrics.EnergyPJ)
 		res.Metrics.AreaUnits = power.FabricAreaMinWidthUnits(a)
 		res.Stages[len(res.Stages)-1].Detail = fmt.Sprintf("%.3f mW at %.0f MHz", rep.Total*1e3, clock/1e6)
 		return nil
 	})
 	if err != nil {
 		return res, err
+	}
+
+	// Publish the per-design QoR record: the delay/energy numbers the
+	// golden suite and benchgate gate on, tagged with the profile that
+	// produced them.
+	if opts.Events.Enabled() {
+		opts.Events.Publish(events.Event{Kind: events.KindQoR, QoR: &events.QoREvent{
+			Design:         res.Metrics.Name,
+			Profile:        string(opts.Profile),
+			ChannelWidth:   res.Metrics.ChannelWidth,
+			Wirelength:     res.Metrics.WirelengthUsed,
+			CriticalPathNS: res.Metrics.CriticalPath * 1e9,
+			PowerMW:        res.Metrics.PowerTotalMW,
+			EnergyPJ:       res.Metrics.EnergyPJ,
+		}})
 	}
 
 	// Stage 11: DAGGER bitstream.

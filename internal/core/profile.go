@@ -1,0 +1,57 @@
+package core
+
+import "fmt"
+
+// Profile is a named QoR objective that configures the whole CAD stack at
+// once — the fpgaflow -profile knob. Profiles only ever turn optimizations
+// on; explicitly-set Options fields keep their values.
+type Profile string
+
+const (
+	// ProfileBalanced is the default wirelength-driven flow.
+	ProfileBalanced Profile = ""
+	// ProfileMinDelay optimizes the critical path: timing-driven placement
+	// (criticality-weighted bounding boxes), delay-driven routing base
+	// costs, and the criticality-aware PathFinder blend that recomputes
+	// per-net slack after every rip-up-and-reroute iteration.
+	ProfileMinDelay Profile = "min-delay"
+	// ProfileMinEnergy optimizes energy per cycle: power-aware packing
+	// (registers concentrated so gated clock trees stay dark) and
+	// capacitance-weighted routing base costs.
+	ProfileMinEnergy Profile = "min-energy"
+	// ProfileMinArea optimizes fabric area: binary-search the minimum
+	// routable channel width instead of routing at the architecture's
+	// fixed width.
+	ProfileMinArea Profile = "min-area"
+)
+
+// ParseProfile validates a -profile flag value ("balanced" and "" both
+// select the default).
+func ParseProfile(s string) (Profile, error) {
+	switch s {
+	case "", "balanced":
+		return ProfileBalanced, nil
+	case string(ProfileMinDelay):
+		return ProfileMinDelay, nil
+	case string(ProfileMinEnergy):
+		return ProfileMinEnergy, nil
+	case string(ProfileMinArea):
+		return ProfileMinArea, nil
+	}
+	return "", fmt.Errorf("core: unknown profile %q (want balanced, min-delay, min-energy or min-area)", s)
+}
+
+// apply folds the profile into the option flags it implies.
+func (p Profile) apply(o *Options) {
+	switch p {
+	case ProfileMinDelay:
+		o.TimingDrivenPlace = true
+		o.TimingDrivenRoute = true
+		o.CriticalityDrivenRoute = true
+	case ProfileMinEnergy:
+		o.PowerAwarePack = true
+		o.EnergyDrivenRoute = true
+	case ProfileMinArea:
+		o.MinChannelWidth = true
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"fpgaflow/internal/circuits"
+	"fpgaflow/internal/obs/events"
+)
+
+func TestParseProfile(t *testing.T) {
+	for in, want := range map[string]Profile{
+		"": ProfileBalanced, "balanced": ProfileBalanced,
+		"min-delay": ProfileMinDelay, "min-energy": ProfileMinEnergy, "min-area": ProfileMinArea,
+	} {
+		got, err := ParseProfile(in)
+		if err != nil || got != want {
+			t.Errorf("ParseProfile(%q) = %q, %v; want %q", in, got, err, want)
+		}
+	}
+	if _, err := ParseProfile("fastest"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestProfileAppliesFlags(t *testing.T) {
+	d := Options{Profile: ProfileMinDelay}
+	d.fill()
+	if !d.TimingDrivenPlace || !d.TimingDrivenRoute || !d.CriticalityDrivenRoute {
+		t.Errorf("min-delay flags not applied: %+v", d)
+	}
+	if d.EnergyDrivenRoute {
+		t.Error("min-delay must not leave energy-driven routing on")
+	}
+	e := Options{Profile: ProfileMinEnergy}
+	e.fill()
+	if !e.PowerAwarePack || !e.EnergyDrivenRoute {
+		t.Errorf("min-energy flags not applied: %+v", e)
+	}
+	a := Options{Profile: ProfileMinArea}
+	a.fill()
+	if !a.MinChannelWidth {
+		t.Error("min-area did not enable the channel-width search")
+	}
+	// Criticality-driven routing implies delay-driven and suppresses the
+	// energy base (the two cost models are mutually exclusive).
+	c := Options{CriticalityDrivenRoute: true, EnergyDrivenRoute: true}
+	c.fill()
+	if !c.TimingDrivenRoute || c.EnergyDrivenRoute {
+		t.Errorf("criticality-driven coupling wrong: %+v", c)
+	}
+}
+
+// TestProfileFlowsEmitQoR runs a sequential design under every profile and
+// checks each flow completes, reports a positive per-cycle energy, and
+// publishes exactly one tagged QoR event carrying the metrics the gates
+// compare.
+func TestProfileFlowsEmitQoR(t *testing.T) {
+	b := circuits.Counter(4)
+	for _, prof := range []Profile{ProfileBalanced, ProfileMinDelay, ProfileMinEnergy, ProfileMinArea} {
+		bus := events.NewBus(256)
+		bus.SetEnabled(true)
+		res, err := RunVHDL(b.VHDL, Options{Seed: 2, Profile: prof, SkipVerify: true, Events: bus})
+		if err != nil {
+			t.Fatalf("profile %q: %v\n%s", prof, err, res.Summary())
+		}
+		if res.Metrics.EnergyPJ <= 0 {
+			t.Errorf("profile %q: EnergyPJ = %v, want > 0", prof, res.Metrics.EnergyPJ)
+		}
+		if res.Metrics.CriticalPath <= 0 {
+			t.Errorf("profile %q: no critical path", prof)
+		}
+		var qor []*events.QoREvent
+		for _, ev := range bus.Snapshot() {
+			if ev.Kind == events.KindQoR {
+				if err := ev.Validate(); err != nil {
+					t.Errorf("profile %q: invalid QoR event: %v", prof, err)
+				}
+				qor = append(qor, ev.QoR)
+			}
+		}
+		if len(qor) != 1 {
+			t.Fatalf("profile %q: %d QoR events, want 1", prof, len(qor))
+		}
+		q := qor[0]
+		if q.Profile != string(prof) {
+			t.Errorf("QoR event profile %q, want %q", q.Profile, prof)
+		}
+		if q.CriticalPathNS != res.Metrics.CriticalPath*1e9 || q.EnergyPJ != res.Metrics.EnergyPJ ||
+			q.ChannelWidth != res.Metrics.ChannelWidth || q.Wirelength != res.Metrics.WirelengthUsed {
+			t.Errorf("profile %q: QoR event diverges from metrics: %+v vs %+v", prof, q, res.Metrics)
+		}
+	}
+}

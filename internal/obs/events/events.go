@@ -45,6 +45,10 @@ const (
 	// KindJob is a job-service lifecycle transition: submitted, start,
 	// requeued, cancel, done, recovered (job).
 	KindJob Kind = "job"
+	// KindQoR is the end-of-flow quality-of-results record: channel width,
+	// wirelength, critical-path delay and energy per cycle, tagged with
+	// the optimization profile that produced them (qor).
+	KindQoR Kind = "qor"
 )
 
 // PlaceStep is the annealer's per-temperature telemetry: where the VPR
@@ -187,6 +191,28 @@ type JobEvent struct {
 	Reason string `json:"reason,omitempty"`
 }
 
+// QoREvent is the end-of-flow quality-of-results summary: one per
+// completed flow, carrying exactly the numbers the golden QoR suite and
+// benchgate's regression gates compare (so telemetry consumers see the
+// same delay/energy figures the gates enforce).
+type QoREvent struct {
+	// Design is the netlist's top model name.
+	Design string `json:"design"`
+	// Profile is the optimization profile ("" = balanced, "min-delay",
+	// "min-energy", "min-area").
+	Profile string `json:"profile,omitempty"`
+	// ChannelWidth is the routed channel width.
+	ChannelWidth int `json:"channel_width"`
+	// Wirelength is the wire segments occupied by the final routing.
+	Wirelength int `json:"wirelength"`
+	// CriticalPathNS is the critical-path delay in nanoseconds.
+	CriticalPathNS float64 `json:"critical_path_ns"`
+	// PowerMW is the estimated total power in milliwatts.
+	PowerMW float64 `json:"power_mw"`
+	// EnergyPJ is the energy per clock cycle in picojoules.
+	EnergyPJ float64 `json:"energy_pj"`
+}
+
 // Event is one element of the telemetry stream. Seq and TimeNS are stamped
 // by the bus at publish time; exactly one payload field is non-nil.
 type Event struct {
@@ -203,6 +229,7 @@ type Event struct {
 	Stage           *StageEvent      `json:"stage,omitempty"`
 	Flow            *FlowEvent       `json:"flow,omitempty"`
 	Job             *JobEvent        `json:"job,omitempty"`
+	QoR             *QoREvent        `json:"qor,omitempty"`
 }
 
 // Validate checks the Kind/payload pairing invariant.
@@ -229,6 +256,9 @@ func (e *Event) Validate() error {
 	}
 	if e.Job != nil {
 		want, set = KindJob, set+1
+	}
+	if e.QoR != nil {
+		want, set = KindQoR, set+1
 	}
 	if set != 1 {
 		return fmt.Errorf("events: %d payloads set (want exactly 1)", set)

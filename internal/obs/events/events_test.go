@@ -38,6 +38,10 @@ func sampleEvents() []Event {
 			ID: "j000042", Tenant: "alice", Action: "done",
 			State: "failed", Attempt: 3, Reason: "VPR route: unroutable",
 		}},
+		{Kind: KindQoR, QoR: &QoREvent{
+			Design: "rand64", Profile: "min-delay", ChannelWidth: 16,
+			Wirelength: 552, CriticalPathNS: 12.49, PowerMW: 1.59, EnergyPJ: 19.86,
+		}},
 	}
 }
 

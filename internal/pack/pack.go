@@ -70,6 +70,13 @@ type Params struct {
 	N int // cluster size (BLEs per CLB)
 	K int // LUT inputs
 	I int // distinct cluster inputs
+	// GroupGated enables power-aware attraction: registered BLEs prefer
+	// clusters that already hold flip-flops and purely combinational BLEs
+	// prefer FF-free clusters. Each CLB's clock tree is gated as a unit,
+	// so concentrating the registers into fewer clusters lets more of the
+	// clock network stay dark (the power model charges clock power per
+	// cluster containing at least one FF).
+	GroupGated bool
 }
 
 // PaperParams returns the CLB selected in the paper: N=5, K=4, I=12
@@ -101,8 +108,21 @@ func (p *Packing) Utilization() float64 {
 	return float64(len(p.BLEs)) / float64(len(p.Clusters)*p.Params.N)
 }
 
+// ClockedClusters counts the clusters containing at least one flip-flop —
+// the clusters whose clock tree segment must toggle. Power-aware packing
+// (Params.GroupGated) exists to minimize this number.
+func (p *Packing) ClockedClusters() int {
+	n := 0
+	for _, c := range p.Clusters {
+		if c.Clock != "" {
+			n++
+		}
+	}
+	return n
+}
+
 // Record emits the packing's cluster-fill metrics to an observability
-// trace: pack.clusters, pack.bles, pack.registered_bles,
+// trace: pack.clusters, pack.bles, pack.registered_bles, pack.clocked_clusters,
 // pack.cluster_inputs and the pack.ble_fill gauge. nil trace is a no-op.
 func (p *Packing) Record(tr *obs.Trace) {
 	if tr == nil {
@@ -120,6 +140,7 @@ func (p *Packing) Record(tr *obs.Trace) {
 		inputs += int64(len(c.Inputs))
 	}
 	tr.Add("pack.registered_bles", registered)
+	tr.Add("pack.clocked_clusters", int64(p.ClockedClusters()))
 	tr.Add("pack.cluster_inputs", inputs)
 	tr.Gauge("pack.ble_fill").Set(p.Utilization())
 }
@@ -240,6 +261,7 @@ func (p *Packing) bestAttraction(c *Cluster, clustered map[*BLE]bool, producer m
 	}
 	var best *BLE
 	bestScore := -1
+	clusterClocked := c.Clock != ""
 	for _, cand := range p.BLEs {
 		if clustered[cand] {
 			continue
@@ -252,6 +274,9 @@ func (p *Packing) bestAttraction(c *Cluster, clustered map[*BLE]bool, producer m
 			if inCluster[in] {
 				score++
 			}
+		}
+		if p.Params.GroupGated && cand.Registered() == clusterClocked {
+			score += 2 // share the gated clock enable (or keep the cluster dark)
 		}
 		// First-best wins on ties; BLE order is deterministic. Like T-VPack,
 		// a zero-attraction BLE still fills the cluster when nothing related

@@ -290,3 +290,79 @@ func TestUtilizationEquationGives98Percent(t *testing.T) {
 		t.Errorf("starving inputs did not reduce utilization: %.2f vs %.2f", utilSmall, utilEq)
 	}
 }
+
+// TestGroupGatedConcentratesRegisters checks the power-aware attraction:
+// with GroupGated set, packing random register-heavy netlists must never
+// spread flip-flops over more clusters than the baseline packer does, and
+// must strictly reduce the clocked-cluster count on at least one instance
+// (so the bonus demonstrably changes packing decisions). All other packing
+// invariants must keep holding.
+func TestGroupGatedConcentratesRegisters(t *testing.T) {
+	improved := false
+	for seed := int64(0); seed < 8; seed++ {
+		nl := randomLUTNetlist(seed, 10, 60, 4)
+		base, err := Pack(nl.Clone(), Params{N: 5, K: 4, I: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gated, err := Pack(nl.Clone(), Params{N: 5, K: 4, I: 12, GroupGated: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := gated.Validate(); err != nil {
+			t.Fatalf("seed %d: gated packing invalid: %v", seed, err)
+		}
+		b, g := base.ClockedClusters(), gated.ClockedClusters()
+		if g > b {
+			t.Errorf("seed %d: GroupGated raised clocked clusters %d -> %d", seed, b, g)
+		}
+		if g < b {
+			improved = true
+		}
+		// Registered BLEs must be conserved: grouping moves FFs, never
+		// drops or duplicates them.
+		count := func(p *Packing) int {
+			n := 0
+			for _, ble := range p.BLEs {
+				if ble.Registered() {
+					n++
+				}
+			}
+			return n
+		}
+		if count(base) != count(gated) {
+			t.Errorf("seed %d: registered BLE count changed %d -> %d", seed, count(base), count(gated))
+		}
+	}
+	if !improved {
+		t.Error("GroupGated never reduced clocked clusters on any seed; bonus has no effect")
+	}
+}
+
+// TestGroupGatedDeterministic packs the same netlist twice with GroupGated
+// and requires identical cluster assignments.
+func TestGroupGatedDeterministic(t *testing.T) {
+	nl := randomLUTNetlist(3, 10, 60, 4)
+	a, err := Pack(nl.Clone(), Params{N: 5, K: 4, I: 12, GroupGated: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Pack(nl.Clone(), Params{N: 5, K: 4, I: 12, GroupGated: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Clusters) != len(b.Clusters) {
+		t.Fatalf("cluster counts differ: %d vs %d", len(a.Clusters), len(b.Clusters))
+	}
+	for i := range a.Clusters {
+		ca, cb := a.Clusters[i], b.Clusters[i]
+		if len(ca.BLEs) != len(cb.BLEs) {
+			t.Fatalf("cluster %d sizes differ", i)
+		}
+		for j := range ca.BLEs {
+			if ca.BLEs[j].Name() != cb.BLEs[j].Name() {
+				t.Fatalf("cluster %d BLE %d differs: %q vs %q", i, j, ca.BLEs[j].Name(), cb.BLEs[j].Name())
+			}
+		}
+	}
+}

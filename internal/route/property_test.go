@@ -82,6 +82,14 @@ func randomBLIF(seed int64, nIn, layers, perLayer, nOut int) string {
 // placeRandom packs and places a random netlist on the paper architecture.
 func placeRandom(t *testing.T, seed int64) (*place.Problem, *place.Placement) {
 	t.Helper()
+	_, p, pl := packPlaceRandom(t, seed)
+	return p, pl
+}
+
+// packPlaceRandom is placeRandom keeping the packing (the timing-driven
+// property suite needs it to recompute criticalities).
+func packPlaceRandom(t *testing.T, seed int64) (*pack.Packing, *place.Problem, *place.Placement) {
+	t.Helper()
 	src := randomBLIF(seed, 6, 3, 6, 3)
 	nl, err := netlist.ParseBLIF(src)
 	if err != nil {
@@ -101,7 +109,7 @@ func placeRandom(t *testing.T, seed int64) (*place.Problem, *place.Placement) {
 	if err != nil {
 		t.Fatalf("seed %d: %v", seed, err)
 	}
-	return p, pl
+	return pk, p, pl
 }
 
 // TestPropertyRandomNetlistsRouteClean routes a family of seeded-random

@@ -37,6 +37,30 @@ type Options struct {
 	// DelayDriven weights base costs by each resource's intrinsic RC delay
 	// so paths prefer electrically fast routes, not just few hops.
 	DelayDriven bool
+	// EnergyDriven weights base costs by each resource's capacitance so
+	// paths prefer low switched-capacitance routes (the min-energy
+	// profile's cost axis). Mutually exclusive with DelayDriven; the A*
+	// lookahead tables assume hop- or RC-floored costs, so energy-driven
+	// searches run as plain Dijkstra (identical results, more heap pops).
+	EnergyDriven bool
+	// Criticality makes the router timing-driven: it is called with nil
+	// routes before the first iteration (a static pre-routing estimate)
+	// and with the complete committed routing after every iteration, and
+	// must return one value in [0,1] per net — see timing.NetCriticalities.
+	// A net with criticality c searches with the blended node cost
+	//
+	//	(1-c) * congestion_cost + c * base_cost
+	//
+	// so critical nets chase the cheapest (with DelayDriven, the fastest)
+	// path and shed congestion avoidance, while relaxed nets detour around
+	// contention. c is clamped to CritMax so the present/history terms can
+	// always resolve conflicts. The callback must be a pure function of
+	// its arguments; committed routings are identical at every worker
+	// count, so the recomputed criticalities — and the routing — stay
+	// bit-identical under any -j. Setting Criticality forces DelayDriven
+	// (the blend needs a delay-shaped base cost, and the delay-driven A*
+	// floors remain admissible under it; see docs/PERFORMANCE.md).
+	Criticality func(g *rrgraph.Graph, routes []*NetRoute) []float64
 	// NoLookahead disables the A* cost lookahead and falls back to plain
 	// Dijkstra. The routed result is identical either way (the lookahead
 	// is an admissible lower bound, so A* pops the same optimal paths);
@@ -83,6 +107,15 @@ func (o *Options) ctxErr() error {
 }
 
 func (o *Options) fill() {
+	if o.Criticality != nil {
+		// The criticality blend mixes congestion cost with a bare base
+		// cost; with flat unit bases the blend would only wash out the
+		// negotiation, so timing-driven routing implies delay-shaped bases.
+		o.DelayDriven = true
+	}
+	if o.DelayDriven {
+		o.EnergyDriven = false
+	}
 	if o.MaxIters == 0 {
 		o.MaxIters = 40
 	}
@@ -175,8 +208,9 @@ func Route(p *place.Problem, pl *place.Placement, g *rrgraph.Graph, opts Options
 	presFac := opts.PresFacInit
 
 	// Delay-driven base costs: normalize each wire's R*C against the worst
-	// so costs stay comparable to the unit hop cost.
-	var delayNorm float64
+	// so costs stay comparable to the unit hop cost. Energy-driven bases
+	// normalize capacitance alone the same way.
+	var delayNorm, capNorm float64
 	if opts.DelayDriven {
 		for _, n := range g.Nodes {
 			if d := n.R * n.C; d > delayNorm {
@@ -184,11 +218,43 @@ func Route(p *place.Problem, pl *place.Placement, g *rrgraph.Graph, opts Options
 			}
 		}
 	}
+	if opts.EnergyDriven {
+		for _, n := range g.Nodes {
+			if n.C > capNorm {
+				capNorm = n.C
+			}
+		}
+	}
+	// Per-net criticality for the timing-driven blend: seeded from the
+	// pre-routing estimate, replaced by the callback's recompute over the
+	// committed routing after every iteration. nil means pure congestion
+	// cost. critMax keeps a sliver of congestion cost on even the most
+	// critical net so present/history pressure can always separate two
+	// fully-critical nets contending for one resource.
+	const critMax = 0.99
+	var crit []float64
+	setCrit := func(nc []float64) {
+		if len(nc) != len(conns) {
+			return // contract violation: keep the previous estimate
+		}
+		for i, c := range nc {
+			if c < 0 {
+				nc[i] = 0
+			} else if c > critMax {
+				nc[i] = critMax
+			}
+		}
+		crit = nc
+	}
+	if opts.Criticality != nil {
+		setCrit(opts.Criticality(g, nil))
+	}
 	// The A* lookahead: admissible cost-to-sink lower bounds derived from
 	// the graph's per-segment-type summary (built once per RR-graph and
 	// shared by every cache clone). See search.go for the admissibility
-	// argument; NoLookahead degrades to plain Dijkstra.
-	hr := newHeur(g, opts.DelayDriven, delayNorm, !opts.NoLookahead)
+	// argument; NoLookahead degrades to plain Dijkstra, and energy-driven
+	// bases (no RC floor in the tables) always search undirected.
+	hr := newHeur(g, opts.DelayDriven, delayNorm, !opts.NoLookahead && !opts.EnergyDriven)
 	// costFor is the node-cost function net ni searches with. usage and
 	// history are frozen while a batch is in flight, so concurrent reads
 	// are safe; own excludes the net's own previous route so a net is not
@@ -204,6 +270,10 @@ func Route(p *place.Problem, pl *place.Placement, g *rrgraph.Graph, opts Options
 	// order used to provide.
 	costFor := func(sc *scratch, ni int) func(int) float64 {
 		seed := uint32(ni+1) * 2654435761
+		c := 0.0
+		if crit != nil {
+			c = crit[ni]
+		}
 		return func(id int) float64 {
 			n := g.Nodes[id]
 			u := usage[id]
@@ -220,8 +290,18 @@ func Route(p *place.Problem, pl *place.Placement, g *rrgraph.Graph, opts Options
 				base = 0.1
 			} else if opts.DelayDriven && delayNorm > 0 {
 				base = 0.3 + 2*(n.R*n.C)/delayNorm
+			} else if opts.EnergyDriven && capNorm > 0 {
+				base = 0.3 + 2*n.C/capNorm
 			}
-			return (base+history[id])*pres + tieBreak(seed, id)
+			congest := (base + history[id]) * pres
+			if c > 0 {
+				// Timing-driven blend: congestion cost fades with net
+				// criticality; the base (delay) term never does. congest >=
+				// base, so the blend stays >= base and the delay-driven A*
+				// floors remain admissible.
+				congest = (1-c)*congest + c*base
+			}
+			return congest + tieBreak(seed, id)
 		}
 	}
 
@@ -241,7 +321,7 @@ func Route(p *place.Problem, pl *place.Placement, g *rrgraph.Graph, opts Options
 	for i := range scratches {
 		scratches[i] = newScratch(nNodes)
 	}
-	var netsRouted, netsParallel, overuseSum int64
+	var netsRouted, netsParallel, overuseSum, critUpdates int64
 	defer func() {
 		var pops, reused int64
 		for _, sc := range scratches {
@@ -255,6 +335,7 @@ func Route(p *place.Problem, pl *place.Placement, g *rrgraph.Graph, opts Options
 		opts.Obs.Add("route.overuse_sum", overuseSum)
 		opts.Obs.Add("route.heap_pops", pops)
 		opts.Obs.Add("route.sinks_reused", reused)
+		opts.Obs.Add("route.crit_updates", critUpdates)
 		opts.Obs.Gauge("route.overused_final").Set(float64(res.Overused))
 	}()
 	// overused reports whether one node is above capacity under the current
@@ -448,6 +529,14 @@ func Route(p *place.Problem, pl *place.Placement, g *rrgraph.Graph, opts Options
 		// search's cost by an order of magnitude.
 		if !opts.NoFailurePredictor && iter-bestIter >= predictStall && bestOver >= predictMinOver {
 			break
+		}
+		// Timing-driven recompute: every net now has a committed route, so
+		// the callback can extract real routed delays. The committed routing
+		// is identical at every worker count, hence so is the criticality
+		// vector the next iteration searches with.
+		if opts.Criticality != nil {
+			setCrit(opts.Criticality(g, routes))
+			critUpdates++
 		}
 		presFac *= opts.PresFacMult
 	}

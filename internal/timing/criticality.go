@@ -1,0 +1,111 @@
+package timing
+
+import (
+	"fpgaflow/internal/netlist"
+	"fpgaflow/internal/pack"
+	"fpgaflow/internal/place"
+	"fpgaflow/internal/route"
+)
+
+// Criticality turns timing slack into the [0,1] weight the timing-driven
+// placer and router cost functions consume: zero-slack (critical path)
+// connections map to 1, fully relaxed connections to 0, linearly in
+// between. The mapping is monotone non-increasing in slack, and out-of-
+// range inputs clamp, so downstream cost blends never see a weight
+// outside [0,1].
+func Criticality(slack, dmax float64) float64 {
+	if dmax <= 0 {
+		return 0
+	}
+	c := 1 - slack/dmax
+	if c < 0 {
+		return 0
+	}
+	if c > 1 {
+		return 1
+	}
+	return c
+}
+
+// NetCriticalities derives a per-net criticality vector (parallel to
+// p.Nets) from a completed analysis: each net inherits the criticality of
+// its driving signal, Criticality(SlackAt(signal), CriticalPath). The
+// router recomputes this after every PathFinder iteration so critical
+// nets chase fast paths while relaxed nets absorb the congestion.
+func NetCriticalities(an *Analysis, p *place.Problem) []float64 {
+	out := make([]float64, len(p.Nets))
+	for i, n := range p.Nets {
+		out[i] = Criticality(an.SlackAt(n.Signal), an.CriticalPath)
+	}
+	return out
+}
+
+// AnalyzeNetCriticalities runs the full timing analysis on a routed
+// design and returns its per-net criticality vector. It is the
+// per-iteration recompute hook the router's Options.Criticality callback
+// wraps; the result is a pure function of the committed routing, so the
+// timing-driven router stays bit-identical at every worker count.
+func AnalyzeNetCriticalities(pk *pack.Packing, p *place.Problem, pl *place.Placement, r *route.Result) ([]float64, error) {
+	an, err := Analyze(pk, p, pl, r)
+	if err != nil {
+		return nil, err
+	}
+	return NetCriticalities(an, p), nil
+}
+
+// StaticNetCriticalities estimates per-net criticality before any routing
+// exists, from combinational depth through the mapped netlist alone: a
+// net's driver on the deepest input-to-output path gets criticality 1,
+// off-path drivers proportionally less. It seeds the router's first
+// iteration (which has no routed delays to analyze yet) and mirrors the
+// depth estimate place.CriticalityWeights builds its annealer weights
+// from.
+func StaticNetCriticalities(pk *pack.Packing, p *place.Problem) []float64 {
+	nl := pk.Netlist
+	depth := make(map[*netlist.Node]int, nl.NumNodes())
+	topo, err := nl.TopoSort()
+	if err != nil {
+		topo = nl.Nodes()
+	}
+	for _, n := range topo {
+		if n.Kind != netlist.KindLogic {
+			continue
+		}
+		d := 0
+		for _, f := range n.Fanin {
+			if depth[f] > d {
+				d = depth[f]
+			}
+		}
+		depth[n] = d + 1
+	}
+	// Height: longest remaining combinational path (walk topo backwards).
+	height := make(map[*netlist.Node]int, nl.NumNodes())
+	for i := len(topo) - 1; i >= 0; i-- {
+		n := topo[i]
+		if n.Kind != netlist.KindLogic {
+			continue
+		}
+		for _, f := range n.Fanin {
+			if h := height[n] + 1; h > height[f] {
+				height[f] = h
+			}
+		}
+	}
+	dmax := 0
+	for _, n := range topo {
+		if t := depth[n] + height[n]; t > dmax {
+			dmax = t
+		}
+	}
+	out := make([]float64, len(p.Nets))
+	for i, net := range p.Nets {
+		if dmax == 0 {
+			continue
+		}
+		if n := nl.Node(net.Signal); n != nil {
+			out[i] = float64(depth[n]+height[n]) / float64(dmax)
+		}
+	}
+	return out
+}

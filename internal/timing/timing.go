@@ -36,9 +36,33 @@ type Analysis struct {
 	NetDelay map[string]float64
 	// ArrivalAt gives the arrival time of every signal.
 	ArrivalAt map[string]float64
+	// RequiredAt gives the latest time each signal may arrive without
+	// stretching the critical path (backward pass from the endpoints).
+	// Signals that reach no timing endpoint are absent; SlackAt treats
+	// them as fully relaxed.
+	RequiredAt map[string]float64
 	// CriticalNodes lists the signals along the critical path, source
 	// first.
 	CriticalNodes []string
+}
+
+// SlackAt returns the signal's timing slack: how much later it could
+// arrive without degrading the critical path. Signals on the critical
+// path have (floating-point) zero slack; signals feeding no endpoint are
+// fully relaxed (slack == CriticalPath). Never negative.
+func (an *Analysis) SlackAt(signal string) float64 {
+	req, ok := an.RequiredAt[signal]
+	if !ok {
+		return an.CriticalPath
+	}
+	s := req - an.ArrivalAt[signal]
+	if s < 0 {
+		return 0 // float drift on the critical path itself
+	}
+	if s > an.CriticalPath {
+		return an.CriticalPath
+	}
+	return s
 }
 
 // ConnectionDelays computes the Elmore delay of every routed connection,
@@ -188,6 +212,49 @@ func Analyze(pk *pack.Packing, p *place.Problem, pl *place.Placement, r *route.R
 	if an.CriticalPath <= 0 {
 		return nil, fmt.Errorf("timing: empty design (no endpoints)")
 	}
+	// Backward required-time pass: endpoints must close by the critical
+	// path; each signal's required time is the min over its consumers of
+	// (consumer requirement - consumer logic delay - interconnect). The
+	// slack req - arrival is what NetCriticalities maps into [0,1].
+	T := an.CriticalPath
+	req := make(map[string]float64, nl.NumNodes())
+	lower := func(name string, t float64) {
+		if cur, ok := req[name]; !ok || t < cur {
+			req[name] = t
+		}
+	}
+	for _, n := range nl.Nodes() {
+		if n.Kind != netlist.KindLatch {
+			continue
+		}
+		d := n.Fanin[0]
+		lower(d.Name, T-tech.FFSetup-interconnect(d.Name, pk.ClusterOf(n.Name)))
+	}
+	for _, o := range nl.Outputs {
+		t := T - tech.OutPadDelay
+		if padBlock := p.BlockByName("out:" + o); padBlock >= 0 {
+			if d, ok := routed[connKey{o, padBlock}]; ok {
+				t -= d
+			}
+		}
+		lower(o, t)
+	}
+	for i := len(topo) - 1; i >= 0; i-- {
+		n := topo[i]
+		if n.Kind != netlist.KindLogic {
+			continue
+		}
+		r, ok := req[n.Name]
+		if !ok {
+			continue // feeds no endpoint: fully relaxed
+		}
+		r -= tech.LocalMuxDelay + tech.LUTDelay
+		cl := pk.ClusterOf(n.Name)
+		for _, f := range n.Fanin {
+			lower(f.Name, r-interconnect(f.Name, cl))
+		}
+	}
+	an.RequiredAt = req
 	// Backtrace the critical path, source first.
 	for at := criticalStart; at != ""; at = pred[at] {
 		an.CriticalNodes = append(an.CriticalNodes, at)
