@@ -55,7 +55,8 @@ func main() {
 		fmt.Printf("job API on http://%s/jobs (state in %s, %d workers)\n", *addr, *jobsDir, *workers)
 	}
 	fmt.Printf("FPGA design framework GUI on http://%s\n", *addr)
-	fmt.Printf("machine-readable run metrics on http://%s/metrics\n", *addr)
+	fmt.Printf("machine-readable run metrics on http://%s/metrics (Prometheus: /metrics?format=prom)\n", *addr)
+	fmt.Printf("per-job traces on http://%s/jobs/{id}/trace (Perfetto: ?format=chrome)\n", *addr)
 	fmt.Printf("live telemetry: http://%s/events (SSE), http://%s/heatmap, http://%s/debug/pprof/\n", *addr, *addr, *addr)
 
 	// SIGINT/SIGTERM drain in-flight requests (a running flow included) and

@@ -1,0 +1,46 @@
+// Command promlint validates a Prometheus text-exposition document against
+// the subset of the format internal/obs emits, so CI can gate the
+// /metrics?format=prom endpoint without pulling in the real Prometheus
+// toolchain:
+//
+//	curl -s localhost:8080/metrics?format=prom | promlint
+//	promlint metrics.prom
+//
+// Checks (see obs.ValidatePrometheus): every sample is preceded by a
+// # TYPE line for its family, metric names and label values are legal and
+// properly escaped, histogram _bucket series are cumulative and monotone in
+// le, every histogram ends with le="+Inf" equal to its _count, and sample
+// values parse as floats. Exit status 0 means the document passed; 1 means
+// it failed (the reason goes to stderr); 2 is a usage or I/O error.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"fpgaflow/internal/obs"
+)
+
+func main() {
+	var r io.Reader
+	switch len(os.Args) {
+	case 1:
+		r = os.Stdin
+	case 2:
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promlint:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		r = f
+	default:
+		fmt.Fprintln(os.Stderr, "usage: promlint [file]  (reads stdin when no file is given)")
+		os.Exit(2)
+	}
+	if err := obs.ValidatePrometheus(r); err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(1)
+	}
+}

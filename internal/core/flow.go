@@ -781,6 +781,10 @@ func (res *Result) stage(ctx context.Context, opts *Options, tool string, fn fun
 		st.Duration = sp.Wall
 		st.CPU = sp.CPU
 		st.AllocBytes = sp.AllocBytes
+		// Stage wall time feeds the farm's latency distribution, labeled by
+		// stage (bounded: the stage set is fixed). The span already carries
+		// the measurement, so no extra clock read happens here.
+		res.tr.HistogramVec("flow.stage_seconds", "stage").Observe(tool, sp.Wall.Seconds())
 	} else {
 		//fpgavet:ignore walltime fallback duration telemetry when spans are disabled; reporting only
 		st.Duration = time.Since(start)

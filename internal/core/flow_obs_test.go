@@ -10,9 +10,10 @@ import (
 )
 
 // TestFlowEmitsSpanPerStage runs the complete flow with an explicit trace
-// and checks the observability contract: every stage appears exactly once
-// as a top-level span in the emitted metrics, with a nonzero duration, and
-// the stage tools contribute at least six distinct counters.
+// and checks the observability contract: the attempt is the single
+// top-level span, every stage appears exactly once nested under it with a
+// nonzero duration, and the stage tools contribute at least six distinct
+// counters.
 func TestFlowEmitsSpanPerStage(t *testing.T) {
 	tr := obs.New("flow-test")
 	res, err := RunVHDL(circuits.RippleAdder(4).VHDL, Options{
@@ -29,24 +30,31 @@ func TestFlowEmitsSpanPerStage(t *testing.T) {
 		t.Fatal("nil summary from a live trace")
 	}
 
-	// One top-level span per stage, same order as Result.Stages.
-	var topLevel []string
+	// A clean run is one attempt span at the top level, with one stage span
+	// per stage nested under it, in the same order as Result.Stages.
+	var attempts, stages []string
 	for _, sp := range sum.Spans {
-		if sp.Depth == 0 {
-			topLevel = append(topLevel, sp.Name)
+		switch sp.Depth {
+		case 0:
+			attempts = append(attempts, sp.Name)
+		case 1:
+			stages = append(stages, sp.Name)
 			if sp.WallNS <= 0 {
 				t.Errorf("stage span %q has non-positive wall time %d", sp.Name, sp.WallNS)
 			}
 		}
 	}
-	if len(topLevel) != len(res.Stages) {
-		t.Fatalf("got %d top-level spans %v, want %d (one per stage)",
-			len(topLevel), topLevel, len(res.Stages))
+	if len(attempts) != 1 || attempts[0] != "attempt 1" {
+		t.Fatalf("top-level spans = %v, want exactly [attempt 1]", attempts)
+	}
+	if len(stages) != len(res.Stages) {
+		t.Fatalf("got %d stage spans %v, want %d (one per stage)",
+			len(stages), stages, len(res.Stages))
 	}
 	seen := map[string]int{}
 	for i, st := range res.Stages {
-		if topLevel[i] != st.Tool {
-			t.Errorf("span %d is %q, want stage %q", i, topLevel[i], st.Tool)
+		if stages[i] != st.Tool {
+			t.Errorf("span %d is %q, want stage %q", i, stages[i], st.Tool)
 		}
 		seen[st.Tool]++
 		if st.Duration <= 0 {
@@ -56,6 +64,16 @@ func TestFlowEmitsSpanPerStage(t *testing.T) {
 	for tool, n := range seen {
 		if n != 1 {
 			t.Errorf("stage %q appears %d times, want exactly once", tool, n)
+		}
+	}
+
+	// Every stage's wall time must land in the flow.stage_seconds histogram
+	// vec, keyed by the stage tool.
+	hv := sum.HistogramVecs["flow.stage_seconds"]
+	for _, st := range res.Stages {
+		h, ok := hv.Values[st.Tool]
+		if !ok || h.Count != 1 {
+			t.Errorf("flow.stage_seconds[%q]: got %+v, want exactly one observation", st.Tool, h)
 		}
 	}
 

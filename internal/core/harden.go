@@ -146,13 +146,21 @@ func runRetry(ctx context.Context, opts Options, attempt func(context.Context, O
 			opts.Events.Publish(events.Event{Kind: events.KindFlow,
 				Flow: &events.FlowEvent{Action: "attempt", Attempt: try, Seed: opts.Seed}})
 		}
+		// Each attempt is a span of its own, so a retried job's trace shows
+		// every attempt (with the flow stages nested under it) on one
+		// timeline instead of a flat stage list that silently restarts.
+		asp := tr.Start(fmt.Sprintf("attempt %d", try))
+		asp.SetDetail("seed=%d", opts.Seed)
 		res, err := attempt(ctx, opts)
 		tr.Add("flow.attempts", 1)
 		if err == nil {
+			asp.End()
 			return res, nil
 		}
 		se := asStageError(err, try, res)
+		asp.SetDetail("seed=%d err=%v", opts.Seed, se)
 		if try >= pol.MaxAttempts || ctx.Err() != nil {
+			asp.End()
 			return res, se
 		}
 		action := ""
@@ -165,8 +173,11 @@ func runRetry(ctx context.Context, opts Options, attempt func(context.Context, O
 			opts.Seed += reseedStep
 			action = "retry"
 		default:
+			asp.End()
 			return res, se
 		}
+		asp.SetDetail("seed=%d %s: %v", opts.Seed, action, se)
+		asp.End()
 		tr.Add("flow.retries", 1)
 		if opts.Events.Enabled() {
 			opts.Events.Publish(events.Event{Kind: events.KindFlow, Flow: &events.FlowEvent{

@@ -53,6 +53,11 @@ type Server struct {
 	// JobsTrace carries the jobs.* counters and queue gauges; /metrics
 	// serves it alongside the last flow run's trace.
 	JobsTrace *obs.Trace
+	// Obs is the server's own trace: HTTP handler latency histograms
+	// (http.request_seconds, labeled by route pattern — a fixed, bounded
+	// label set, never raw URLs) and request counters. Served by /metrics
+	// in both JSON and Prometheus form.
+	Obs *obs.Trace
 	// runs counts full flow executions since server start.
 	runs int64
 
@@ -65,23 +70,35 @@ type Server struct {
 // NewServer returns a GUI server with paper-default options.
 func NewServer() *Server {
 	return &Server{Opts: core.Options{Seed: 1}, Bus: events.NewBus(0),
-		closing: make(chan struct{})}
+		Obs: obs.New("fpgaweb"), closing: make(chan struct{})}
+}
+
+// timed wraps a handler with the HTTP latency histogram. The label is the
+// route pattern, never the raw URL — cardinality stays bounded by the
+// route table no matter what clients request.
+func (s *Server) timed(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t := s.Obs.HistogramVec("http.request_seconds", "route").WithLabel(route).StartTimer()
+		defer t.ObserveDuration()
+		s.Obs.Add("http.requests", 1)
+		h(w, r)
+	}
 }
 
 // Handler returns the HTTP handler implementing the six GUI stages.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/", s.handleHome)
-	mux.HandleFunc("/upload", s.handleUpload)
-	mux.HandleFunc("/synthesize", s.stageHandler("Synthesis", s.runSynthesis))
-	mux.HandleFunc("/translate", s.stageHandler("Format Translation", s.runTranslate))
-	mux.HandleFunc("/power", s.stageHandler("Power Estimation", s.runFull))
-	mux.HandleFunc("/pnr", s.stageHandler("Placement and Routing", s.runFull))
-	mux.HandleFunc("/program", s.handleProgram)
-	mux.HandleFunc("/bitstream.bin", s.handleBitstream)
-	mux.HandleFunc("/layout", s.handleLayout)
-	mux.HandleFunc("/docs", s.handleDocs)
-	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/", s.timed("/", s.handleHome))
+	mux.HandleFunc("/upload", s.timed("/upload", s.handleUpload))
+	mux.HandleFunc("/synthesize", s.timed("/synthesize", s.stageHandler("Synthesis", s.runSynthesis)))
+	mux.HandleFunc("/translate", s.timed("/translate", s.stageHandler("Format Translation", s.runTranslate)))
+	mux.HandleFunc("/power", s.timed("/power", s.stageHandler("Power Estimation", s.runFull)))
+	mux.HandleFunc("/pnr", s.timed("/pnr", s.stageHandler("Placement and Routing", s.runFull)))
+	mux.HandleFunc("/program", s.timed("/program", s.handleProgram))
+	mux.HandleFunc("/bitstream.bin", s.timed("/bitstream.bin", s.handleBitstream))
+	mux.HandleFunc("/layout", s.timed("/layout", s.handleLayout))
+	mux.HandleFunc("/docs", s.timed("/docs", s.handleDocs))
+	mux.HandleFunc("/metrics", s.timed("/metrics", s.handleMetrics))
 	s.registerJobs(mux)
 	s.registerLive(mux)
 	return mux
@@ -398,10 +415,24 @@ func (s *Server) handleBitstream(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(s.Result.Encoded) // response write errors are client disconnects
 }
 
-// handleMetrics serves the observability view of the server as JSON: the
-// run count plus the full span/counter summary of the last flow execution
-// (the same schema fpgaflow -metrics writes).
+// handleMetrics serves the observability view of the server. The default
+// is JSON: the run count plus the full span/counter summary of the last
+// flow execution (the same schema fpgaflow -metrics writes).
+// `?format=prom` switches to the Prometheus text exposition format,
+// aggregating the server's own trace (HTTP latency), the job service's
+// trace (queue wait, WAL fsync, per-tenant counters) and the last flow
+// run (stage wall times) into one scrapeable document.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		s.mu.Lock()
+		last := s.LastTrace
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := obs.WritePrometheus(w, s.Obs, s.JobsTrace, last); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
 	type jobsDoc struct {
 		jobs.Stats
 		// Counters and Gauges are the jobs.* namespace from the service's

@@ -20,9 +20,11 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"os"
 	"strconv"
 
 	"fpgaflow/internal/jobs"
+	"fpgaflow/internal/obs"
 )
 
 // maxJobBodyBytes bounds a POST /jobs body: the spec's source limit plus
@@ -30,14 +32,17 @@ import (
 // hostile client cannot buffer unbounded bytes into the server.
 const maxJobBodyBytes = jobs.MaxSourceBytes + 64*1024
 
-// registerJobs wires the job lifecycle endpoints onto the GUI mux.
+// registerJobs wires the job lifecycle endpoints onto the GUI mux. Every
+// route is wrapped in the latency middleware under its pattern (never the
+// raw URL), so the http.request_seconds label set stays bounded.
 func (s *Server) registerJobs(mux *http.ServeMux) {
-	mux.HandleFunc("POST /jobs", s.withJobs(s.handleJobSubmit))
-	mux.HandleFunc("GET /jobs", s.withJobs(s.handleJobList))
-	mux.HandleFunc("GET /jobs/{id}", s.withJobs(s.handleJobGet))
-	mux.HandleFunc("DELETE /jobs/{id}", s.withJobs(s.handleJobCancel))
-	mux.HandleFunc("GET /jobs/{id}/artifacts", s.withJobs(s.handleJobArtifacts))
-	mux.HandleFunc("GET /jobs/{id}/artifacts/{name}", s.withJobs(s.handleJobArtifactFile))
+	mux.HandleFunc("POST /jobs", s.timed("POST /jobs", s.withJobs(s.handleJobSubmit)))
+	mux.HandleFunc("GET /jobs", s.timed("GET /jobs", s.withJobs(s.handleJobList)))
+	mux.HandleFunc("GET /jobs/{id}", s.timed("GET /jobs/{id}", s.withJobs(s.handleJobGet)))
+	mux.HandleFunc("DELETE /jobs/{id}", s.timed("DELETE /jobs/{id}", s.withJobs(s.handleJobCancel)))
+	mux.HandleFunc("GET /jobs/{id}/artifacts", s.timed("GET /jobs/{id}/artifacts", s.withJobs(s.handleJobArtifacts)))
+	mux.HandleFunc("GET /jobs/{id}/artifacts/{name}", s.timed("GET /jobs/{id}/artifacts/{name}", s.withJobs(s.handleJobArtifactFile)))
+	mux.HandleFunc("GET /jobs/{id}/trace", s.timed("GET /jobs/{id}/trace", s.withJobs(s.handleJobTrace)))
 }
 
 // withJobs gates an endpoint on the job service being configured.
@@ -151,4 +156,35 @@ func (s *Server) handleJobArtifactFile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	http.ServeFile(w, r, path)
+}
+
+// handleJobTrace serves a finished job's end-to-end trace. The default is
+// the trace.json artifact verbatim (the obs.Summary schema: queue wait,
+// every attempt and every flow stage as spans under one trace ID).
+// `?format=chrome` converts it on the fly to the Chrome trace-event format
+// so it can be dropped straight into Perfetto / chrome://tracing.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	path, err := s.Jobs.ArtifactPath(r.PathValue("id"), "trace.json")
+	if err != nil {
+		jobError(w, err)
+		return
+	}
+	if r.URL.Query().Get("format") != "chrome" {
+		http.ServeFile(w, r, path)
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		jobError(w, jobs.ErrNotFound)
+		return
+	}
+	sum, err := obs.ParseSummary(data)
+	if err != nil {
+		http.Error(w, "corrupt trace artifact: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := obs.WriteChromeTrace(w, sum); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }

@@ -1,0 +1,168 @@
+package gui
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"fpgaflow/internal/jobs"
+	"fpgaflow/internal/obs"
+)
+
+// waitJobDone polls GET /jobs/{id} until the job is terminal.
+func waitJobDone(t *testing.T, url, id string) jobs.Status {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var st jobs.Status
+		if err := json.Unmarshal([]byte(getBody(t, http.DefaultClient, url+"/jobs/"+id)), &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s did not finish; state %s", id, st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestMetricsPrometheusScrape is the exposition round-trip gate at the HTTP
+// layer: run a job through the farm API, scrape /metrics?format=prom as a
+// Prometheus server would, and put the document through the validator. The
+// scrape must carry the per-tenant counters and the core latency
+// histograms the issue names.
+func TestMetricsPrometheusScrape(t *testing.T) {
+	srv, _ := newJobsServer(t, nil)
+	resp, st := submitJob(t, srv.URL, blifSpec("alice", 1))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	if final := waitJobDone(t, srv.URL, st.ID); final.State != jobs.StateSucceeded {
+		t.Fatalf("job finished %s: %s", final.State, final.Error)
+	}
+
+	r, err := http.Get(srv.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if ct := r.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want the text exposition type", ct)
+	}
+	body := getBody(t, http.DefaultClient, srv.URL+"/metrics?format=prom")
+	if err := obs.ValidatePrometheus(strings.NewReader(body)); err != nil {
+		t.Fatalf("scrape fails the validator: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		"fpgaflow_build_info{",
+		`fpgaflow_jobs_submitted_by_tenant_total{tenant="alice"} 1`,
+		`fpgaflow_jobs_finished_by_tenant_total{tenant="alice"} 1`,
+		"# TYPE fpgaflow_jobs_queue_wait_seconds histogram",
+		"# TYPE fpgaflow_jobs_run_seconds histogram",
+		"# TYPE fpgaflow_jobs_wal_sync_seconds histogram",
+		"# TYPE fpgaflow_http_request_seconds histogram",
+		`fpgaflow_http_request_seconds_bucket{route="POST /jobs",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("scrape body:\n%s", body)
+	}
+
+	// The JSON view must stay the default.
+	r2, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if ct := r2.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("default /metrics Content-Type = %q, want JSON", ct)
+	}
+}
+
+// TestJobTraceEndpoint drives a real (default core runner) job through the
+// HTTP API and checks GET /jobs/{id}/trace serves the full span tree —
+// queue wait, the attempt, every flow stage — under one trace ID, and that
+// ?format=chrome converts it to a loadable trace-event document.
+func TestJobTraceEndpoint(t *testing.T) {
+	srv, _ := newJobsServer(t, func(c *jobs.Config) { c.Runner = nil }) // real flow
+	resp, st := submitJob(t, srv.URL, blifSpec("alice", 1))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	if st.TraceID == "" {
+		t.Fatal("submit status carries no trace ID")
+	}
+	if final := waitJobDone(t, srv.URL, st.ID); final.State != jobs.StateSucceeded {
+		t.Fatalf("job finished %s: %s", final.State, final.Error)
+	}
+
+	body := getBody(t, http.DefaultClient, srv.URL+"/jobs/"+st.ID+"/trace")
+	sum, err := obs.ParseSummary([]byte(body))
+	if err != nil {
+		t.Fatalf("trace endpoint did not serve a summary: %v", err)
+	}
+	if sum.TraceID != st.TraceID {
+		t.Fatalf("trace ID %q != status trace ID %q", sum.TraceID, st.TraceID)
+	}
+	names := map[string]int{}
+	depths := map[string]int{}
+	for _, sp := range sum.Spans {
+		names[sp.Name]++
+		depths[sp.Name] = sp.Depth
+	}
+	if names["queue wait"] == 0 || depths["queue wait"] != 0 {
+		t.Errorf("no top-level queue-wait span: %v", names)
+	}
+	if names["attempt 1"] == 0 || depths["attempt 1"] != 0 {
+		t.Errorf("no top-level attempt span: %v", names)
+	}
+	for _, stage := range []string{"VPR place", "VPR route"} {
+		if names[stage] == 0 {
+			t.Errorf("trace missing flow stage %q; spans: %v", stage, names)
+		} else if depths[stage] != 1 {
+			t.Errorf("stage %q at depth %d, want 1 (nested under its attempt)", stage, depths[stage])
+		}
+	}
+
+	chrome := getBody(t, http.DefaultClient, srv.URL+"/jobs/"+st.ID+"/trace?format=chrome")
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		OtherData map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal([]byte(chrome), &doc); err != nil {
+		t.Fatalf("chrome view is not valid JSON: %v", err)
+	}
+	if doc.OtherData["trace_id"] != st.TraceID {
+		t.Errorf("chrome trace lost the trace ID: %v", doc.OtherData)
+	}
+	var sawStage bool
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase == "X" && ev.Name == "VPR route" {
+			sawStage = true
+		}
+	}
+	if !sawStage {
+		t.Error("chrome trace has no event for the route stage")
+	}
+
+	// Unknown jobs 404 like every other job endpoint.
+	r, err := http.Get(srv.URL + "/jobs/nope/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Errorf("trace of unknown job: status %d, want 404", r.StatusCode)
+	}
+}

@@ -115,6 +115,7 @@ type Status struct {
 	Attempt     int     `json:"attempt,omitempty"`
 	Error       string  `json:"error,omitempty"`
 	Fingerprint string  `json:"fingerprint"`
+	TraceID     string  `json:"trace_id,omitempty"`
 	Artifact    string  `json:"artifact,omitempty"`
 	Metrics     *Result `json:"metrics,omitempty"`
 }
@@ -145,6 +146,15 @@ type job struct {
 	finishing bool               // a finisher has claimed the terminal commit
 	cancel    context.CancelFunc // live while running
 	done      chan struct{}      // closed on terminal transition
+
+	// tr is the per-job trace: one deterministic trace ID per submission,
+	// carried via context through admission, queue, worker and the hardened
+	// runner, persisted as the trace.json artifact at the terminal
+	// transition. qspan is the open queue-wait span while the job sits in
+	// the FIFO.
+	tr      *obs.Trace
+	traceID string
+	qspan   *obs.Span
 }
 
 // Service is the crash-safe job queue: durable admission, a worker pool
@@ -215,6 +225,7 @@ func Open(cfg Config) (*Service, error) {
 		"jobs.canceled", "jobs.requeued", "jobs.recovered",
 		"jobs.rejected_quota", "jobs.rejected_backlog",
 		"jobs.wal_records", "jobs.wal_tail_dropped", "jobs.wal_dup_terminal",
+		"jobs.trace_write_errors",
 	} {
 		s.tr.Counter(c)
 	}
@@ -310,10 +321,38 @@ func (s *Service) recover() error {
 		j.state = StateQueued
 		s.active[j.spec.Tenant+"/"+j.fp] = j.id
 		s.tr.Add("jobs.recovered", 1)
+		s.startJobTrace(j)
+		s.markQueued(j)
 		s.enqueue(j.id)
 		s.publishJobEvent(j, "recovered")
 	}
 	return nil
+}
+
+// startJobTrace creates the job's trace with its deterministic trace ID
+// (sha256 of job ID + spec fingerprint — a replayed submission carries the
+// same ID across process restarts).
+func (s *Service) startJobTrace(j *job) {
+	j.traceID = obs.DeriveTraceID(j.id, j.fp)
+	j.tr = obs.New("job " + j.id)
+	j.tr.SetTraceID(j.traceID)
+}
+
+// markQueued opens the job's queue-wait span; call just before enqueue.
+// Callers either hold Service.mu or own the job exclusively (recovery).
+func (s *Service) markQueued(j *job) {
+	j.qspan = j.tr.Start("queue wait")
+}
+
+// endQueueWait closes the queue-wait span (if one is open) and feeds the
+// service-wide queue-wait distribution. Callers hold Service.mu.
+func (s *Service) endQueueWait(j *job) {
+	if j.qspan == nil {
+		return
+	}
+	j.qspan.End()
+	s.tr.Histogram("jobs.queue_wait_seconds").Observe(j.qspan.Wall.Seconds())
+	j.qspan = nil
 }
 
 // numericSuffix extracts the numeric part of a "j000042" job ID.
@@ -343,9 +382,18 @@ func (s *Service) append(rec *Record) error {
 	if s.killed.Load() {
 		return errKilled
 	}
-	rec.TNS = s.clock().UnixNano()
+	t0 := s.clock()
+	rec.TNS = t0.UnixNano()
 	if err := s.wal.append(rec); err != nil {
 		return err
+	}
+	// append marshals, writes and fsyncs under the WAL lock; its latency is
+	// the floor under every admission and terminal commit, so it gets its
+	// own distribution. s.clock is the service's sanctioned wall-clock
+	// source; fake clocks may stand still or jump, so only forward deltas
+	// are observed.
+	if d := s.clock().Sub(t0); d >= 0 {
+		s.tr.Histogram("jobs.wal_sync_seconds").Observe(d.Seconds())
 	}
 	s.tr.Add("jobs.wal_records", 1)
 	return nil
@@ -405,6 +453,7 @@ func (s *Service) Submit(ctx context.Context, spec Spec) (Status, error) {
 		state: StateQueued,
 		done:  make(chan struct{}),
 	}
+	s.startJobTrace(j)
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.active[spec.Tenant+"/"+fp] = j.id
@@ -421,11 +470,16 @@ func (s *Service) Submit(ctx context.Context, spec Spec) (Status, error) {
 		return Status{}, err
 	}
 	s.tr.Add("jobs.submitted", 1)
-	s.enqueue(j.id)
-	s.publishJobEvent(j, "submitted")
+	// Per-tenant admission counters are labeled and cardinality-capped: a
+	// hostile tenant set collapses into the vec's overflow bucket instead
+	// of growing the metric space without bound.
+	s.tr.CounterVec("jobs.submitted_by_tenant", "tenant").Add(spec.Tenant, 1)
 	s.mu.Lock()
+	s.markQueued(j)
 	st := j.status()
 	s.mu.Unlock()
+	s.enqueue(j.id)
+	s.publishJobEvent(j, "submitted")
 	return st, nil
 }
 
@@ -496,6 +550,7 @@ func (s *Service) runJob(id string) {
 		s.mu.Unlock()
 		return
 	}
+	s.endQueueWait(j)
 	if j.canceled {
 		s.mu.Unlock()
 		s.finish(j, StateCanceled, "canceled before start", "", nil)
@@ -512,6 +567,10 @@ func (s *Service) runJob(id string) {
 	rctx, cancel := context.WithCancel(s.runCtx)
 	j.cancel = cancel
 	attempt := j.attempt
+	// The per-job trace rides the context from here on: the hardened core
+	// runner and every flow stage report their spans into it, all under the
+	// job's single trace ID.
+	rctx = obs.ContextWithTrace(rctx, j.tr)
 	s.mu.Unlock()
 	defer cancel()
 
@@ -523,7 +582,11 @@ func (s *Service) runJob(id string) {
 	}
 	s.publishJobEvent(j, "start")
 
+	runStart := s.clock()
 	res, err := s.runShielded(rctx, j.spec)
+	if d := s.clock().Sub(runStart); d >= 0 {
+		s.tr.Histogram("jobs.run_seconds").Observe(d.Seconds())
+	}
 	if s.killed.Load() {
 		return // crashed mid-stage: no terminal record, recovery re-queues
 	}
@@ -553,6 +616,7 @@ func (s *Service) runJob(id string) {
 		s.mu.Lock()
 		j.state = StateQueued
 		j.cancel = nil
+		s.markQueued(j)
 		s.mu.Unlock()
 		s.publishJobEvent(j, "requeued")
 		s.enqueue(id)
@@ -591,10 +655,16 @@ func isWorkerCrash(err error) bool {
 	return errors.As(err, &pe)
 }
 
-// coreRunner is the production runner: the full hardened flow.
+// coreRunner is the production runner: the full hardened flow. The flow
+// reports into the job's own trace (from the context) when one is
+// attached; its metrics merge into the service-wide trace at the terminal
+// transition, so service totals still accumulate exactly as before.
 func (s *Service) coreRunner(ctx context.Context, spec Spec) (*core.Result, error) {
 	opts := spec.coreOptions()
-	opts.Obs = s.tr
+	opts.Obs = obs.TraceFromContext(ctx)
+	if opts.Obs == nil {
+		opts.Obs = s.tr
+	}
 	opts.Events = s.bus
 	if spec.IsBLIF() {
 		return core.RunBLIFContext(ctx, spec.Source, opts)
@@ -643,8 +713,9 @@ func (s *Service) finish(j *job, state State, errText, digest string, metrics *R
 	j.artifact = digest
 	j.metrics = metrics
 	j.cancel = nil
+	s.endQueueWait(j) // canceled-while-queued jobs go terminal with the span open
+	tenant := j.spec.Tenant
 	delete(s.active, j.spec.Tenant+"/"+j.fp)
-	close(j.done)
 	s.mu.Unlock()
 	switch state {
 	case StateSucceeded:
@@ -654,7 +725,39 @@ func (s *Service) finish(j *job, state State, errText, digest string, metrics *R
 	case StateCanceled:
 		s.tr.Add("jobs.canceled", 1)
 	}
+	s.tr.CounterVec("jobs.finished_by_tenant", "tenant").Add(tenant, 1)
+	// Persist the job's span tree as an artifact, then fold its metrics
+	// into the service totals. Both are best-effort telemetry: a failed
+	// trace write is counted, never turns a finished job into a failure.
+	// The trace must be on disk before j.done wakes waiters, so a client
+	// that Waits and then lists artifacts always sees trace.json.
+	s.writeTrace(j)
+	s.tr.MergeFrom(j.tr)
+	s.mu.Lock()
+	close(j.done)
+	s.mu.Unlock()
 	s.publishJobEvent(j, "done")
+}
+
+// writeTrace persists the job's span tree (queue wait, every attempt,
+// every flow stage — one trace ID) as Dir/jobs/<id>/trace.json.
+func (s *Service) writeTrace(j *job) {
+	if j.tr == nil {
+		return
+	}
+	dir := s.jobDir(j.id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		s.tr.Add("jobs.trace_write_errors", 1)
+		return
+	}
+	data, err := json.MarshalIndent(j.tr.Summary(), "", "  ")
+	if err != nil {
+		s.tr.Add("jobs.trace_write_errors", 1)
+		return
+	}
+	if err := atomicWrite(filepath.Join(dir, "trace.json"), data); err != nil {
+		s.tr.Add("jobs.trace_write_errors", 1)
+	}
 }
 
 // writeArtifacts persists the job's outputs under Dir/jobs/<id>/ —
@@ -875,7 +978,7 @@ func (j *job) status() Status {
 	return Status{
 		ID: j.id, Tenant: j.spec.Tenant, Name: j.spec.Name, State: j.state,
 		Attempt: j.attempt, Error: j.errText, Fingerprint: j.fp,
-		Artifact: j.artifact, Metrics: j.metrics,
+		TraceID: j.traceID, Artifact: j.artifact, Metrics: j.metrics,
 	}
 }
 

@@ -88,7 +88,7 @@ func TestSubmitRunWaitArtifacts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []string{"design.bit", "result.json"}
+	want := []string{"design.bit", "result.json", "trace.json"}
 	if fmt.Sprint(names) != fmt.Sprint(want) {
 		t.Fatalf("artifacts = %v, want %v", names, want)
 	}

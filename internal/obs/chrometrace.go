@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format (the JSON
+// array flavor Perfetto and chrome://tracing load). Field order follows
+// the spec's examples; ts/dur are microseconds.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders a run summary as a Chrome trace-event document
+// ({"traceEvents": [...]}): one complete ("X") event per span with its
+// recorded start offset and wall time, preceded by process/thread name
+// metadata. Load the output in Perfetto (ui.perfetto.dev) or
+// chrome://tracing to see the whole run — queue wait, every attempt,
+// every flow stage — on a timeline. Output is deterministic for a given
+// summary.
+func WriteChromeTrace(w io.Writer, sum *Summary) error {
+	if sum == nil {
+		return nil
+	}
+	events := make([]chromeEvent, 0, len(sum.Spans)+2)
+	procName := sum.Name
+	if procName == "" {
+		procName = "fpgaflow"
+	}
+	events = append(events,
+		chromeEvent{Name: "process_name", Phase: "M", PID: 1, TID: 1,
+			Args: map[string]any{"name": procName}},
+		chromeEvent{Name: "thread_name", Phase: "M", PID: 1, TID: 1,
+			Args: map[string]any{"name": "flow"}},
+	)
+	for _, s := range sum.Spans {
+		args := map[string]any{"path": s.Path}
+		if s.Detail != "" {
+			args["detail"] = s.Detail
+		}
+		if sum.TraceID != "" {
+			args["trace_id"] = sum.TraceID
+		}
+		if s.CPUNS > 0 {
+			args["cpu_us"] = float64(s.CPUNS) / 1e3
+		}
+		events = append(events, chromeEvent{
+			Name:  s.Name,
+			Cat:   "flow",
+			Phase: "X",
+			TS:    float64(s.StartNS) / 1e3,
+			Dur:   float64(s.WallNS) / 1e3,
+			PID:   1,
+			TID:   1,
+			Args:  args,
+		})
+	}
+	doc := struct {
+		TraceEvents     []chromeEvent  `json:"traceEvents"`
+		DisplayTimeUnit string         `json:"displayTimeUnit"`
+		OtherData       map[string]any `json:"otherData,omitempty"`
+	}{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+	}
+	if sum.TraceID != "" {
+		doc.OtherData = map[string]any{"trace_id": sum.TraceID}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestWriteChromeTrace checks the Perfetto export end to end: a nested
+// span tree renders as a valid trace-event document with metadata events,
+// one complete event per span, microsecond timestamps and the trace ID
+// threaded through.
+func TestWriteChromeTrace(t *testing.T) {
+	tr := New("job abc")
+	tr.SetTraceID("deadbeef00112233")
+	q := tr.Start("queue wait")
+	q.End()
+	a := tr.Start("attempt 1")
+	st := tr.Start("VPR route")
+	st.SetDetail("W=12")
+	st.End()
+	a.End()
+	sum := tr.Summary()
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, sum); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			Dur   float64        `json:"dur"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string         `json:"displayTimeUnit"`
+		OtherData       map[string]any `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	if doc.OtherData["trace_id"] != "deadbeef00112233" {
+		t.Errorf("otherData.trace_id = %v", doc.OtherData["trace_id"])
+	}
+	if len(doc.TraceEvents) != 2+3 {
+		t.Fatalf("got %d events, want 2 metadata + 3 spans", len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[0].Phase != "M" || doc.TraceEvents[0].Name != "process_name" ||
+		doc.TraceEvents[0].Args["name"] != "job abc" {
+		t.Errorf("first event is not the process_name metadata: %+v", doc.TraceEvents[0])
+	}
+	byName := map[string]int{}
+	for i, ev := range doc.TraceEvents[2:] {
+		if ev.Phase != "X" {
+			t.Errorf("span event %d phase = %q, want X", i, ev.Phase)
+		}
+		if ev.Args["trace_id"] != "deadbeef00112233" {
+			t.Errorf("span %q lost the trace ID", ev.Name)
+		}
+		byName[ev.Name] = i
+	}
+	for _, want := range []string{"queue wait", "attempt 1", "VPR route"} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("no event for span %q", want)
+		}
+	}
+	stage := doc.TraceEvents[2+byName["VPR route"]]
+	if stage.Args["detail"] != "W=12" {
+		t.Errorf("stage event lost its detail: %v", stage.Args)
+	}
+	if stage.Args["path"] != "attempt 1/VPR route" {
+		t.Errorf("stage path = %v, want attempt 1/VPR route", stage.Args["path"])
+	}
+
+	// Nil summary writes nothing rather than a broken document.
+	var empty bytes.Buffer
+	if err := WriteChromeTrace(&empty, nil); err != nil || empty.Len() != 0 {
+		t.Errorf("nil summary: err=%v len=%d, want silent no-op", err, empty.Len())
+	}
+}

@@ -18,15 +18,24 @@ import (
 //	-jsonl out.jsonl      stream span events as JSON Lines
 //	-cpuprofile out.pprof capture a pprof CPU profile of the run
 //	-memprofile out.pprof write a pprof heap profile at flow exit
+//	-blockprofile out.pprof
+//	                      write a pprof blocking profile (lock/chan waits)
+//	-mutexprofile out.pprof
+//	                      write a pprof mutex-contention profile
+//	-chrometrace out.json write the span tree as a Chrome trace-event file
+//	                      (load in Perfetto / chrome://tracing)
 //	-events dir           stream iteration-level telemetry to dir/events.jsonl
 //	                      and derive dir/heatmap.json at exit
 type CLIFlags struct {
-	Metrics    string
-	TraceText  bool
-	JSONL      string
-	CPUProfile string
-	MemProfile string
-	Events     string
+	Metrics      string
+	TraceText    bool
+	JSONL        string
+	CPUProfile   string
+	MemProfile   string
+	BlockProfile string
+	MutexProfile string
+	ChromeTrace  string
+	Events       string
 
 	// Bus is the live event bus Start creates when -events is set; mains
 	// hand it to the flow (core.Options.Events, place/route Options.Events).
@@ -44,6 +53,9 @@ func RegisterCLIFlags(fs *flag.FlagSet) *CLIFlags {
 	fs.StringVar(&c.JSONL, "jsonl", "", "stream span events to this JSON Lines file")
 	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
 	fs.StringVar(&c.MemProfile, "memprofile", "", "write a pprof heap profile to this file at exit")
+	fs.StringVar(&c.BlockProfile, "blockprofile", "", "write a pprof blocking (lock/chan wait) profile to this file at exit")
+	fs.StringVar(&c.MutexProfile, "mutexprofile", "", "write a pprof mutex-contention profile to this file at exit")
+	fs.StringVar(&c.ChromeTrace, "chrometrace", "", "write the span tree as a Chrome trace-event JSON file (Perfetto-loadable)")
 	fs.StringVar(&c.Events, "events", "", "write iteration-level telemetry (events.jsonl + heatmap.json) into this directory")
 	return c
 }
@@ -51,7 +63,9 @@ func RegisterCLIFlags(fs *flag.FlagSet) *CLIFlags {
 // Enabled reports whether any observability output was requested.
 func (c *CLIFlags) Enabled() bool {
 	return c.Metrics != "" || c.TraceText || c.JSONL != "" ||
-		c.CPUProfile != "" || c.MemProfile != "" || c.Events != ""
+		c.CPUProfile != "" || c.MemProfile != "" ||
+		c.BlockProfile != "" || c.MutexProfile != "" ||
+		c.ChromeTrace != "" || c.Events != ""
 }
 
 // Start creates the run trace (also installed as the process global so
@@ -89,6 +103,14 @@ func (c *CLIFlags) Start(name string) (*Trace, func() error) {
 			pprof.StopCPUProfile()
 			return f.Close()
 		})
+	}
+	if c.BlockProfile != "" {
+		// Rate 1 records every blocking event — the full-fidelity setting
+		// for an opted-in diagnosis run; finish resets the rate to 0.
+		runtime.SetBlockProfileRate(1)
+	}
+	if c.MutexProfile != "" {
+		runtime.SetMutexProfileFraction(1)
 	}
 	var jsonl *JSONLSink
 	var jsonlFile *os.File
@@ -152,6 +174,35 @@ func (c *CLIFlags) Start(name string) (*Trace, func() error) {
 			} else {
 				runtime.GC() // materialize the final live-heap picture
 				keep(pprof.Lookup("heap").WriteTo(f, 0))
+				keep(f.Close())
+			}
+		}
+		if c.BlockProfile != "" {
+			runtime.SetBlockProfileRate(0) // stop sampling before the dump
+			f, err := os.Create(c.BlockProfile)
+			if err != nil {
+				keep(err)
+			} else {
+				keep(pprof.Lookup("block").WriteTo(f, 0))
+				keep(f.Close())
+			}
+		}
+		if c.MutexProfile != "" {
+			runtime.SetMutexProfileFraction(0)
+			f, err := os.Create(c.MutexProfile)
+			if err != nil {
+				keep(err)
+			} else {
+				keep(pprof.Lookup("mutex").WriteTo(f, 0))
+				keep(f.Close())
+			}
+		}
+		if c.ChromeTrace != "" {
+			f, err := os.Create(c.ChromeTrace)
+			if err != nil {
+				keep(err)
+			} else {
+				keep(WriteChromeTrace(f, tr.Summary()))
 				keep(f.Close())
 			}
 		}

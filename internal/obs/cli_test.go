@@ -1,9 +1,12 @@
 package obs
 
 import (
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync"
 	"testing"
 
 	"fpgaflow/internal/obs/events"
@@ -77,6 +80,86 @@ func TestCLIFlagsEventsDir(t *testing.T) {
 	}
 	if h.Cols != 2 || h.Rows != 2 || len(h.CLBs) != 1 {
 		t.Errorf("heatmap = %dx%d with %d CLBs, want 2x2 with 1", h.Cols, h.Rows, len(h.CLBs))
+	}
+}
+
+// TestCLIFlagsContentionProfiles exercises -blockprofile and -mutexprofile:
+// Start must raise the runtime sampling rates, finish must reset them and
+// write gzipped pprof files.
+func TestCLIFlagsContentionProfiles(t *testing.T) {
+	dir := t.TempDir()
+	blk := filepath.Join(dir, "block.pprof")
+	mtx := filepath.Join(dir, "mutex.pprof")
+	c := &CLIFlags{BlockProfile: blk, MutexProfile: mtx}
+	if !c.Enabled() {
+		t.Fatal("contention profile flags should enable observability")
+	}
+	tr, finish := c.Start("test")
+	// Some lock traffic so the profiles have something to sample.
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				mu.Lock()
+				mu.Unlock() //nolint:staticcheck // contention on purpose
+			}
+		}()
+	}
+	wg.Wait()
+	tr.Start("work").End()
+	if err := finish(); err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	for _, path := range []string{blk, mtx} {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if len(b) < 2 || b[0] != 0x1f || b[1] != 0x8b {
+			t.Errorf("%s: not a gzipped pprof profile (starts %x)", path, b[:min(2, len(b))])
+		}
+	}
+	if runtime.SetMutexProfileFraction(-1) != 0 {
+		t.Error("finish left the mutex profile fraction raised")
+	}
+}
+
+// TestCLIFlagsChromeTrace checks -chrometrace writes a loadable
+// trace-event document covering the run's spans.
+func TestCLIFlagsChromeTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.chrome.json")
+	c := &CLIFlags{ChromeTrace: path}
+	if !c.Enabled() {
+		t.Fatal("-chrometrace should enable observability")
+	}
+	tr, finish := c.Start("test")
+	tr.Start("stage-a").End()
+	if err := finish(); err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("chrome trace not written: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "stage-a" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("chrome trace has no event for the run's span: %s", b)
 	}
 }
 

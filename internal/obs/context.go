@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// traceCtxKey keys the per-request trace in a context.
+type traceCtxKey struct{}
+
+// ContextWithTrace attaches a trace to the context so work scheduled on
+// behalf of one request (a farm job crossing admission, queue, worker and
+// the hardened runner) reports into that request's trace. A nil trace
+// returns ctx unchanged.
+func ContextWithTrace(ctx context.Context, tr *Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, tr)
+}
+
+// TraceFromContext returns the trace attached by ContextWithTrace, or nil.
+func TraceFromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	tr, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	return tr
+}
+
+// DeriveTraceID builds a deterministic 16-hex-digit trace ID from the
+// given parts (e.g. job ID + input fingerprint). Determinism keeps replays
+// and the golden suites byte-stable: the same submission always carries
+// the same trace ID.
+func DeriveTraceID(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		_, _ = h.Write([]byte(p)) // hash.Hash.Write never errors
+		_, _ = h.Write([]byte{0}) // NUL separator: ("ab","c") != ("a","bc")
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}

@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketLayoutFixed pins the histogram layout the whole system depends
+// on: the hardcoded bucket array must match the computed ladder, the bounds
+// must be strictly increasing, and the ladder must span ns to ks.
+func TestBucketLayoutFixed(t *testing.T) {
+	var h Histogram
+	if len(h.buckets) != numBuckets {
+		t.Fatalf("Histogram.buckets has %d slots, layout needs %d — resize the array",
+			len(h.buckets), numBuckets)
+	}
+	b := BucketBounds()
+	if len(b) != numBuckets-1 {
+		t.Fatalf("BucketBounds returned %d bounds, want %d", len(b), numBuckets-1)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Errorf("bounds not strictly increasing at %d: %g <= %g", i, b[i], b[i-1])
+		}
+	}
+	if b[0] > 1e-9 || b[len(b)-1] < 1e3 {
+		t.Errorf("ladder [%g, %g] does not span 1ns..1000s", b[0], b[len(b)-1])
+	}
+	// Mutating the returned slice must not corrupt the shared layout.
+	b[0] = 999
+	if BucketBounds()[0] == 999 {
+		t.Error("BucketBounds returned the shared slice, not a copy")
+	}
+}
+
+// TestHistogramQuantileAgainstReference is the property test for the
+// tentpole: for randomly drawn sample sets, every quantile estimate must
+// land inside the bucket that contains the exact quantile computed from
+// the sorted sample slice. (A log-bucketed histogram can never do better
+// than bucket resolution, but it must never do worse.)
+func TestHistogramQuantileAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	bounds := BucketBounds()
+	// bucketRange returns the [lo, hi] bucket envelope of value v.
+	bucketRange := func(v float64) (float64, float64) {
+		i := sort.SearchFloat64s(bounds, v)
+		if i >= len(bounds) {
+			return bounds[len(bounds)-1], math.Inf(1)
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		return lo, bounds[i]
+	}
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(400)
+		samples := make([]float64, n)
+		var h Histogram
+		for i := range samples {
+			// Log-uniform over the ladder's span, the shape the buckets target.
+			v := math.Pow(10, -9+12*rng.Float64())
+			samples[i] = v
+			h.Observe(v)
+		}
+		sort.Float64s(samples)
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+			rank := int(math.Ceil(q * float64(n)))
+			if rank < 1 {
+				rank = 1
+			}
+			exact := samples[rank-1]
+			lo, hi := bucketRange(exact)
+			got := h.Quantile(q)
+			if got < lo || got > hi {
+				t.Fatalf("trial %d n=%d q=%g: estimate %g outside bucket [%g, %g] of exact %g",
+					trial, n, q, got, lo, hi, exact)
+			}
+		}
+		if got, want := h.Count(), uint64(n); got != want {
+			t.Fatalf("trial %d: Count = %d, want %d", trial, got, want)
+		}
+	}
+}
+
+// TestHistogramMergeMatchesCombinedStream checks that merging two
+// histograms is exactly equivalent to observing both streams into one:
+// same buckets, same count, same sum, hence identical quantiles.
+func TestHistogramMergeMatchesCombinedStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var a, b, both Histogram
+	for i := 0; i < 500; i++ {
+		v := math.Pow(10, -8+10*rng.Float64())
+		if i%3 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+		both.Observe(v)
+	}
+	a.Merge(&b)
+	sa, sb := a.Snapshot(), both.Snapshot()
+	if sa.Count != sb.Count {
+		t.Fatalf("merged count %d != combined %d", sa.Count, sb.Count)
+	}
+	if math.Abs(sa.Sum-sb.Sum) > 1e-9*math.Abs(sb.Sum) {
+		t.Fatalf("merged sum %g != combined %g", sa.Sum, sb.Sum)
+	}
+	for i := range sa.Counts {
+		if sa.Counts[i] != sb.Counts[i] {
+			t.Fatalf("bucket %d: merged %d != combined %d", i, sa.Counts[i], sb.Counts[i])
+		}
+	}
+	// Snapshot-level merge must agree with histogram-level merge.
+	var sc HistogramSnapshot
+	sc.Merge(b.Snapshot())
+	if sc.Count != b.Count() {
+		t.Errorf("snapshot merge count %d, want %d", sc.Count, b.Count())
+	}
+}
+
+// TestHistogramEdgeCases pins the documented corner behavior: nil safety,
+// empty quantiles, NaN drop, negative clamp, overflow capping.
+func TestHistogramEdgeCases(t *testing.T) {
+	var nilH *Histogram
+	nilH.Observe(1) // must not panic
+	nilH.Merge(&Histogram{})
+	if nilH.Quantile(0.5) != 0 || nilH.Count() != 0 || nilH.Sum() != 0 {
+		t.Error("nil histogram must read as empty")
+	}
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile must be 0")
+	}
+	h.Observe(math.NaN())
+	if h.Count() != 0 {
+		t.Error("NaN observation must be dropped")
+	}
+	h.Observe(-5)
+	if s := h.Snapshot(); s.Counts[0] != 1 {
+		t.Error("negative observation must land in the first bucket")
+	}
+	h.Observe(1e12) // far past the ladder: overflow bucket
+	top := BucketBounds()[numBuckets-2]
+	if got := h.Quantile(1); got != top {
+		t.Errorf("overflow quantile = %g, want top finite bound %g", got, top)
+	}
+}
+
+// TestHistogramConcurrentObserve hammers one histogram from many
+// goroutines; count and sum must be exact (the loss modes of non-atomic
+// accumulation would show up here, especially under -race).
+func TestHistogramConcurrentObserve(t *testing.T) {
+	const workers, per = 8, 2000
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := h.Count(), uint64(workers*per); got != want {
+		t.Errorf("Count = %d, want %d", got, want)
+	}
+	if got, want := h.Sum(), float64(workers*per)*0.001; math.Abs(got-want) > 1e-6 {
+		t.Errorf("Sum = %g, want %g", got, want)
+	}
+}
+
+// TestGaugeMaxConcurrent is the regression test for the Set/Max data race:
+// concurrent Max calls must settle on the true maximum and concurrent
+// Set/Max must never lose the set-ness bit. Run under -race in CI.
+func TestGaugeMaxConcurrent(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				g.Max(float64(w*per + i))
+				if i%97 == 0 {
+					g.Set(-1) // Set racing Max must not corrupt state
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	got := g.Value()
+	max := float64(workers*per - 1)
+	// A Set(-1) may land anywhere in the Max stream, so the final value is
+	// only bounded: it must be some argument that was actually passed, never
+	// a torn or stale mixture of the two.
+	if got < -1 || got > max {
+		t.Errorf("after concurrent Max/Set, Value = %g; want within [-1, %g]", got, max)
+	}
+	// With Max alone the result must be exact.
+	var m Gauge
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.Max(float64(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.Value() != max {
+		t.Errorf("concurrent Max settled on %g, want %g", m.Value(), max)
+	}
+}
+
+// TestTimerObservesIntoHistogram checks the walltime-safe timing path: the
+// timer must record one observation, and the inert (nil-histogram) form
+// must do nothing.
+func TestTimerObservesIntoHistogram(t *testing.T) {
+	tr := New("t")
+	h := tr.Histogram("x_seconds")
+	tm := h.StartTimer()
+	time.Sleep(time.Millisecond)
+	if d := tm.ObserveDuration(); d <= 0 {
+		t.Errorf("ObserveDuration = %v, want > 0", d)
+	}
+	if h.Count() != 1 {
+		t.Errorf("Count = %d after one timed section, want 1", h.Count())
+	}
+	var nilH *Histogram
+	if d := nilH.StartTimer().ObserveDuration(); d != 0 {
+		t.Errorf("inert timer returned %v, want 0", d)
+	}
+	// Trace-level shorthand and snapshot plumbing.
+	tr.Observe("x_seconds", 0.5)
+	if snaps := tr.Histograms(); snaps["x_seconds"].Count != 2 {
+		t.Errorf("Histograms snapshot = %+v, want count 2", snaps["x_seconds"])
+	}
+}

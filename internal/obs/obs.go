@@ -20,7 +20,6 @@ package obs
 
 import (
 	"fmt"
-	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -49,10 +48,13 @@ func (c *Counter) Value() int64 {
 	return c.v.Load()
 }
 
-// Gauge is a last-value-wins float metric, safe for concurrent use.
+// Gauge is a last-value-wins float metric, safe for concurrent use. The
+// value and its "has been set" state live behind a single atomic pointer
+// (nil = never set), so Set and Max observe both as one unit — a separate
+// value/flag pair would let a concurrent first Set be clobbered by a
+// smaller Max that read the flag before the store landed.
 type Gauge struct {
-	bits atomic.Uint64
-	set  atomic.Bool
+	p atomic.Pointer[float64]
 }
 
 // Set records the gauge value; no-op on nil.
@@ -60,22 +62,21 @@ func (g *Gauge) Set(v float64) {
 	if g == nil {
 		return
 	}
-	g.bits.Store(math.Float64bits(v))
-	g.set.Store(true)
+	g.p.Store(&v)
 }
 
-// Max raises the gauge to v if v is larger than the current value.
+// Max raises the gauge to v if v is larger than the current value (or the
+// gauge was never set).
 func (g *Gauge) Max(v float64) {
 	if g == nil {
 		return
 	}
 	for {
-		old := g.bits.Load()
-		if g.set.Load() && math.Float64frombits(old) >= v {
+		old := g.p.Load()
+		if old != nil && *old >= v {
 			return
 		}
-		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
-			g.set.Store(true)
+		if g.p.CompareAndSwap(old, &v) {
 			return
 		}
 	}
@@ -83,11 +84,18 @@ func (g *Gauge) Max(v float64) {
 
 // Value returns the gauge value (0 on nil or never set).
 func (g *Gauge) Value() float64 {
-	if g == nil || !g.set.Load() {
+	if g == nil {
 		return 0
 	}
-	return math.Float64frombits(g.bits.Load())
+	p := g.p.Load()
+	if p == nil {
+		return 0
+	}
+	return *p
 }
+
+// isSet reports whether the gauge has ever been written.
+func (g *Gauge) isSet() bool { return g != nil && g.p.Load() != nil }
 
 // Span is one timed region of the run. Spans nest: a span started while
 // another is open becomes its child. Spans are intended for the sequential
@@ -184,13 +192,17 @@ type Trace struct {
 	start time.Time
 	cpu0  time.Duration
 
-	mu    sync.Mutex
-	spans []*Span // completed-or-open spans in start order
-	stack []*Span // currently open spans (innermost last)
-	sink  Sink
+	mu      sync.Mutex
+	traceID string
+	spans   []*Span // completed-or-open spans in start order
+	stack   []*Span // currently open spans (innermost last)
+	sink    Sink
 
-	counters sync.Map // string -> *Counter
-	gauges   sync.Map // string -> *Gauge
+	counters      sync.Map // string -> *Counter
+	gauges        sync.Map // string -> *Gauge
+	histograms    sync.Map // string -> *Histogram
+	counterVecs   sync.Map // string -> *CounterVec
+	histogramVecs sync.Map // string -> *HistogramVec
 }
 
 // New creates a trace named after the run (tool or design name).
@@ -204,6 +216,71 @@ func (t *Trace) Name() string {
 		return ""
 	}
 	return t.name
+}
+
+// SetTraceID stamps the trace with a correlation ID (the per-job trace ID
+// carried through the farm); no-op on nil.
+func (t *Trace) SetTraceID(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.traceID = id
+	t.mu.Unlock()
+}
+
+// TraceID returns the correlation ID ("" on nil or unset).
+func (t *Trace) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.traceID
+}
+
+// MergeFrom folds o's metrics into t: counters and histograms add,
+// labeled families merge child-by-child, and gauges from o win (last
+// writer semantics). Spans are not merged — span trees stay per-run; the
+// farm persists a job's span tree separately and merges only the
+// aggregable metrics into the service-wide trace. No-op when either side
+// is nil.
+func (t *Trace) MergeFrom(o *Trace) {
+	if t == nil || o == nil {
+		return
+	}
+	for name, v := range o.Counters() {
+		t.Counter(name).Add(v)
+	}
+	for name, v := range o.Gauges() {
+		t.Gauge(name).Set(v)
+	}
+	o.histograms.Range(func(k, v interface{}) bool {
+		t.Histogram(k.(string)).Merge(v.(*Histogram))
+		return true
+	})
+	o.counterVecs.Range(func(k, v interface{}) bool {
+		src := v.(*CounterVec)
+		dst := t.CounterVec(k.(string), src.Label())
+		for value, n := range src.Values() {
+			dst.Add(value, n)
+		}
+		return true
+	})
+	o.histogramVecs.Range(func(k, v interface{}) bool {
+		src := v.(*HistogramVec)
+		dst := t.HistogramVec(k.(string), src.Label())
+		src.mu.RLock()
+		children := make(map[string]*Histogram, len(src.children))
+		for value, h := range src.children {
+			children[value] = h
+		}
+		src.mu.RUnlock()
+		for value, h := range children {
+			dst.WithLabel(value).Merge(h)
+		}
+		return true
+	})
 }
 
 // SetSink installs a live event sink (e.g. a JSONLSink); no-op on nil.
@@ -300,7 +377,7 @@ func (t *Trace) Gauges() map[string]float64 {
 	out := make(map[string]float64)
 	t.gauges.Range(func(k, v interface{}) bool {
 		g := v.(*Gauge)
-		if g.set.Load() {
+		if g.isSet() {
 			out[k.(string)] = g.Value()
 		}
 		return true

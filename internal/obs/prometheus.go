@@ -1,0 +1,466 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promNamespace prefixes every exposed metric so scrapes from mixed fleets
+// stay distinguishable.
+const promNamespace = "fpgaflow_"
+
+// WritePrometheus renders every metric of the given traces in the
+// Prometheus text exposition format (version 0.0.4), dependency-free:
+//
+//   - counters as `<ns><name>_total` counter samples (summed across traces)
+//   - gauges as gauge samples (later traces win on name collisions)
+//   - histograms as `_bucket`/`_sum`/`_count` families (merged exactly —
+//     all histograms share one fixed bucket layout)
+//   - labeled families with their one label key, cardinality already
+//     bounded at the vec layer
+//   - a `<ns>build_info` gauge carrying build provenance as labels
+//
+// Metric names are sanitized (every non-[a-zA-Z0-9_:] rune becomes `_`)
+// and output is fully sorted, so the document is byte-stable for a given
+// metric state and safe to golden-test. Nil traces are skipped.
+func WritePrometheus(w io.Writer, traces ...*Trace) error {
+	agg := aggregate(traces)
+	bw := bufio.NewWriter(w)
+
+	bi := ReadBuild()
+	fmt.Fprintf(bw, "# HELP %sbuild_info Build provenance of the exposing process (value is always 1).\n", promNamespace)
+	fmt.Fprintf(bw, "# TYPE %sbuild_info gauge\n", promNamespace)
+	fmt.Fprintf(bw, "%sbuild_info{go_version=\"%s\",module_version=\"%s\",revision=\"%s\",modified=\"%s\"} 1\n",
+		promNamespace, promEscape(bi.GoVersion), promEscape(orDevel(bi.ModuleVersion)),
+		promEscape(bi.Revision), promEscape(strconv.FormatBool(bi.Modified)))
+
+	for _, name := range sortedKeys(agg.counters) {
+		m := promName(name) + "_total"
+		fmt.Fprintf(bw, "# HELP %s Counter %s.\n", m, name)
+		fmt.Fprintf(bw, "# TYPE %s counter\n", m)
+		fmt.Fprintf(bw, "%s %d\n", m, agg.counters[name])
+	}
+	for _, name := range sortedKeys(agg.counterVecs) {
+		vec := agg.counterVecs[name]
+		m := promName(name) + "_total"
+		label := promLabelName(vec.Label)
+		fmt.Fprintf(bw, "# HELP %s Counter %s by %s.\n", m, name, vec.Label)
+		fmt.Fprintf(bw, "# TYPE %s counter\n", m)
+		for _, lv := range sortedKeys(vec.Values) {
+			fmt.Fprintf(bw, "%s{%s=\"%s\"} %d\n", m, label, promEscape(lv), vec.Values[lv])
+		}
+	}
+	for _, name := range sortedKeys(agg.gauges) {
+		m := promName(name)
+		fmt.Fprintf(bw, "# HELP %s Gauge %s.\n", m, name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", m)
+		fmt.Fprintf(bw, "%s %s\n", m, promFloat(agg.gauges[name]))
+	}
+	for _, name := range sortedKeys(agg.histograms) {
+		writePromHistogramHeader(bw, name)
+		writePromHistogram(bw, name, "", "", agg.histograms[name])
+	}
+	for _, name := range sortedKeys(agg.histogramVecs) {
+		vec := agg.histogramVecs[name]
+		// Metadata once per family, then every labeled child: the format
+		// forbids a second # TYPE for a family once its samples started.
+		writePromHistogramHeader(bw, name)
+		for _, lv := range sortedKeys(vec.Values) {
+			writePromHistogram(bw, name, vec.Label, lv, vec.Values[lv])
+		}
+	}
+	return bw.Flush()
+}
+
+// writePromHistogramHeader emits the HELP/TYPE block of one histogram
+// family.
+func writePromHistogramHeader(w io.Writer, name string) {
+	m := promName(name)
+	fmt.Fprintf(w, "# HELP %s Histogram %s (seconds).\n", m, name)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", m)
+}
+
+// writePromHistogram emits the sample lines of one histogram family (or of
+// one labeled child of it).
+func writePromHistogram(w io.Writer, name, label, labelValue string, s HistogramSnapshot) {
+	m := promName(name)
+	sel := ""
+	selAnd := ""
+	if label != "" {
+		sel = fmt.Sprintf("{%s=\"%s\"}", promLabelName(label), promEscape(labelValue))
+		selAnd = fmt.Sprintf("%s=\"%s\",", promLabelName(label), promEscape(labelValue))
+	}
+	cum := uint64(0)
+	for i, bound := range bucketBounds {
+		if i < len(s.Counts) {
+			cum += s.Counts[i]
+		}
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", m, selAnd, promFloat(bound), cum)
+	}
+	if len(s.Counts) >= numBuckets {
+		cum += s.Counts[numBuckets-1]
+	}
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", m, selAnd, cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", m, sel, promFloat(s.Sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", m, sel, cum)
+}
+
+// promAgg is the merged view of several traces.
+type promAgg struct {
+	counters      map[string]int64
+	gauges        map[string]float64
+	histograms    map[string]HistogramSnapshot
+	counterVecs   map[string]VecSnapshot[int64]
+	histogramVecs map[string]VecSnapshot[HistogramSnapshot]
+}
+
+func aggregate(traces []*Trace) promAgg {
+	agg := promAgg{
+		counters:      map[string]int64{},
+		gauges:        map[string]float64{},
+		histograms:    map[string]HistogramSnapshot{},
+		counterVecs:   map[string]VecSnapshot[int64]{},
+		histogramVecs: map[string]VecSnapshot[HistogramSnapshot]{},
+	}
+	for _, tr := range traces {
+		if tr == nil {
+			continue
+		}
+		for name, v := range tr.Counters() {
+			agg.counters[name] += v
+		}
+		for name, v := range tr.Gauges() {
+			agg.gauges[name] = v
+		}
+		for name, s := range tr.Histograms() {
+			cur := agg.histograms[name]
+			cur.Merge(s)
+			agg.histograms[name] = cur
+		}
+		for name, vec := range tr.CounterVecs() {
+			cur, ok := agg.counterVecs[name]
+			if !ok {
+				cur = VecSnapshot[int64]{Label: vec.Label, Values: map[string]int64{}}
+			}
+			for lv, n := range vec.Values {
+				cur.Values[lv] += n
+			}
+			agg.counterVecs[name] = cur
+		}
+		for name, vec := range tr.HistogramVecs() {
+			cur, ok := agg.histogramVecs[name]
+			if !ok {
+				cur = VecSnapshot[HistogramSnapshot]{Label: vec.Label, Values: map[string]HistogramSnapshot{}}
+			}
+			for lv, s := range vec.Values {
+				c := cur.Values[lv]
+				c.Merge(s)
+				cur.Values[lv] = c
+			}
+			agg.histogramVecs[name] = cur
+		}
+	}
+	return agg
+}
+
+// promName sanitizes a dotted metric name into the exposition charset and
+// applies the namespace prefix.
+func promName(name string) string {
+	return promNamespace + promLabelName(name)
+}
+
+// promLabelName sanitizes a label key (no namespace prefix — label keys
+// are scoped by their metric already).
+func promLabelName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promEscape escapes a label value per the text format: backslash, double
+// quote and newline. Callers wrap the result in plain double quotes (never
+// %q, which would escape the backslashes a second time).
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// promFloat renders a float the way Prometheus expects (shortest
+// round-trippable form).
+func promFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// ValidatePrometheus checks a text-exposition document for the properties
+// scrapers depend on: every line is a well-formed comment or sample, label
+// values are quoted with no unescaped quote/newline, every sample's family
+// has a preceding # TYPE, histogram bucket counts are monotone
+// nondecreasing in le order, and every histogram carries an le="+Inf"
+// bucket equal to its _count. It is the CI gate behind
+// `/metrics?format=prom` (cmd/promlint).
+func ValidatePrometheus(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	types := map[string]string{} // family -> declared type
+	sampled := map[string]bool{} // family -> has samples
+	type histState struct {
+		lastLe   float64
+		lastCum  uint64
+		sawInf   bool
+		infCount uint64
+	}
+	hists := map[string]*histState{} // family+label selector (minus le) -> bucket state
+	counts := map[string]uint64{}    // family+selector -> _count value
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && fields[1] == "TYPE" {
+				if len(fields) < 4 {
+					return fmt.Errorf("line %d: malformed # TYPE", lineNo)
+				}
+				family, typ := fields[2], fields[3]
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				if sampled[family] {
+					return fmt.Errorf("line %d: # TYPE %s after its samples", lineNo, family)
+				}
+				types[family] = typ
+			}
+			continue
+		}
+		name, labels, value, err := parsePromSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		family := promFamily(name)
+		if _, ok := types[family]; !ok {
+			// A gauge or counter whose own name happens to end in a
+			// histogram suffix is still fine if declared under its full name.
+			if _, ok := types[name]; ok {
+				family = name
+			} else {
+				return fmt.Errorf("line %d: sample %s without a preceding # TYPE %s", lineNo, name, family)
+			}
+		}
+		sampled[family] = true
+
+		if strings.HasSuffix(name, "_bucket") {
+			le, ok := labels["le"]
+			if !ok {
+				return fmt.Errorf("line %d: %s has no le label", lineNo, name)
+			}
+			sel := histKey(name[:len(name)-len("_bucket")], labels)
+			st := hists[sel]
+			if st == nil {
+				st = &histState{lastLe: -1e308}
+				hists[sel] = st
+			}
+			cum := uint64(value)
+			if le == "+Inf" {
+				st.sawInf = true
+				st.infCount = cum
+			} else {
+				bound, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					return fmt.Errorf("line %d: bad le value %q", lineNo, le)
+				}
+				if bound <= st.lastLe {
+					return fmt.Errorf("line %d: %s buckets out of le order", lineNo, name)
+				}
+				st.lastLe = bound
+			}
+			if cum < st.lastCum {
+				return fmt.Errorf("line %d: %s bucket counts not monotone", lineNo, name)
+			}
+			st.lastCum = cum
+		} else if strings.HasSuffix(name, "_count") {
+			counts[histKey(name[:len(name)-len("_count")], labels)] = uint64(value)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for sel, st := range hists {
+		if !st.sawInf {
+			return fmt.Errorf("histogram %s: no le=\"+Inf\" bucket", sel)
+		}
+		if c, ok := counts[sel]; ok && c != st.infCount {
+			return fmt.Errorf("histogram %s: _count %d != +Inf bucket %d", sel, c, st.infCount)
+		}
+	}
+	return nil
+}
+
+// promFamily strips the histogram/summary sample suffixes back to the
+// family name # TYPE declares.
+func promFamily(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count", "_total"} {
+		if strings.HasSuffix(name, suf) {
+			base := name[:len(name)-len(suf)]
+			if suf == "_total" {
+				return name // counters are declared with the _total suffix
+			}
+			return base
+		}
+	}
+	return name
+}
+
+// histKey identifies one histogram series: base name plus every label
+// except le, sorted.
+func histKey(base string, labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(base)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "{%s=%q}", k, labels[k])
+	}
+	return b.String()
+}
+
+// parsePromSample parses `name{label="value",...} 1.5` (labels optional).
+func parsePromSample(line string) (name string, labels map[string]string, value float64, err error) {
+	labels = map[string]string{}
+	i := 0
+	for i < len(line) && isPromNameRune(line[i], i) {
+		i++
+	}
+	if i == 0 {
+		return "", nil, 0, fmt.Errorf("no metric name in %q", line)
+	}
+	name = line[:i]
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end := -1
+		inQuote := false
+		for j := 1; j < len(rest); j++ {
+			switch {
+			case inQuote && rest[j] == '\\':
+				j++ // skip the escaped rune
+			case rest[j] == '"':
+				inQuote = !inQuote
+			case !inQuote && rest[j] == '}':
+				end = j
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parsePromLabels(rest[1:end], labels); err != nil {
+			return "", nil, 0, err
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	// A timestamp after the value is legal; take the first field.
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		rest = rest[:sp]
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad sample value in %q: %v", line, err)
+	}
+	return name, labels, v, nil
+}
+
+func parsePromLabels(s string, out map[string]string) error {
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 {
+			return fmt.Errorf("malformed label pair in %q", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return fmt.Errorf("label %s value not quoted", key)
+		}
+		var b strings.Builder
+		j := 1
+		closed := false
+		for j < len(s) {
+			c := s[j]
+			if c == '\\' {
+				if j+1 >= len(s) {
+					return fmt.Errorf("label %s: dangling escape", key)
+				}
+				switch s[j+1] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					return fmt.Errorf("label %s: bad escape \\%c", key, s[j+1])
+				}
+				j += 2
+				continue
+			}
+			if c == '"' {
+				closed = true
+				j++
+				break
+			}
+			if c == '\n' {
+				return fmt.Errorf("label %s: unescaped newline", key)
+			}
+			b.WriteByte(c)
+			j++
+		}
+		if !closed {
+			return fmt.Errorf("label %s: unterminated value", key)
+		}
+		out[key] = b.String()
+		s = s[j:]
+		if len(s) > 0 {
+			if s[0] != ',' {
+				return fmt.Errorf("label %s: expected , got %q", key, s)
+			}
+			s = s[1:]
+		}
+	}
+	return nil
+}
+
+func isPromNameRune(c byte, pos int) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return pos > 0
+	}
+	return false
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// promTestTrace builds a trace with one of everything the exposition
+// writer handles.
+func promTestTrace() *Trace {
+	tr := New("t")
+	tr.Add("jobs.finished", 3)
+	tr.SetGauge("queue.depth", 2)
+	tr.Observe("jobs.queue_wait_seconds", 0.004)
+	tr.Observe("jobs.queue_wait_seconds", 0.2)
+	tr.CounterVec("jobs.submitted_by_tenant", "tenant").Add("acme", 5)
+	tr.CounterVec("jobs.submitted_by_tenant", "tenant").Add(`we"ird\ten`, 1)
+	tr.HistogramVec("flow.stage_seconds", "stage").Observe("VPR route", 1.5)
+	return tr
+}
+
+// TestWritePrometheusRoundTrip is the satellite round-trip gate: the
+// writer's own output must pass the validator, carry every expected
+// family, and be byte-stable across renders of the same state.
+func TestWritePrometheusRoundTrip(t *testing.T) {
+	tr := promTestTrace()
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if err := ValidatePrometheus(strings.NewReader(out)); err != nil {
+		t.Fatalf("writer output fails its own validator: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"# TYPE fpgaflow_build_info gauge",
+		"fpgaflow_build_info{go_version=",
+		"# TYPE fpgaflow_jobs_finished_total counter",
+		"fpgaflow_jobs_finished_total 3",
+		"# TYPE fpgaflow_queue_depth gauge",
+		"fpgaflow_queue_depth 2",
+		"# TYPE fpgaflow_jobs_queue_wait_seconds histogram",
+		`fpgaflow_jobs_queue_wait_seconds_bucket{le="+Inf"} 2`,
+		"fpgaflow_jobs_queue_wait_seconds_count 2",
+		`fpgaflow_jobs_submitted_by_tenant_total{tenant="acme"} 5`,
+		`fpgaflow_jobs_submitted_by_tenant_total{tenant="we\"ird\\ten"} 1`,
+		`fpgaflow_flow_stage_seconds_bucket{stage="VPR route",le="+Inf"} 1`,
+		`fpgaflow_flow_stage_seconds_count{stage="VPR route"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+	var buf2 bytes.Buffer
+	if err := WritePrometheus(&buf2, tr); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("two renders of the same state differ; output must be byte-stable")
+	}
+}
+
+// TestWritePrometheusAggregatesTraces checks the multi-trace view /metrics
+// serves: counters sum, histograms merge, gauges last-wins, nils skipped.
+func TestWritePrometheusAggregatesTraces(t *testing.T) {
+	a, b := New("a"), New("b")
+	a.Add("c", 1)
+	b.Add("c", 2)
+	a.SetGauge("g", 1)
+	b.SetGauge("g", 9)
+	a.Observe("h_seconds", 0.01)
+	b.Observe("h_seconds", 0.02)
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, a, nil, b); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"fpgaflow_c_total 3",
+		"fpgaflow_g 9",
+		"fpgaflow_h_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("aggregate missing %q\n%s", want, out)
+		}
+	}
+	if err := ValidatePrometheus(strings.NewReader(out)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestValidatePrometheusRejects feeds the validator each class of broken
+// document it exists to catch.
+func TestValidatePrometheusRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE": "x_total 1\n",
+		"TYPE after samples":  "# TYPE x gauge\nx 1\n# TYPE x gauge\n",
+		"unknown type":        "# TYPE x frobnicator\nx 1\n",
+		"malformed TYPE":      "# TYPE x\n",
+		"bad value":           "# TYPE x gauge\nx notafloat\n",
+		"unquoted label":      "# TYPE x gauge\nx{l=v} 1\n",
+		"unterminated label":  "# TYPE x gauge\nx{l=\"v} 1\n",
+		"bad escape":          "# TYPE x gauge\nx{l=\"a\\q\"} 1\n",
+		"bucket without le":   "# TYPE h histogram\nh_bucket{a=\"b\"} 1\n",
+		"non-monotone buckets": "# TYPE h histogram\n" +
+			"h_bucket{le=\"0.1\"} 5\nh_bucket{le=\"1\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_count 5\n",
+		"le out of order": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_bucket{le=\"0.1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_count 2\n",
+		"missing +Inf": "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_count 1\n",
+		"+Inf != count": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_count 2\n",
+	}
+	for name, doc := range cases {
+		if err := ValidatePrometheus(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: validator accepted\n%s", name, doc)
+		}
+	}
+	// And the things that look suspicious but are legal.
+	good := "# TYPE route_overuse_sum_total counter\nroute_overuse_sum_total 7\n" +
+		"# TYPE x gauge\nx{l=\"a\\\\b\\\"c\\nd\"} 1 1700000000\n"
+	if err := ValidatePrometheus(strings.NewReader(good)); err != nil {
+		t.Errorf("validator rejected a legal document: %v", err)
+	}
+}
+
+// TestPromNameAndEscape pins the sanitizer rules the exposition format
+// requires.
+func TestPromNameAndEscape(t *testing.T) {
+	if got := promName("jobs.queue wait-9"); got != "fpgaflow_jobs_queue_wait_9" {
+		t.Errorf("promName = %q", got)
+	}
+	if got := promEscape("a\\b\nc"); got != `a\\b\nc` {
+		t.Errorf("promEscape = %q", got)
+	}
+}

@@ -24,14 +24,20 @@ type SpanRecord struct {
 // Summary is the machine-readable single-run report (metrics.json schema).
 type Summary struct {
 	Name string `json:"name"`
+	// TraceID correlates this summary with the farm job that produced it
+	// (empty for plain CLI runs).
+	TraceID string `json:"trace_id,omitempty"`
 	// Build is the provenance header: toolchain and VCS stamp of the
 	// binary that produced the numbers (see ReadBuild).
-	Build    *BuildInfo         `json:"build,omitempty"`
-	WallNS   int64              `json:"wall_ns"`
-	CPUNS    int64              `json:"cpu_ns,omitempty"`
-	Spans    []SpanRecord       `json:"spans"`
-	Counters map[string]int64   `json:"counters"`
-	Gauges   map[string]float64 `json:"gauges"`
+	Build         *BuildInfo                                `json:"build,omitempty"`
+	WallNS        int64                                     `json:"wall_ns"`
+	CPUNS         int64                                     `json:"cpu_ns,omitempty"`
+	Spans         []SpanRecord                              `json:"spans"`
+	Counters      map[string]int64                          `json:"counters"`
+	Gauges        map[string]float64                        `json:"gauges"`
+	Histograms    map[string]HistogramSnapshot              `json:"histograms,omitempty"`
+	CounterVecs   map[string]VecSnapshot[int64]             `json:"counter_vecs,omitempty"`
+	HistogramVecs map[string]VecSnapshot[HistogramSnapshot] `json:"histogram_vecs,omitempty"`
 }
 
 func (s *Span) record() SpanRecord {
@@ -59,17 +65,28 @@ func (t *Trace) Summary() *Summary {
 		spans[i] = s.record()
 	}
 	name := t.name
+	traceID := t.traceID
 	start := t.start
 	cpu0 := t.cpu0
 	t.mu.Unlock()
 	build := ReadBuild()
 	sum := &Summary{
 		Name:     name,
+		TraceID:  traceID,
 		Build:    &build,
 		WallNS:   time.Since(start).Nanoseconds(),
 		Spans:    spans,
 		Counters: t.Counters(),
 		Gauges:   t.Gauges(),
+	}
+	if h := t.Histograms(); len(h) > 0 {
+		sum.Histograms = h
+	}
+	if cv := t.CounterVecs(); len(cv) > 0 {
+		sum.CounterVecs = cv
+	}
+	if hv := t.HistogramVecs(); len(hv) > 0 {
+		sum.HistogramVecs = hv
 	}
 	if cpu := processCPUTime(); cpu > cpu0 {
 		sum.CPUNS = (cpu - cpu0).Nanoseconds()
@@ -120,6 +137,14 @@ func (t *Trace) WriteText(w io.Writer) error {
 		fmt.Fprintln(w, "gauges:")
 		for _, k := range sortedKeys(sum.Gauges) {
 			fmt.Fprintf(w, "  %-32s %g\n", k, sum.Gauges[k])
+		}
+	}
+	if len(sum.Histograms) > 0 {
+		fmt.Fprintln(w, "histograms:")
+		for _, k := range sortedKeys(sum.Histograms) {
+			h := sum.Histograms[k]
+			fmt.Fprintf(w, "  %-32s n=%d sum=%.4gs p50=%.4gs p99=%.4gs\n",
+				k, h.Count, h.Sum, h.Quantile(0.5), h.Quantile(0.99))
 		}
 	}
 	return nil

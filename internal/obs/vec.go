@@ -1,0 +1,208 @@
+package obs
+
+import "sync"
+
+// DefaultVecCap bounds the number of distinct label values a vec tracks
+// before new values collapse into the OverflowLabel child. The cap is the
+// memory-safety contract for labels fed by external input (tenant IDs): a
+// hostile tenant set costs at most cap+1 children, never unbounded growth.
+const DefaultVecCap = 32
+
+// OverflowLabel is the label value that absorbs observations once a vec
+// reaches its cardinality cap.
+const OverflowLabel = "other"
+
+// CounterVec is a family of Counters keyed by one label (tenant, stage,
+// profile, ...) with an explicit cardinality cap. All methods are safe for
+// concurrent use and no-ops on nil.
+type CounterVec struct {
+	label string
+	cap   int
+
+	mu       sync.RWMutex
+	children map[string]*Counter
+}
+
+// Label returns the vec's label key ("" on nil).
+func (v *CounterVec) Label() string {
+	if v == nil {
+		return ""
+	}
+	return v.label
+}
+
+// WithLabel returns the child counter for the label value, creating it on
+// first use. Past the cardinality cap, unseen values share the
+// OverflowLabel child. Returns nil on a nil vec.
+func (v *CounterVec) WithLabel(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	c := v.children[value]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c := v.children[value]; c != nil {
+		return c
+	}
+	if len(v.children) >= v.cap {
+		value = OverflowLabel
+		if c := v.children[value]; c != nil {
+			return c
+		}
+	}
+	c = &Counter{}
+	v.children[value] = c
+	return c
+}
+
+// Add is shorthand for WithLabel(value).Add(n).
+func (v *CounterVec) Add(value string, n int64) { v.WithLabel(value).Add(n) }
+
+// Values returns a snapshot of every child's count keyed by label value.
+func (v *CounterVec) Values() map[string]int64 {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]int64, len(v.children))
+	for k, c := range v.children {
+		out[k] = c.Value()
+	}
+	return out
+}
+
+// HistogramVec is a family of Histograms keyed by one label, with the same
+// cardinality cap and overflow contract as CounterVec.
+type HistogramVec struct {
+	label string
+	cap   int
+
+	mu       sync.RWMutex
+	children map[string]*Histogram
+}
+
+// Label returns the vec's label key ("" on nil).
+func (v *HistogramVec) Label() string {
+	if v == nil {
+		return ""
+	}
+	return v.label
+}
+
+// WithLabel returns the child histogram for the label value, creating it
+// on first use; past the cap, unseen values share the OverflowLabel child.
+// Returns nil on a nil vec.
+func (v *HistogramVec) WithLabel(value string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	h := v.children[value]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h := v.children[value]; h != nil {
+		return h
+	}
+	if len(v.children) >= v.cap {
+		value = OverflowLabel
+		if h := v.children[value]; h != nil {
+			return h
+		}
+	}
+	h = &Histogram{}
+	v.children[value] = h
+	return h
+}
+
+// Observe is shorthand for WithLabel(value).Observe(x).
+func (v *HistogramVec) Observe(value string, x float64) { v.WithLabel(value).Observe(x) }
+
+// Snapshots returns a snapshot of every non-empty child keyed by label
+// value.
+func (v *HistogramVec) Snapshots() map[string]HistogramSnapshot {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]HistogramSnapshot, len(v.children))
+	for k, h := range v.children {
+		if h.Count() > 0 {
+			out[k] = h.Snapshot()
+		}
+	}
+	return out
+}
+
+// CounterVec returns (creating on first use, with DefaultVecCap) the named
+// counter family; nil on a nil trace. The label key is fixed at first use.
+func (t *Trace) CounterVec(name, label string) *CounterVec {
+	if t == nil {
+		return nil
+	}
+	if v, ok := t.counterVecs.Load(name); ok {
+		return v.(*CounterVec)
+	}
+	v, _ := t.counterVecs.LoadOrStore(name,
+		&CounterVec{label: label, cap: DefaultVecCap, children: map[string]*Counter{}})
+	return v.(*CounterVec)
+}
+
+// HistogramVec returns (creating on first use, with DefaultVecCap) the
+// named histogram family; nil on a nil trace.
+func (t *Trace) HistogramVec(name, label string) *HistogramVec {
+	if t == nil {
+		return nil
+	}
+	if v, ok := t.histogramVecs.Load(name); ok {
+		return v.(*HistogramVec)
+	}
+	v, _ := t.histogramVecs.LoadOrStore(name,
+		&HistogramVec{label: label, cap: DefaultVecCap, children: map[string]*Histogram{}})
+	return v.(*HistogramVec)
+}
+
+// CounterVecs snapshots every counter family: name -> (label key, values).
+func (t *Trace) CounterVecs() map[string]VecSnapshot[int64] {
+	if t == nil {
+		return nil
+	}
+	out := make(map[string]VecSnapshot[int64])
+	t.counterVecs.Range(func(k, v interface{}) bool {
+		cv := v.(*CounterVec)
+		out[k.(string)] = VecSnapshot[int64]{Label: cv.Label(), Values: cv.Values()}
+		return true
+	})
+	return out
+}
+
+// HistogramVecs snapshots every histogram family: name -> (label key,
+// per-value snapshots). Empty children are omitted.
+func (t *Trace) HistogramVecs() map[string]VecSnapshot[HistogramSnapshot] {
+	if t == nil {
+		return nil
+	}
+	out := make(map[string]VecSnapshot[HistogramSnapshot])
+	t.histogramVecs.Range(func(k, v interface{}) bool {
+		hv := v.(*HistogramVec)
+		out[k.(string)] = VecSnapshot[HistogramSnapshot]{Label: hv.Label(), Values: hv.Snapshots()}
+		return true
+	})
+	return out
+}
+
+// VecSnapshot is the serializable state of one labeled metric family.
+type VecSnapshot[V any] struct {
+	Label  string       `json:"label"`
+	Values map[string]V `json:"values"`
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestCounterVecCardinalityCap is the bounded-cardinality contract: a
+// hostile stream of distinct label values (tenant IDs) must collapse into
+// the overflow child once the cap is hit, never grow the map unbounded,
+// and never lose a count doing so.
+func TestCounterVecCardinalityCap(t *testing.T) {
+	tr := New("t")
+	v := tr.CounterVec("jobs.submitted_by_tenant", "tenant")
+	if v.Label() != "tenant" {
+		t.Fatalf("Label = %q, want tenant", v.Label())
+	}
+	const distinct = 3 * DefaultVecCap
+	for i := 0; i < distinct; i++ {
+		v.Add(fmt.Sprintf("tenant-%03d", i), 1)
+	}
+	vals := v.Values()
+	if len(vals) > DefaultVecCap+1 {
+		t.Fatalf("vec grew to %d children, cap is %d (+1 overflow)", len(vals), DefaultVecCap)
+	}
+	var total, overflow int64
+	for k, n := range vals {
+		total += n
+		if k == OverflowLabel {
+			overflow = n
+		}
+	}
+	if total != distinct {
+		t.Errorf("counts total %d, want %d (no count may be dropped at the cap)", total, distinct)
+	}
+	if overflow != distinct-DefaultVecCap {
+		t.Errorf("overflow child has %d, want %d", overflow, distinct-DefaultVecCap)
+	}
+	// A value seen before the cap keeps its own child afterwards.
+	v.Add("tenant-000", 5)
+	if got := v.Values()["tenant-000"]; got != 6 {
+		t.Errorf("pre-cap tenant child = %d, want 6", got)
+	}
+}
+
+// TestHistogramVecCapAndMerge mirrors the cap contract for histogram
+// families and checks the overflow child aggregates observations.
+func TestHistogramVecCapAndMerge(t *testing.T) {
+	tr := New("t")
+	v := tr.HistogramVec("http.request_seconds", "route")
+	for i := 0; i < DefaultVecCap+10; i++ {
+		v.Observe(fmt.Sprintf("route-%d", i), 0.01)
+	}
+	snaps := v.Snapshots()
+	if len(snaps) > DefaultVecCap+1 {
+		t.Fatalf("vec grew to %d children, cap is %d (+1 overflow)", len(snaps), DefaultVecCap)
+	}
+	if snaps[OverflowLabel].Count != 10 {
+		t.Errorf("overflow child count = %d, want 10", snaps[OverflowLabel].Count)
+	}
+	var total uint64
+	for _, s := range snaps {
+		total += s.Count
+	}
+	if total != DefaultVecCap+10 {
+		t.Errorf("observations total %d, want %d", total, DefaultVecCap+10)
+	}
+}
+
+// TestVecNilSafetyAndRegistry checks nil traces and nil vecs stay inert,
+// and that a vec's identity (and label key) is fixed at first use.
+func TestVecNilSafetyAndRegistry(t *testing.T) {
+	var nilTr *Trace
+	nilTr.CounterVec("x", "l").Add("a", 1)
+	nilTr.HistogramVec("x", "l").Observe("a", 1)
+	if nilTr.CounterVecs() != nil || nilTr.HistogramVecs() != nil {
+		t.Error("nil trace must snapshot to nil")
+	}
+	var nilCV *CounterVec
+	nilCV.Add("a", 1)
+	if nilCV.Values() != nil || nilCV.Label() != "" {
+		t.Error("nil CounterVec must be inert")
+	}
+	var nilHV *HistogramVec
+	nilHV.Observe("a", 1)
+	if nilHV.Snapshots() != nil {
+		t.Error("nil HistogramVec must be inert")
+	}
+
+	tr := New("t")
+	a := tr.CounterVec("fam", "tenant")
+	b := tr.CounterVec("fam", "ignored-second-label")
+	if a != b || b.Label() != "tenant" {
+		t.Error("vec registry must return the same family with its first-use label")
+	}
+}
+
+// TestVecConcurrent hammers one family from many goroutines across more
+// values than the cap; totals must be exact. Run under -race in CI.
+func TestVecConcurrent(t *testing.T) {
+	tr := New("t")
+	v := tr.CounterVec("c", "k")
+	var wg sync.WaitGroup
+	const workers, per = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				v.Add(fmt.Sprintf("v%d", i%(2*DefaultVecCap)), 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total int64
+	for _, n := range v.Values() {
+		total += n
+	}
+	if total != workers*per {
+		t.Errorf("total = %d, want %d", total, workers*per)
+	}
+}
+
+// TestTraceMergeFrom checks the per-job-into-service fold: counters add,
+// gauges last-wins, histograms and vecs merge, spans stay put.
+func TestTraceMergeFrom(t *testing.T) {
+	svc, job := New("svc"), New("job")
+	svc.Add("jobs.finished", 1)
+	job.Add("jobs.finished", 2)
+	job.SetGauge("g", 7)
+	job.Observe("h_seconds", 0.5)
+	job.CounterVec("by_tenant", "tenant").Add("acme", 3)
+	job.HistogramVec("hv_seconds", "stage").Observe("route", 0.25)
+	job.Start("span").End()
+
+	svc.MergeFrom(job)
+	if got := svc.Counters()["jobs.finished"]; got != 3 {
+		t.Errorf("merged counter = %d, want 3", got)
+	}
+	if got := svc.Gauges()["g"]; got != 7 {
+		t.Errorf("merged gauge = %g, want 7", got)
+	}
+	if got := svc.Histograms()["h_seconds"].Count; got != 1 {
+		t.Errorf("merged histogram count = %d, want 1", got)
+	}
+	if got := svc.CounterVecs()["by_tenant"].Values["acme"]; got != 3 {
+		t.Errorf("merged counter vec = %d, want 3", got)
+	}
+	if got := svc.HistogramVecs()["hv_seconds"].Values["route"].Count; got != 1 {
+		t.Errorf("merged histogram vec count = %d, want 1", got)
+	}
+	if n := len(svc.Summary().Spans); n != 0 {
+		t.Errorf("MergeFrom copied %d spans; spans must not merge", n)
+	}
+}

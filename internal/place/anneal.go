@@ -330,12 +330,17 @@ func Place(p *Problem, opts Options) (*Placement, error) {
 		pr.delta = newSum - old
 	}
 
+	// stepHist times each temperature step (one observation per step, not
+	// per move — the hot move loops stay untouched); nil Obs makes the
+	// timers inert with no clock reads.
+	stepHist := opts.Obs.Histogram("place.step_seconds")
 	for temp > exitT {
 		if opts.Ctx != nil {
 			if err := opts.Ctx.Err(); err != nil {
 				return nil, fmt.Errorf("place: %w", err)
 			}
 		}
+		stepTimer := stepHist.StartTimer()
 		accepted := 0
 		flush := func() {
 			if len(batch) == 0 {
@@ -453,6 +458,7 @@ func Place(p *Problem, opts Options) (*Placement, error) {
 		flush()
 		pl.Accepted += accepted
 		tempSteps++
+		stepTimer.ObserveDuration()
 		accRate := float64(accepted) / float64(movesPerT)
 		stepTemp := temp
 		// VPR adaptive schedule.

@@ -379,11 +379,16 @@ func Route(p *place.Problem, pl *place.Placement, g *rrgraph.Graph, opts Options
 	// prevPops and prevRouted delta the cumulative effort counters into
 	// per-iteration telemetry; only maintained while events are flowing.
 	var prevPops, prevRouted int64
+	// iterHist feeds the per-iteration latency distribution; hoisted so the
+	// loop pays one nil check per iteration (nil Obs = inert timers, no
+	// clock reads).
+	iterHist := opts.Obs.Histogram("route.iter_seconds")
 	for iter := 1; iter <= opts.MaxIters; iter++ {
 		if err := opts.ctxErr(); err != nil {
 			return nil, fmt.Errorf("route: %w", err)
 		}
 		res.Iterations = iter
+		iterTimer := iterHist.StartTimer()
 
 		// Phase 1 — parallel search. Only dirty nets (unrouted, or routed
 		// through congestion) are rerouted; clean nets keep their trees.
@@ -495,6 +500,9 @@ func Route(p *place.Problem, pl *place.Placement, g *rrgraph.Graph, opts Options
 		}
 		res.Overused = over
 		overuseSum += int64(over)
+		// Both exits below (success return and next iteration) pass through
+		// here, so every completed iteration lands one observation.
+		iterTimer.ObserveDuration()
 		if over >= prevOver || iter >= reuseMaxIter {
 			reuseOK = false
 		}
